@@ -1,0 +1,54 @@
+//! Ablation benches: the prover with individual phases disabled, over a
+//! fixed sample of provable corpus rules. Complements the proved-count
+//! ablation table of the `experiments` binary with timing data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use udp_bench::ablation_configs;
+use udp_core::budget::Budget;
+use udp_core::DecideConfig;
+use udp_corpus::{all_rules, Expectation, Rule};
+
+/// A fixed, diverse sample: first provable rule of each category mix.
+fn sample() -> Vec<Rule> {
+    let names = [
+        "literature/fig1-index-selection",
+        "literature/join-associate",
+        "literature/distinct-product-absorb",
+        "calcite/filter-merge",
+        "calcite/filter-aggregate-transpose",
+        "calcite/semijoin-remove-fk",
+    ];
+    all_rules()
+        .into_iter()
+        .filter(|r| names.contains(&r.name.as_str()) && r.expect == Expectation::Proved)
+        .collect()
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let rules = sample();
+    assert!(!rules.is_empty());
+    for (name, opts) in ablation_configs() {
+        c.bench_function(&format!("ablation/{name}"), |b| {
+            b.iter(|| {
+                for rule in &rules {
+                    let config = DecideConfig {
+                        budget: Some(Budget::new(Some(5_000_000), None)),
+                        options: opts.clone(),
+                        record_trace: false,
+                    };
+                    // Ablated configurations may legitimately fail to prove;
+                    // we measure the work either way.
+                    let _ = black_box(udp_sql::verify_program(&rule.text, config));
+                }
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Fig 7: UDP execution time per dataset × feature category.
+//!
+//! Each Criterion group benches the full pipeline (parse → catalog → lower →
+//! UDP) over the proved rules of one dataset/category bucket, mirroring the
+//! per-category means the paper reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use udp_core::budget::Budget;
+use udp_core::DecideConfig;
+use udp_corpus::{all_rules, Category, Expectation, Rule, Source};
+
+fn prove(rule: &Rule) {
+    let config = DecideConfig {
+        budget: Some(Budget::new(Some(20_000_000), None)),
+        ..Default::default()
+    };
+    let results = udp_sql::verify_program(&rule.text, config).expect("supported rule");
+    black_box(&results);
+    assert!(results[0].verdict.decision.is_proved(), "{} must prove", rule.name);
+}
+
+fn bucket(source: Source, category: Category) -> Vec<Rule> {
+    all_rules()
+        .into_iter()
+        .filter(|r| {
+            r.source == source && r.expect == Expectation::Proved && r.has_category(category)
+        })
+        .collect()
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    for source in [Source::Literature, Source::Calcite] {
+        for (cat, label) in [
+            (Category::Ucq, "ucq"),
+            (Category::Cond, "cond"),
+            (Category::Agg, "agg"),
+            (Category::DistinctSubquery, "distinct"),
+        ] {
+            let rules = bucket(source, cat);
+            if rules.is_empty() {
+                continue;
+            }
+            let name = format!("fig7/{source}/{label}");
+            c.bench_function(&name, |b| {
+                b.iter(|| {
+                    for rule in &rules {
+                        prove(rule);
+                    }
+                })
+            });
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig7
+}
+criterion_main!(benches);

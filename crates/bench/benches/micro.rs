@@ -1,0 +1,105 @@
+//! Microbenchmarks of the decision-procedure building blocks: congruence
+//! closure, SPNF normalization of synthetic joins, and the term-isomorphism
+//! search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use udp_core::budget::Budget;
+use udp_core::congruence::Congruence;
+use udp_core::constraints::ConstraintSet;
+use udp_core::ctx::Ctx;
+use udp_core::equiv::udp_equiv;
+use udp_core::expr::{Expr, VarGen, VarId};
+use udp_core::schema::{Catalog, Schema, Ty};
+use udp_core::spnf::{normalize, normalize_with};
+use udp_core::uexpr::UExpr;
+
+/// Equality chain a0=a1=…=an plus function congruence queries.
+fn bench_congruence(c: &mut Criterion) {
+    for n in [8u32, 32, 128] {
+        c.bench_function(&format!("congruence/chain-{n}"), |b| {
+            b.iter(|| {
+                let mut cc = Congruence::new();
+                for i in 0..n {
+                    cc.assert_eq(
+                        &Expr::var_attr(VarId(i), "a"),
+                        &Expr::var_attr(VarId(i + 1), "a"),
+                    );
+                }
+                let f0 = Expr::app("f", vec![Expr::var_attr(VarId(0), "a")]);
+                let fn_ = Expr::app("f", vec![Expr::var_attr(VarId(n), "a")]);
+                assert!(cc.same(&f0, &fn_));
+                black_box(cc.len());
+            })
+        });
+    }
+}
+
+/// Star join of width n: Σ R(x0)…R(xn) with hub equalities.
+fn star_join(n: u32, catalog: &Catalog) -> UExpr {
+    let sid = catalog.schema_id("s").unwrap();
+    let r = catalog.relation_id("R").unwrap();
+    let hub = VarId(0);
+    let mut factors = vec![
+        UExpr::eq(Expr::var_attr(VarId(100), "a"), Expr::var_attr(hub, "a")),
+        UExpr::rel(r, Expr::Var(hub)),
+    ];
+    let mut vars = vec![(hub, sid)];
+    for i in 1..=n {
+        let v = VarId(i);
+        vars.push((v, sid));
+        factors.push(UExpr::eq(Expr::var_attr(hub, "k"), Expr::var_attr(v, "k")));
+        factors.push(UExpr::rel(r, Expr::Var(v)));
+    }
+    UExpr::sum_over(vars, UExpr::product(factors))
+}
+
+fn setup_catalog() -> (Catalog, ConstraintSet) {
+    let mut catalog = Catalog::new();
+    let s = catalog
+        .add_schema(Schema::new(
+            "s",
+            vec![("k".into(), Ty::Int), ("a".into(), Ty::Int)],
+            false,
+        ))
+        .unwrap();
+    catalog.add_relation("R", s).unwrap();
+    (catalog, ConstraintSet::new())
+}
+
+fn bench_normalize(c: &mut Criterion) {
+    let (catalog, _) = setup_catalog();
+    for n in [4u32, 8, 16] {
+        let e = star_join(n, &catalog);
+        c.bench_function(&format!("normalize/star-{n}"), |b| {
+            b.iter(|| black_box(normalize(&e)))
+        });
+    }
+}
+
+fn bench_iso_search(c: &mut Criterion) {
+    let (catalog, cs) = setup_catalog();
+    for n in [4u32, 6, 8] {
+        let e1 = star_join(n, &catalog);
+        // A permuted clone: same query with variables reversed.
+        let e2 = star_join(n, &catalog);
+        c.bench_function(&format!("iso/star-{n}"), |b| {
+            b.iter(|| {
+                let mut ctx =
+                    Ctx::new(&catalog, &cs).with_budget(Budget::new(Some(50_000_000), None));
+                let mut gen = VarGen::above(1000);
+                let n1 = normalize_with(&e1, &mut gen);
+                let n2 = normalize_with(&e2, &mut gen);
+                ctx.gen = gen;
+                assert!(udp_equiv(&mut ctx, &n1, &n2, &[]).unwrap());
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_congruence, bench_normalize, bench_iso_search
+}
+criterion_main!(benches);

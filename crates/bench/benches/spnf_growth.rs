@@ -1,0 +1,56 @@
+//! Sec 6.3: SPNF conversion — normalization time over the corpus queries.
+//! (The size-growth percentages are printed by the `experiments` binary;
+//! this bench measures the conversion cost itself.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use udp_core::expr::VarGen;
+use udp_core::spnf::normalize_with;
+use udp_core::uexpr::UExpr;
+use udp_corpus::{all_rules, Expectation, Source};
+
+/// Lower every supported corpus goal to its two U-expressions.
+fn lowered_bodies(source: Source) -> Vec<UExpr> {
+    let mut out = Vec::new();
+    for rule in all_rules() {
+        if rule.source != source || rule.expect == Expectation::Unsupported {
+            continue;
+        }
+        let Ok(program) = udp_sql::parse_program(&rule.text) else { continue };
+        let Ok(mut fe) = udp_sql::build_frontend(&program) else { continue };
+        let goals = fe.goals.clone();
+        for (q1, q2) in &goals {
+            let mut gen = VarGen::new();
+            if let Ok(l) = udp_sql::lower_query(&mut fe, &mut gen, q1) {
+                out.push(l.body);
+            }
+            if let Ok(l) = udp_sql::lower_query(&mut fe, &mut gen, q2) {
+                out.push(l.body);
+            }
+        }
+    }
+    out
+}
+
+fn bench_spnf(c: &mut Criterion) {
+    for source in [Source::Literature, Source::Calcite] {
+        let bodies = lowered_bodies(source);
+        let total_size: usize = bodies.iter().map(UExpr::size).sum();
+        let name = format!("spnf/{source}/{}-exprs-{}-nodes", bodies.len(), total_size);
+        c.bench_function(&name, |b| {
+            b.iter(|| {
+                for body in &bodies {
+                    let mut gen = VarGen::above(body.max_var() + 1);
+                    black_box(normalize_with(body, &mut gen));
+                }
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_spnf
+}
+criterion_main!(benches);

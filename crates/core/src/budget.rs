@@ -1,0 +1,116 @@
+//! Resource budgets for the decision procedure.
+//!
+//! The paper runs UDP with a 30-second wall-clock limit (Sec 6.2) and reports
+//! one Calcite rule that "does not return a result after running for 30
+//! minutes". For reproducible CI runs we additionally support a
+//! *deterministic step budget*: every backtracking step and rewrite pass
+//! consumes one step; exhaustion yields the `Unknown`/timeout outcome rather
+//! than an unsound answer.
+
+use std::time::{Duration, Instant};
+
+/// Raised when the step or time budget is exhausted. Decision procedures
+/// propagate it; the driver maps it to [`crate::decide::Decision::Unknown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exhausted;
+
+/// Combined step + wall-clock budget.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    steps_left: u64,
+    deadline: Option<Instant>,
+    /// Check the clock only every N ticks to keep ticking cheap.
+    clock_stride: u64,
+    ticks: u64,
+}
+
+impl Budget {
+    /// Default budget mirroring the paper's 30 s limit with a generous
+    /// deterministic step cap.
+    pub fn standard() -> Self {
+        Budget::new(Some(20_000_000), Some(Duration::from_secs(30)))
+    }
+
+    /// Unlimited budget (tests of small fixtures).
+    pub fn unlimited() -> Self {
+        Budget::new(None, None)
+    }
+
+    /// A small budget for provoking the timeout path deterministically.
+    /// A pure step budget with no wall-clock deadline (deterministic).
+    pub fn steps(n: u64) -> Self {
+        Budget::new(Some(n), None)
+    }
+
+    /// A budget with an optional step cap and an optional wall-clock
+    /// deadline (`None` = unlimited on that axis).
+    pub fn new(steps: Option<u64>, wall: Option<Duration>) -> Self {
+        Budget {
+            steps_left: steps.unwrap_or(u64::MAX),
+            deadline: wall.map(|d| Instant::now() + d),
+            clock_stride: 4096,
+            ticks: 0,
+        }
+    }
+
+    /// Consume one step; fails when either budget is exhausted.
+    #[inline]
+    pub fn tick(&mut self) -> Result<(), Exhausted> {
+        if self.steps_left == 0 {
+            return Err(Exhausted);
+        }
+        self.steps_left -= 1;
+        self.ticks += 1;
+        if self.ticks % self.clock_stride == 0 {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    self.steps_left = 0;
+                    return Err(Exhausted);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Steps consumed so far (feeds the Fig 7 stats).
+    pub fn steps_used(&self) -> u64 {
+        self.ticks
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_budget_exhausts() {
+        let mut b = Budget::steps(3);
+        assert!(b.tick().is_ok());
+        assert!(b.tick().is_ok());
+        assert!(b.tick().is_ok());
+        assert_eq!(b.tick(), Err(Exhausted));
+        assert_eq!(b.tick(), Err(Exhausted));
+    }
+
+    #[test]
+    fn unlimited_never_exhausts_quickly() {
+        let mut b = Budget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.tick().is_ok());
+        }
+        assert_eq!(b.steps_used(), 10_000);
+    }
+
+    #[test]
+    fn wall_clock_deadline_trips() {
+        let mut b = Budget::new(None, Some(Duration::from_millis(0)));
+        b.clock_stride = 1;
+        assert_eq!(b.tick(), Err(Exhausted));
+    }
+}

@@ -1,0 +1,378 @@
+//! Top-level driver: decide the U-equivalence of two queries.
+//!
+//! A query denotes a function `Tuple(σ) → U`; we represent it as a
+//! [`QueryU`]: an output variable, its schema, and the body U-expression with
+//! that variable free. `decide` aligns the output variables, converts both
+//! bodies to SPNF (recording sizes for the Sec 6.3 growth experiment), and
+//! runs UDP (Alg 2) under the configured budget.
+
+use crate::budget::{Budget, Exhausted};
+use crate::constraints::ConstraintSet;
+use crate::ctx::{Ctx, Options};
+use crate::equiv::udp_equiv;
+use crate::expr::{Expr, VarId};
+use crate::schema::{Catalog, SchemaId};
+use crate::spnf::normalize_with;
+use crate::trace::{Rule, StepData, Trace};
+use crate::uexpr::UExpr;
+use std::time::Instant;
+
+/// A query as a U-expression: `λ out. body`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryU {
+    /// The output tuple variable, free in `body`.
+    pub out: VarId,
+    /// Schema of the output tuple.
+    pub schema: SchemaId,
+    /// `⟦q⟧(out)` as a U-expression.
+    pub body: UExpr,
+}
+
+impl QueryU {
+    /// Package an output variable, its schema, and a body.
+    pub fn new(out: VarId, schema: SchemaId, body: UExpr) -> Self {
+        QueryU { out, schema, body }
+    }
+}
+
+/// Outcome of a `decide` run. UDP is sound but incomplete: `NotProved` means
+/// "no proof found", not "inequivalent" (use `udp-eval`'s counterexample
+/// finder for refutation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// The queries are U-equivalent (hence equivalent under standard SQL
+    /// semantics, Theorem 5.3).
+    Proved,
+    /// No proof found within the searched space.
+    NotProved(NotProvedReason),
+    /// Budget (steps or wall clock) exhausted before an answer.
+    Timeout,
+}
+
+impl Decision {
+    /// Did UDP prove the equivalence?
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Decision::Proved)
+    }
+}
+
+/// Why the search concluded without a proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NotProvedReason {
+    /// The output schemas differ in their attribute lists.
+    SchemaMismatch,
+    /// Canonical forms exist but no term pairing/homomorphism was found.
+    NoProofFound,
+}
+
+/// Measurements accompanying a verdict (feeds Fig 7 and the Sec 6.3 SPNF
+/// growth numbers).
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// U-expression sizes before SPNF conversion (q1, q2).
+    pub size_before: (usize, usize),
+    /// Normal-form sizes after SPNF conversion (q1, q2).
+    pub size_after: (usize, usize),
+    /// Search steps consumed.
+    pub steps_used: u64,
+    /// Wall-clock time of the whole decision.
+    pub wall: std::time::Duration,
+}
+
+impl Stats {
+    /// Relative size growth through SPNF, in percent (Sec 6.3 metric).
+    pub fn growth_percent(&self) -> f64 {
+        let before = (self.size_before.0 + self.size_before.1) as f64;
+        let after = (self.size_after.0 + self.size_after.1) as f64;
+        if before == 0.0 {
+            0.0
+        } else {
+            (after - before) / before * 100.0
+        }
+    }
+}
+
+/// Verdict: decision + proof trace + measurements.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// The outcome.
+    pub decision: Decision,
+    /// Recorded proof steps (empty unless tracing was requested).
+    pub trace: Trace,
+    /// Sizes, steps, and timing.
+    pub stats: Stats,
+}
+
+/// Configuration for a `decide` run.
+#[derive(Debug, Clone, Default)]
+pub struct DecideConfig {
+    /// Budget per goal (`None` = the standard 30 s / 20M-step budget).
+    pub budget: Option<Budget>,
+    /// Feature switches (ablations).
+    pub options: Options,
+    /// Record a replayable proof trace.
+    pub record_trace: bool,
+}
+
+/// Decide whether `q1 ≡ q2` under `cs`, with default configuration.
+pub fn decide(catalog: &Catalog, cs: &ConstraintSet, q1: &QueryU, q2: &QueryU) -> Verdict {
+    decide_with(catalog, cs, q1, q2, DecideConfig::default())
+}
+
+/// Decide with explicit configuration.
+pub fn decide_with(
+    catalog: &Catalog,
+    cs: &ConstraintSet,
+    q1: &QueryU,
+    q2: &QueryU,
+    config: DecideConfig,
+) -> Verdict {
+    let start = Instant::now();
+    let mut trace = if config.record_trace { Trace::enabled() } else { Trace::disabled() };
+    let mut stats = Stats {
+        size_before: (q1.body.size(), q2.body.size()),
+        ..Stats::default()
+    };
+
+    // Output schemas must agree attribute-wise (by name — types are
+    // advisory, e.g. aggregate outputs infer as Unknown).
+    let s1 = catalog.schema(q1.schema);
+    let s2 = catalog.schema(q2.schema);
+    let names = |s: &crate::schema::Schema| -> Vec<String> {
+        s.attrs.iter().map(|(n, _)| n.clone()).collect()
+    };
+    let compatible = if s1.is_closed() && s2.is_closed() {
+        names(s1) == names(s2)
+    } else {
+        q1.schema == q2.schema || names(s1) == names(s2)
+    };
+    if !compatible {
+        stats.wall = start.elapsed();
+        return Verdict {
+            decision: Decision::NotProved(NotProvedReason::SchemaMismatch),
+            trace,
+            stats,
+        };
+    }
+
+    // Align output variables.
+    let body2 = if q2.out == q1.out {
+        q2.body.clone()
+    } else {
+        q2.body.subst(q2.out, &Expr::Var(q1.out))
+    };
+
+    let mut ctx = Ctx::new(catalog, cs)
+        .with_budget(config.budget.unwrap_or_default())
+        .with_options(config.options);
+    ctx.trace = trace;
+    let watermark = q1.body.max_var().max(body2.max_var()).max(q1.out.0) + 1;
+    ctx.gen.reserve(VarId(watermark));
+    ctx.declare_free(q1.out, q1.schema);
+
+    let nf1 = normalize_with(&q1.body, &mut ctx.gen);
+    let nf2 = normalize_with(&body2, &mut ctx.gen);
+    stats.size_after = (nf1.size(), nf2.size());
+    ctx.trace.record(Rule::Normalize, || StepData::Normalize {
+        before: q1.body.clone(),
+        after: nf1.clone(),
+    });
+    ctx.trace.record(Rule::Normalize, || StepData::Normalize {
+        before: body2.clone(),
+        after: nf2.clone(),
+    });
+
+    let decision = match udp_equiv(&mut ctx, &nf1, &nf2, &[]) {
+        Ok(true) => Decision::Proved,
+        Ok(false) => Decision::NotProved(NotProvedReason::NoProofFound),
+        Err(Exhausted) => Decision::Timeout,
+    };
+    stats.steps_used = ctx.budget.steps_used();
+    stats.wall = start.elapsed();
+    trace = ctx.trace;
+    Verdict { decision, trace, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Pred;
+    use crate::schema::{Schema, Ty};
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    fn setup() -> (Catalog, ConstraintSet) {
+        let mut cat = Catalog::new();
+        let s = cat
+            .add_schema(Schema::new(
+                "s",
+                vec![("k".into(), Ty::Int), ("a".into(), Ty::Int)],
+                false,
+            ))
+            .unwrap();
+        cat.add_relation("R", s).unwrap();
+        (cat, ConstraintSet::new())
+    }
+
+    /// Fig 1 end to end: `SELECT * FROM R WHERE a ≥ 12` equals its
+    /// index-lookup rewrite, given key R.k.
+    #[test]
+    fn fig1_index_rewrite_proved() {
+        let (cat, mut cs) = setup();
+        let r = cat.relation_id("R").unwrap();
+        let sid = cat.schema_id("s").unwrap();
+        cs.add_key(r, vec!["k".into()]);
+
+        let t = v(0);
+        let q1 = QueryU::new(
+            t,
+            sid,
+            UExpr::mul(
+                UExpr::rel(r, Expr::Var(t)),
+                UExpr::Pred(Pred::lift("gte12", vec![Expr::var_attr(t, "a")])),
+            ),
+        );
+        let (t1, t2, t3) = (v(1), v(2), v(3));
+        let q2 = QueryU::new(
+            t,
+            sid,
+            UExpr::sum_over(
+                vec![(t1, sid), (t2, sid), (t3, sid)],
+                UExpr::product(vec![
+                    UExpr::eq(Expr::Var(t2), Expr::Var(t)),
+                    UExpr::eq(Expr::var_attr(t1, "k"), Expr::var_attr(t2, "k")),
+                    UExpr::Pred(Pred::lift("gte12", vec![Expr::var_attr(t1, "a")])),
+                    UExpr::eq(Expr::var_attr(t3, "k"), Expr::var_attr(t1, "k")),
+                    UExpr::eq(Expr::var_attr(t3, "a"), Expr::var_attr(t1, "a")),
+                    UExpr::rel(r, Expr::Var(t3)),
+                    UExpr::rel(r, Expr::Var(t2)),
+                ]),
+            ),
+        );
+        let verdict = decide(&cat, &cs, &q1, &q2);
+        assert!(verdict.decision.is_proved(), "verdict: {:?}", verdict.decision);
+    }
+
+    /// Without the key constraint the Fig 1 rewrite is *not* provable (and
+    /// indeed not valid under bag semantics).
+    #[test]
+    fn fig1_fails_without_key() {
+        let (cat, cs) = setup();
+        let r = cat.relation_id("R").unwrap();
+        let sid = cat.schema_id("s").unwrap();
+        let t = v(0);
+        let q1 = QueryU::new(t, sid, UExpr::rel(r, Expr::Var(t)));
+        let (x, y) = (v(1), v(2));
+        let q2 = QueryU::new(
+            t,
+            sid,
+            UExpr::sum_over(
+                vec![(x, sid), (y, sid)],
+                UExpr::product(vec![
+                    UExpr::eq(Expr::Var(x), Expr::Var(t)),
+                    UExpr::eq(Expr::var_attr(y, "k"), Expr::var_attr(x, "k")),
+                    UExpr::rel(r, Expr::Var(x)),
+                    UExpr::rel(r, Expr::Var(y)),
+                ]),
+            ),
+        );
+        let verdict = decide(&cat, &cs, &q1, &q2);
+        assert!(!verdict.decision.is_proved());
+    }
+
+    /// …and with the key it becomes provable (self-join elimination).
+    #[test]
+    fn self_join_elimination_with_key() {
+        let (cat, mut cs) = setup();
+        let r = cat.relation_id("R").unwrap();
+        let sid = cat.schema_id("s").unwrap();
+        cs.add_key(r, vec!["k".into()]);
+        let t = v(0);
+        let q1 = QueryU::new(t, sid, UExpr::rel(r, Expr::Var(t)));
+        let (x, y) = (v(1), v(2));
+        let q2 = QueryU::new(
+            t,
+            sid,
+            UExpr::sum_over(
+                vec![(x, sid), (y, sid)],
+                UExpr::product(vec![
+                    UExpr::eq(Expr::Var(x), Expr::Var(t)),
+                    UExpr::eq(Expr::var_attr(y, "k"), Expr::var_attr(x, "k")),
+                    UExpr::rel(r, Expr::Var(x)),
+                    UExpr::rel(r, Expr::Var(y)),
+                ]),
+            ),
+        );
+        let verdict = decide(&cat, &cs, &q1, &q2);
+        assert!(verdict.decision.is_proved(), "verdict: {:?}", verdict.decision);
+    }
+
+    #[test]
+    fn schema_mismatch_detected() {
+        let (mut cat, cs) = setup();
+        let other = cat
+            .add_schema(Schema::new("t2", vec![("z".into(), Ty::Int)], false))
+            .unwrap();
+        let sid = cat.schema_id("s").unwrap();
+        let r = cat.relation_id("R").unwrap();
+        let q1 = QueryU::new(v(0), sid, UExpr::rel(r, Expr::Var(v(0))));
+        let q2 = QueryU::new(v(0), other, UExpr::rel(r, Expr::Var(v(0))));
+        let verdict = decide(&cat, &cs, &q1, &q2);
+        assert_eq!(
+            verdict.decision,
+            Decision::NotProved(NotProvedReason::SchemaMismatch)
+        );
+    }
+
+    #[test]
+    fn timeout_reported() {
+        let (cat, cs) = setup();
+        let r = cat.relation_id("R").unwrap();
+        let sid = cat.schema_id("s").unwrap();
+        let q = QueryU::new(v(0), sid, UExpr::sum(v(1), sid, UExpr::rel(r, Expr::Var(v(1)))));
+        let verdict = decide_with(
+            &cat,
+            &cs,
+            &q,
+            &q,
+            DecideConfig { budget: Some(Budget::steps(1)), ..Default::default() },
+        );
+        assert_eq!(verdict.decision, Decision::Timeout);
+    }
+
+    #[test]
+    fn stats_record_sizes_and_growth() {
+        let (cat, cs) = setup();
+        let r = cat.relation_id("R").unwrap();
+        let sid = cat.schema_id("s").unwrap();
+        let q = QueryU::new(v(0), sid, UExpr::rel(r, Expr::Var(v(0))));
+        let verdict = decide(&cat, &cs, &q, &q);
+        assert!(verdict.decision.is_proved());
+        assert!(verdict.stats.size_before.0 > 0);
+        assert!(verdict.stats.size_after.0 > 0);
+        let _ = verdict.stats.growth_percent();
+    }
+
+    #[test]
+    fn trace_records_proof_steps() {
+        let (cat, mut cs) = setup();
+        let r = cat.relation_id("R").unwrap();
+        let sid = cat.schema_id("s").unwrap();
+        cs.add_key(r, vec!["k".into()]);
+        let t = v(0);
+        let q1 = QueryU::new(t, sid, UExpr::rel(r, Expr::Var(t)));
+        let verdict = decide_with(
+            &cat,
+            &cs,
+            &q1,
+            &q1,
+            DecideConfig { record_trace: true, ..Default::default() },
+        );
+        assert!(verdict.decision.is_proved());
+        assert!(!verdict.trace.is_empty());
+        let rendered = verdict.trace.render();
+        assert!(rendered.contains("normalize"));
+    }
+}

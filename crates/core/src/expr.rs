@@ -1,0 +1,596 @@
+//! Scalar and tuple expressions, predicates, variables, and substitution.
+//!
+//! These correspond to `Expression`/`Predicate` in Fig 2 of the paper and to
+//! the path expressions of the unnamed IR (Appendix A.2). We use flat named
+//! schemas instead of the paper's binary-tree encoding (a Lean artifact, see
+//! DESIGN.md §4); a tuple expression is either a tuple variable, a record
+//! constructor, or a concatenation of two tuples (the output of a join under
+//! `SELECT *`).
+
+use crate::schema::SchemaId;
+use crate::uexpr::UExpr;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A tuple variable. Variables are globally fresh within one verification
+/// problem; [`VarGen`] hands them out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Generator of fresh [`VarId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct VarGen {
+    next: u32,
+}
+
+impl VarGen {
+    /// A generator starting at id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a generator whose ids start above every variable in `exprs`,
+    /// so freshly generated variables cannot capture.
+    pub fn above(start: u32) -> Self {
+        VarGen { next: start }
+    }
+
+    /// Hand out the next fresh variable.
+    pub fn fresh(&mut self) -> VarId {
+        let v = VarId(self.next);
+        self.next += 1;
+        v
+    }
+
+    /// First id this generator has not yet issued.
+    pub fn watermark(&self) -> u32 {
+        self.next
+    }
+
+    /// Bump the watermark so all future ids exceed `v`.
+    pub fn reserve(&mut self, v: VarId) {
+        if v.0 >= self.next {
+            self.next = v.0 + 1;
+        }
+    }
+}
+
+/// Constant values appearing in queries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// String literal.
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// Scalar- or tuple-valued expressions.
+///
+/// `App` covers uninterpreted functions (UDFs, arithmetic, casts — anything
+/// the paper treats as an uninterpreted function, Sec 6.4). `Agg` is an
+/// uninterpreted aggregate applied to a U-expression denoting a subquery
+/// (Sec 3.2: "aggregates are treated as uninterpreted functions").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Expr {
+    /// A tuple variable `t`.
+    Var(VarId),
+    /// Attribute access `e.a`.
+    Attr(Box<Expr>, String),
+    /// Constant literal.
+    Const(Value),
+    /// Uninterpreted function application `f(e₁, …, eₙ)`.
+    App(String, Vec<Expr>),
+    /// Uninterpreted aggregate `agg(E)` over a subquery's U-expression. The
+    /// body may reference outer tuple variables (correlated aggregate).
+    Agg(String, Box<UExpr>),
+    /// Record constructor `{a₁ = e₁, …, aₙ = eₙ}` — a tuple literal.
+    Record(Vec<(String, Expr)>),
+    /// Tuple concatenation; the `SchemaId` is the schema of the left operand,
+    /// needed to resolve attribute accesses through the concatenation.
+    Concat(Box<Expr>, SchemaId, Box<Expr>),
+}
+
+impl Expr {
+    /// The variable `t`.
+    pub fn var(v: VarId) -> Expr {
+        Expr::Var(v)
+    }
+
+    /// Attribute access `base.a`.
+    pub fn attr(base: Expr, a: impl Into<String>) -> Expr {
+        Expr::Attr(Box::new(base), a.into())
+    }
+
+    /// `t.a` for a variable `t` — the overwhelmingly common case.
+    pub fn var_attr(v: VarId, a: impl Into<String>) -> Expr {
+        Expr::attr(Expr::Var(v), a)
+    }
+
+    /// Integer constant.
+    pub fn int(i: i64) -> Expr {
+        Expr::Const(Value::Int(i))
+    }
+
+    /// String constant.
+    pub fn str(s: impl Into<String>) -> Expr {
+        Expr::Const(Value::Str(s.into()))
+    }
+
+    /// Uninterpreted function application.
+    pub fn app(f: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::App(f.into(), args)
+    }
+
+    /// Record (tuple literal) constructor.
+    pub fn record(fields: Vec<(String, Expr)>) -> Expr {
+        Expr::Record(fields)
+    }
+
+    /// Whether `v` occurs free in this expression (including inside
+    /// aggregate bodies).
+    pub fn contains_var(&self, v: VarId) -> bool {
+        match self {
+            Expr::Var(w) => *w == v,
+            Expr::Attr(e, _) => e.contains_var(v),
+            Expr::Const(_) => false,
+            Expr::App(_, args) => args.iter().any(|e| e.contains_var(v)),
+            Expr::Agg(_, body) => body.free_vars().contains(&v),
+            Expr::Record(fields) => fields.iter().any(|(_, e)| e.contains_var(v)),
+            Expr::Concat(l, _, r) => l.contains_var(v) || r.contains_var(v),
+        }
+    }
+
+    /// Collect free variables into `out`.
+    pub fn collect_vars(&self, out: &mut BTreeSet<VarId>) {
+        match self {
+            Expr::Var(v) => {
+                out.insert(*v);
+            }
+            Expr::Attr(e, _) => e.collect_vars(out),
+            Expr::Const(_) => {}
+            Expr::App(_, args) => {
+                for e in args {
+                    e.collect_vars(out);
+                }
+            }
+            Expr::Agg(_, body) => {
+                out.extend(body.free_vars());
+            }
+            Expr::Record(fields) => {
+                for (_, e) in fields {
+                    e.collect_vars(out);
+                }
+            }
+            Expr::Concat(l, _, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+        }
+    }
+
+    /// Free variables of the expression (aggregate bodies included).
+    pub fn free_vars(&self) -> BTreeSet<VarId> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// Substitute `v := replacement` and simplify record/concat projections.
+    pub fn subst(&self, v: VarId, replacement: &Expr) -> Expr {
+        self.subst_map(&|w| if w == v { Some(replacement.clone()) } else { None })
+    }
+
+    /// Substitute according to `lookup` (None = keep variable).
+    pub fn subst_map(&self, lookup: &dyn Fn(VarId) -> Option<Expr>) -> Expr {
+        match self {
+            Expr::Var(w) => lookup(*w).unwrap_or(Expr::Var(*w)),
+            Expr::Attr(e, a) => Expr::attr(e.subst_map(lookup), a.clone()).simplify_head(),
+            Expr::Const(c) => Expr::Const(c.clone()),
+            Expr::App(f, args) => Expr::App(f.clone(), args.iter().map(|e| e.subst_map(lookup)).collect()),
+            Expr::Agg(name, body) => Expr::Agg(name.clone(), Box::new(body.subst_map(lookup))),
+            Expr::Record(fields) => {
+                Expr::Record(fields.iter().map(|(a, e)| (a.clone(), e.subst_map(lookup))).collect())
+            }
+            Expr::Concat(l, s, r) => {
+                Expr::Concat(Box::new(l.subst_map(lookup)), *s, Box::new(r.subst_map(lookup)))
+            }
+        }
+    }
+
+    /// Simplify a *head* attribute access: `{…, a = e, …}.a → e`. Concat
+    /// resolution needs the catalog and is done in
+    /// [`Expr::resolve_attr_with`].
+    pub fn simplify_head(self) -> Expr {
+        if let Expr::Attr(base, a) = &self {
+            if let Expr::Record(fields) = base.as_ref() {
+                if let Some((_, e)) = fields.iter().find(|(n, _)| n == &a[..]) {
+                    return e.clone();
+                }
+            }
+        }
+        self
+    }
+
+    /// Resolve `Attr(Concat(l, sl, r), a)` given a predicate telling whether
+    /// schema `sl` (the left side) is closed and contains `a`. Returns the
+    /// rewritten expression (possibly unchanged). Recurses into aggregate
+    /// bodies.
+    pub fn resolve_attr_with(self, left_has: &dyn Fn(SchemaId, &str) -> Option<bool>) -> Expr {
+        match self {
+            Expr::Attr(base, a) => {
+                let base = base.resolve_attr_with(left_has);
+                if let Expr::Concat(l, sl, r) = &base {
+                    match left_has(*sl, &a) {
+                        Some(true) => {
+                            return Expr::attr((**l).clone(), a)
+                                .simplify_head()
+                                .resolve_attr_with(left_has)
+                        }
+                        Some(false) => {
+                            return Expr::attr((**r).clone(), a)
+                                .simplify_head()
+                                .resolve_attr_with(left_has)
+                        }
+                        None => {}
+                    }
+                }
+                Expr::Attr(Box::new(base), a).simplify_head()
+            }
+            Expr::App(f, args) => {
+                Expr::App(f, args.into_iter().map(|e| e.resolve_attr_with(left_has)).collect())
+            }
+            Expr::Agg(name, body) => {
+                let mapped = body.map_exprs(&|e| e.clone().resolve_attr_with(left_has));
+                Expr::Agg(name, Box::new(mapped))
+            }
+            Expr::Record(fields) => Expr::Record(
+                fields.into_iter().map(|(n, e)| (n, e.resolve_attr_with(left_has))).collect(),
+            ),
+            Expr::Concat(l, s, r) => Expr::Concat(
+                Box::new(l.resolve_attr_with(left_has)),
+                s,
+                Box::new(r.resolve_attr_with(left_has)),
+            ),
+            other => other,
+        }
+    }
+
+    /// Structural size, counting every node (used by the SPNF-growth
+    /// experiment of Sec 6.3).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Var(_) | Expr::Const(_) => 1,
+            Expr::Attr(e, _) => 1 + e.size(),
+            Expr::App(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
+            Expr::Agg(_, body) => 1 + body.size(),
+            Expr::Record(fields) => 1 + fields.iter().map(|(_, e)| e.size()).sum::<usize>(),
+            Expr::Concat(l, _, r) => 1 + l.size() + r.size(),
+        }
+    }
+
+    /// Largest variable id occurring in this expression (for watermarking).
+    pub fn max_var(&self) -> Option<u32> {
+        self.free_vars().iter().map(|v| v.0).max()
+    }
+
+    /// Largest variable id occurring *anywhere*, including variables bound
+    /// inside aggregate bodies — the watermark for fresh-variable generators.
+    /// Using [`Expr::max_var`] here would allow a generator to re-issue an
+    /// aggregate's inner binder and capture it.
+    pub fn max_var_all(&self) -> u32 {
+        match self {
+            Expr::Var(v) => v.0,
+            Expr::Attr(e, _) => e.max_var_all(),
+            Expr::Const(_) => 0,
+            Expr::App(_, args) => args.iter().map(Expr::max_var_all).max().unwrap_or(0),
+            Expr::Agg(_, body) => body.max_var(),
+            Expr::Record(fields) => {
+                fields.iter().map(|(_, e)| e.max_var_all()).max().unwrap_or(0)
+            }
+            Expr::Concat(l, _, r) => l.max_var_all().max(r.max_var_all()),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Attr(e, a) => write!(f, "{e}.{a}"),
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::App(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Agg(name, body) => write!(f, "{name}({body})"),
+            Expr::Record(fields) => {
+                write!(f, "⟨")?;
+                for (i, (a, e)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}={e}")?;
+                }
+                write!(f, "⟩")
+            }
+            Expr::Concat(l, _, r) => write!(f, "({l} ⧺ {r})"),
+        }
+    }
+}
+
+/// Atomic predicates `[b]` of the U-semiring semantics. Boolean structure
+/// (AND/OR/NOT/EXISTS) is translated into U-expression operations
+/// (`×`/`+‖·‖`/`not`), so only atoms remain, each satisfying axiom (11)
+/// `[b] = ‖[b]‖`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Pred {
+    /// `[e₁ = e₂]`, subject to axioms (12)–(14).
+    Eq(Expr, Expr),
+    /// `[e₁ ≠ e₂]` — the complement introduced by excluded middle (12).
+    Ne(Expr, Expr),
+    /// Uninterpreted predicate `[p(e₁,…,eₙ)]` (comparisons such as `a ≥ 12`
+    /// are uninterpreted atoms to the decision procedure). `negated` encodes
+    /// `not([p(...)])`.
+    Lift {
+        /// Predicate symbol.
+        name: String,
+        /// Operand expressions.
+        args: Vec<Expr>,
+        /// Whether the atom is complemented.
+        negated: bool,
+    },
+}
+
+impl Pred {
+    /// The equality atom `[a = b]`.
+    pub fn eq(a: Expr, b: Expr) -> Pred {
+        Pred::Eq(a, b)
+    }
+
+    /// The inequality atom `[a ≠ b]`.
+    pub fn ne(a: Expr, b: Expr) -> Pred {
+        Pred::Ne(a, b)
+    }
+
+    /// A (positive) uninterpreted predicate atom.
+    pub fn lift(name: impl Into<String>, args: Vec<Expr>) -> Pred {
+        Pred::Lift { name: name.into(), args, negated: false }
+    }
+
+    /// Logical complement: `[b] ↦ [¬b]` (excluded middle for equality;
+    /// negation flag for lifted atoms).
+    pub fn negate(&self) -> Pred {
+        match self {
+            Pred::Eq(a, b) => Pred::Ne(a.clone(), b.clone()),
+            Pred::Ne(a, b) => Pred::Eq(a.clone(), b.clone()),
+            Pred::Lift { name, args, negated } => {
+                Pred::Lift { name: name.clone(), args: args.clone(), negated: !negated }
+            }
+        }
+    }
+
+    /// Orient the predicate canonically: equality/inequality operands sorted.
+    pub fn oriented(self) -> Pred {
+        match self {
+            Pred::Eq(a, b) => {
+                if a <= b {
+                    Pred::Eq(a, b)
+                } else {
+                    Pred::Eq(b, a)
+                }
+            }
+            Pred::Ne(a, b) => {
+                if a <= b {
+                    Pred::Ne(a, b)
+                } else {
+                    Pred::Ne(b, a)
+                }
+            }
+            p => p,
+        }
+    }
+
+    /// Trivially true? (`[e = e]`, or `≠` between distinct constants.)
+    pub fn is_trivially_true(&self) -> bool {
+        match self {
+            Pred::Eq(a, b) => a == b,
+            Pred::Ne(Expr::Const(a), Expr::Const(b)) => a != b,
+            _ => false,
+        }
+    }
+
+    /// Trivially false? (`[e ≠ e]`, or `=` between distinct constants.)
+    pub fn is_trivially_false(&self) -> bool {
+        match self {
+            Pred::Ne(a, b) => a == b,
+            Pred::Eq(Expr::Const(a), Expr::Const(b)) => a != b,
+            _ => false,
+        }
+    }
+
+    /// Collect free variables into `out`.
+    pub fn collect_vars(&self, out: &mut BTreeSet<VarId>) {
+        match self {
+            Pred::Eq(a, b) | Pred::Ne(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Pred::Lift { args, .. } => {
+                for e in args {
+                    e.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Free variables of the predicate.
+    pub fn free_vars(&self) -> BTreeSet<VarId> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// Does `v` occur in the predicate?
+    pub fn contains_var(&self, v: VarId) -> bool {
+        match self {
+            Pred::Eq(a, b) | Pred::Ne(a, b) => a.contains_var(v) || b.contains_var(v),
+            Pred::Lift { args, .. } => args.iter().any(|e| e.contains_var(v)),
+        }
+    }
+
+    /// Substitute variables according to `lookup` (`None` = keep).
+    pub fn subst_map(&self, lookup: &dyn Fn(VarId) -> Option<Expr>) -> Pred {
+        match self {
+            Pred::Eq(a, b) => Pred::Eq(a.subst_map(lookup), b.subst_map(lookup)),
+            Pred::Ne(a, b) => Pred::Ne(a.subst_map(lookup), b.subst_map(lookup)),
+            Pred::Lift { name, args, negated } => Pred::Lift {
+                name: name.clone(),
+                args: args.iter().map(|e| e.subst_map(lookup)).collect(),
+                negated: *negated,
+            },
+        }
+    }
+
+    /// Apply `f` to every top-level operand expression.
+    pub fn map_exprs(&self, f: &dyn Fn(&Expr) -> Expr) -> Pred {
+        match self {
+            Pred::Eq(a, b) => Pred::Eq(f(a), f(b)),
+            Pred::Ne(a, b) => Pred::Ne(f(a), f(b)),
+            Pred::Lift { name, args, negated } => Pred::Lift {
+                name: name.clone(),
+                args: args.iter().map(f).collect(),
+                negated: *negated,
+            },
+        }
+    }
+
+    /// Structural size (node count).
+    pub fn size(&self) -> usize {
+        match self {
+            Pred::Eq(a, b) | Pred::Ne(a, b) => 1 + a.size() + b.size(),
+            Pred::Lift { args, .. } => 1 + args.iter().map(Expr::size).sum::<usize>(),
+        }
+    }
+
+    /// See [`Expr::max_var_all`].
+    pub fn max_var_all(&self) -> u32 {
+        match self {
+            Pred::Eq(a, b) | Pred::Ne(a, b) => a.max_var_all().max(b.max_var_all()),
+            Pred::Lift { args, .. } => args.iter().map(Expr::max_var_all).max().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::Eq(a, b) => write!(f, "[{a} = {b}]"),
+            Pred::Ne(a, b) => write!(f, "[{a} ≠ {b}]"),
+            Pred::Lift { name, args, negated } => {
+                if *negated {
+                    write!(f, "[¬{name}(")?;
+                } else {
+                    write!(f, "[{name}(")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_vars_are_distinct() {
+        let mut g = VarGen::new();
+        let a = g.fresh();
+        let b = g.fresh();
+        assert_ne!(a, b);
+        g.reserve(VarId(100));
+        assert_eq!(g.fresh(), VarId(101));
+    }
+
+    #[test]
+    fn subst_replaces_and_projects_records() {
+        let v = VarId(0);
+        let e = Expr::var_attr(v, "a");
+        let rec = Expr::record(vec![("a".into(), Expr::int(7)), ("b".into(), Expr::int(9))]);
+        assert_eq!(e.subst(v, &rec), Expr::int(7));
+    }
+
+    #[test]
+    fn subst_leaves_other_vars() {
+        let e = Expr::var_attr(VarId(1), "a");
+        assert_eq!(e.subst(VarId(0), &Expr::int(3)), e);
+    }
+
+    #[test]
+    fn contains_var_sees_through_nesting() {
+        let e = Expr::app("f", vec![Expr::var_attr(VarId(3), "x")]);
+        assert!(e.contains_var(VarId(3)));
+        assert!(!e.contains_var(VarId(4)));
+    }
+
+    #[test]
+    fn pred_negation_round_trips() {
+        let p = Pred::lift("gte", vec![Expr::var_attr(VarId(0), "a"), Expr::int(12)]);
+        assert_eq!(p.negate().negate(), p);
+        let q = Pred::eq(Expr::int(1), Expr::int(2));
+        assert_eq!(q.negate(), Pred::ne(Expr::int(1), Expr::int(2)));
+    }
+
+    #[test]
+    fn orientation_is_canonical() {
+        let a = Expr::var_attr(VarId(1), "a");
+        let b = Expr::var_attr(VarId(0), "b");
+        let p1 = Pred::eq(a.clone(), b.clone()).oriented();
+        let p2 = Pred::eq(b, a).oriented();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn trivial_predicates() {
+        let e = Expr::var_attr(VarId(0), "a");
+        assert!(Pred::eq(e.clone(), e.clone()).is_trivially_true());
+        assert!(Pred::ne(e.clone(), e.clone()).is_trivially_false());
+        assert!(!Pred::eq(e.clone(), Expr::int(1)).is_trivially_true());
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let e = Expr::app("f", vec![Expr::var_attr(VarId(0), "a"), Expr::int(1)]);
+        assert_eq!(e.size(), 4); // f + (attr + var) + const
+    }
+}

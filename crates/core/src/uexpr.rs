@@ -1,0 +1,299 @@
+//! U-expressions: the syntax of U-semiring values (Def 3.1 / 3.2).
+//!
+//! A SQL query `q` denotes a function `Tuple(σ) → U`; we represent the body
+//! `JqK(t)` as a [`UExpr`] with the output tuple variable `t` free. The
+//! grammar mirrors the paper exactly:
+//!
+//! ```text
+//! E ::= 0 | 1 | E + E | E × E | [b] | R(e) | ‖E‖ | not(E) | Σ_{t:σ} E
+//! ```
+
+use crate::expr::{Expr, Pred, VarId};
+use crate::schema::{RelId, SchemaId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A U-expression. See module docs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UExpr {
+    /// Additive identity `0`.
+    Zero,
+    /// Multiplicative identity `1`.
+    One,
+    /// `E₁ + E₂` (bag union).
+    Add(Box<UExpr>, Box<UExpr>),
+    /// `E₁ × E₂` (join).
+    Mul(Box<UExpr>, Box<UExpr>),
+    /// `[b]` — a predicate lifted into the semiring, axiom (11).
+    Pred(Pred),
+    /// `R(e)` — multiplicity of tuple `e` in base relation `R`.
+    Rel(RelId, Expr),
+    /// `‖E‖` — squash, axioms (1)–(6); models `DISTINCT`/`EXISTS`.
+    Squash(Box<UExpr>),
+    /// `not(E)` — models `NOT EXISTS` / `EXCEPT`.
+    Not(Box<UExpr>),
+    /// `Σ_{t:Tuple(σ)} E` — unbounded summation, axioms (7)–(10); models
+    /// projection and `FROM`.
+    Sum(VarId, SchemaId, Box<UExpr>),
+}
+
+impl UExpr {
+    /// The constant `0`.
+    pub fn zero() -> UExpr {
+        UExpr::Zero
+    }
+
+    /// The constant `1`.
+    pub fn one() -> UExpr {
+        UExpr::One
+    }
+
+    /// `a + b`.
+    pub fn add(a: UExpr, b: UExpr) -> UExpr {
+        UExpr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// `a × b`.
+    pub fn mul(a: UExpr, b: UExpr) -> UExpr {
+        UExpr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// Product of many factors; empty product is `1`.
+    pub fn product(factors: impl IntoIterator<Item = UExpr>) -> UExpr {
+        let mut it = factors.into_iter();
+        match it.next() {
+            None => UExpr::One,
+            Some(first) => it.fold(first, UExpr::mul),
+        }
+    }
+
+    /// Sum of many terms; empty sum is `0`.
+    pub fn sum_of(terms: impl IntoIterator<Item = UExpr>) -> UExpr {
+        let mut it = terms.into_iter();
+        match it.next() {
+            None => UExpr::Zero,
+            Some(first) => it.fold(first, UExpr::add),
+        }
+    }
+
+    /// The predicate factor `[p]`.
+    pub fn pred(p: Pred) -> UExpr {
+        UExpr::Pred(p)
+    }
+
+    /// The equality factor `[a = b]`.
+    pub fn eq(a: Expr, b: Expr) -> UExpr {
+        UExpr::Pred(Pred::Eq(a, b))
+    }
+
+    /// The relation atom `R(e)`.
+    pub fn rel(r: RelId, e: Expr) -> UExpr {
+        UExpr::Rel(r, e)
+    }
+
+    /// `‖e‖`.
+    pub fn squash(e: UExpr) -> UExpr {
+        UExpr::Squash(Box::new(e))
+    }
+
+    /// `not(e)`.
+    pub fn not(e: UExpr) -> UExpr {
+        UExpr::Not(Box::new(e))
+    }
+
+    /// `Σ_{v:Tuple(schema)} body`.
+    pub fn sum(v: VarId, schema: SchemaId, body: UExpr) -> UExpr {
+        UExpr::Sum(v, schema, Box::new(body))
+    }
+
+    /// Nested summation over several variables.
+    pub fn sum_over(vars: impl IntoIterator<Item = (VarId, SchemaId)>, body: UExpr) -> UExpr {
+        let vars: Vec<_> = vars.into_iter().collect();
+        vars.into_iter().rev().fold(body, |acc, (v, s)| UExpr::sum(v, s, acc))
+    }
+
+    /// Free tuple variables (summation binds).
+    pub fn free_vars(&self) -> BTreeSet<VarId> {
+        let mut out = BTreeSet::new();
+        self.collect_free_vars(&mut out);
+        out
+    }
+
+    fn collect_free_vars(&self, out: &mut BTreeSet<VarId>) {
+        match self {
+            UExpr::Zero | UExpr::One => {}
+            UExpr::Add(a, b) | UExpr::Mul(a, b) => {
+                a.collect_free_vars(out);
+                b.collect_free_vars(out);
+            }
+            UExpr::Pred(p) => p.collect_vars(out),
+            UExpr::Rel(_, e) => e.collect_vars(out),
+            UExpr::Squash(e) | UExpr::Not(e) => e.collect_free_vars(out),
+            UExpr::Sum(v, _, body) => {
+                let mut inner = BTreeSet::new();
+                body.collect_free_vars(&mut inner);
+                inner.remove(v);
+                out.extend(inner);
+            }
+        }
+    }
+
+    /// Substitute free variables. `lookup` must not return expressions
+    /// containing variables that are bound here (callers use globally fresh
+    /// ids, so capture cannot occur).
+    pub fn subst_map(&self, lookup: &dyn Fn(VarId) -> Option<Expr>) -> UExpr {
+        match self {
+            UExpr::Zero => UExpr::Zero,
+            UExpr::One => UExpr::One,
+            UExpr::Add(a, b) => UExpr::add(a.subst_map(lookup), b.subst_map(lookup)),
+            UExpr::Mul(a, b) => UExpr::mul(a.subst_map(lookup), b.subst_map(lookup)),
+            UExpr::Pred(p) => UExpr::Pred(p.subst_map(lookup)),
+            UExpr::Rel(r, e) => UExpr::Rel(*r, e.subst_map(lookup)),
+            UExpr::Squash(e) => UExpr::squash(e.subst_map(lookup)),
+            UExpr::Not(e) => UExpr::not(e.subst_map(lookup)),
+            UExpr::Sum(v, s, body) => {
+                // Shadow the bound variable.
+                let v = *v;
+                let inner = body.subst_map(&move |w| if w == v { None } else { lookup(w) });
+                UExpr::sum(v, *s, inner)
+            }
+        }
+    }
+
+    /// Substitute a single free variable.
+    pub fn subst(&self, v: VarId, e: &Expr) -> UExpr {
+        self.subst_map(&|w| if w == v { Some(e.clone()) } else { None })
+    }
+
+    /// Apply `f` to every operand expression (predicate operands and
+    /// relation-atom arguments), recursively.
+    pub fn map_exprs(&self, f: &dyn Fn(&Expr) -> Expr) -> UExpr {
+        match self {
+            UExpr::Zero => UExpr::Zero,
+            UExpr::One => UExpr::One,
+            UExpr::Add(a, b) => UExpr::add(a.map_exprs(f), b.map_exprs(f)),
+            UExpr::Mul(a, b) => UExpr::mul(a.map_exprs(f), b.map_exprs(f)),
+            UExpr::Pred(p) => UExpr::Pred(p.map_exprs(f)),
+            UExpr::Rel(r, e) => UExpr::Rel(*r, f(e)),
+            UExpr::Squash(e) => UExpr::squash(e.map_exprs(f)),
+            UExpr::Not(e) => UExpr::not(e.map_exprs(f)),
+            UExpr::Sum(v, s, body) => UExpr::sum(*v, *s, body.map_exprs(f)),
+        }
+    }
+
+    /// Structural size (node count), the metric for the SPNF-growth
+    /// experiment (Sec 6.3).
+    pub fn size(&self) -> usize {
+        match self {
+            UExpr::Zero | UExpr::One => 1,
+            UExpr::Add(a, b) | UExpr::Mul(a, b) => 1 + a.size() + b.size(),
+            UExpr::Pred(p) => p.size(),
+            UExpr::Rel(_, e) => 1 + e.size(),
+            UExpr::Squash(e) | UExpr::Not(e) => 1 + e.size(),
+            UExpr::Sum(_, _, body) => 1 + body.size(),
+        }
+    }
+
+    /// Largest variable id mentioned anywhere — bound or free, *including*
+    /// binders inside aggregate bodies — used to seed fresh-variable
+    /// generators so no binder is ever re-issued.
+    pub fn max_var(&self) -> u32 {
+        match self {
+            UExpr::Zero | UExpr::One => 0,
+            UExpr::Add(a, b) | UExpr::Mul(a, b) => a.max_var().max(b.max_var()),
+            UExpr::Pred(p) => p.max_var_all(),
+            UExpr::Rel(_, e) => e.max_var_all(),
+            UExpr::Squash(e) | UExpr::Not(e) => e.max_var(),
+            UExpr::Sum(v, _, body) => v.0.max(body.max_var()),
+        }
+    }
+}
+
+impl fmt::Display for UExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UExpr::Zero => write!(f, "0"),
+            UExpr::One => write!(f, "1"),
+            UExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            UExpr::Mul(a, b) => write!(f, "{a} × {b}"),
+            UExpr::Pred(p) => write!(f, "{p}"),
+            UExpr::Rel(r, e) => write!(f, "R{}({e})", r.0),
+            UExpr::Squash(e) => write!(f, "‖{e}‖"),
+            UExpr::Not(e) => write!(f, "not({e})"),
+            UExpr::Sum(v, s, body) => write!(f, "Σ_{{{v}:σ{}}} {body}", s.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Pred, VarId};
+    use crate::schema::{RelId, SchemaId};
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn product_and_sum_identities() {
+        assert_eq!(UExpr::product(vec![]), UExpr::One);
+        assert_eq!(UExpr::sum_of(vec![]), UExpr::Zero);
+        let e = UExpr::product(vec![UExpr::One, UExpr::Zero]);
+        assert_eq!(e, UExpr::mul(UExpr::One, UExpr::Zero));
+    }
+
+    #[test]
+    fn free_vars_respect_binding() {
+        // Σ_{t0} R(t0) × [t0.a = t1.a] : only t1 free.
+        let body = UExpr::mul(
+            UExpr::rel(RelId(0), Expr::Var(v(0))),
+            UExpr::eq(Expr::var_attr(v(0), "a"), Expr::var_attr(v(1), "a")),
+        );
+        let e = UExpr::sum(v(0), SchemaId(0), body);
+        let fv = e.free_vars();
+        assert!(fv.contains(&v(1)));
+        assert!(!fv.contains(&v(0)));
+    }
+
+    #[test]
+    fn subst_shadows_bound_vars() {
+        let body = UExpr::eq(Expr::var_attr(v(0), "a"), Expr::var_attr(v(1), "a"));
+        let e = UExpr::sum(v(0), SchemaId(0), body.clone());
+        // substituting t0 does nothing (bound), substituting t1 works
+        assert_eq!(e.subst(v(0), &Expr::int(5)), e);
+        let rec = Expr::record(vec![("a".into(), Expr::int(5))]);
+        let e2 = e.subst(v(1), &rec);
+        match e2 {
+            UExpr::Sum(_, _, inner) => match *inner {
+                UExpr::Pred(Pred::Eq(_, rhs)) => assert_eq!(rhs, Expr::int(5)),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sum_over_nests_in_order() {
+        let e = UExpr::sum_over(vec![(v(0), SchemaId(0)), (v(1), SchemaId(1))], UExpr::One);
+        match e {
+            UExpr::Sum(v0, _, inner) => {
+                assert_eq!(v0, v(0));
+                assert!(matches!(*inner, UExpr::Sum(v1, _, _) if v1 == v(1)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn size_is_structural() {
+        let e = UExpr::add(UExpr::One, UExpr::mul(UExpr::One, UExpr::Zero));
+        assert_eq!(e.size(), 5);
+    }
+
+    #[test]
+    fn max_var_covers_binders() {
+        let e = UExpr::sum(v(7), SchemaId(0), UExpr::One);
+        assert_eq!(e.max_var(), 7);
+    }
+}

@@ -1,0 +1,380 @@
+//! Brute-force oracles for the decision-procedure building blocks.
+//!
+//! Each component is checked against an exhaustive reference implementation
+//! on small random inputs:
+//!
+//! * congruence closure vs. a fixpoint closure over a subterm-closed finite
+//!   universe;
+//! * homomorphism search vs. enumeration of all variable mappings
+//!   (completeness) and Boolean-model containment (soundness);
+//! * isomorphism search vs. ℕ-model equality (soundness);
+//! * term minimization vs. squash-semantics preservation and idempotence.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use udp_core::budget::Budget;
+use udp_core::congruence::Congruence;
+use udp_core::ctx::Ctx;
+use udp_core::expr::{Expr, Pred, VarGen, VarId};
+use udp_core::hom::{match_terms, MatchMode};
+use udp_core::interp::{DomainSpec, Interp};
+use udp_core::minimize::minimize_term;
+use udp_core::proof::random_model;
+use udp_core::schema::{Catalog, RelId, Schema, SchemaId, Ty};
+use udp_core::semiring::{Bools, USemiring};
+use udp_core::spnf::{Atom, Term};
+use udp_core::uexpr::UExpr;
+
+fn catalog() -> (Catalog, SchemaId, RelId, RelId) {
+    let mut cat = Catalog::new();
+    let sid = cat
+        .add_schema(Schema::new("s", vec![("k".into(), Ty::Int), ("a".into(), Ty::Int)], false))
+        .unwrap();
+    let r = cat.add_relation("R", sid).unwrap();
+    let s = cat.add_relation("S", sid).unwrap();
+    (cat, sid, r, s)
+}
+
+// ---------------------------------------------------------------- congruence
+
+/// The ground-term universe for the congruence oracle: variables, their
+/// attribute projections, constants, and unary applications — subterm-closed
+/// by construction.
+fn universe() -> Vec<Expr> {
+    let mut terms = Vec::new();
+    for v in 0..3u32 {
+        terms.push(Expr::Var(VarId(v)));
+        for a in ["k", "a"] {
+            terms.push(Expr::var_attr(VarId(v), a));
+            terms.push(Expr::App("f".into(), vec![Expr::var_attr(VarId(v), a)]));
+        }
+    }
+    for c in 0..2i64 {
+        terms.push(Expr::int(c));
+        terms.push(Expr::App("f".into(), vec![Expr::int(c)]));
+    }
+    terms
+}
+
+/// Reference closure: reflexive-symmetric-transitive closure of the asserted
+/// pairs, plus one-step congruence over the universe (`x ≈ y ⇒ f(x) ≈ f(y)`
+/// and `x ≈ y ⇒ x.a ≈ y.a`), iterated to fixpoint.
+fn bruteforce_closure(uni: &[Expr], asserted: &[(usize, usize)]) -> Vec<Vec<bool>> {
+    let n = uni.len();
+    let mut eq = vec![vec![false; n]; n];
+    for (i, row) in eq.iter_mut().enumerate() {
+        row[i] = true;
+    }
+    for &(i, j) in asserted {
+        eq[i][j] = true;
+        eq[j][i] = true;
+    }
+    let idx = |e: &Expr| uni.iter().position(|u| u == e);
+    loop {
+        let mut changed = false;
+        // transitivity
+        for i in 0..n {
+            for j in 0..n {
+                if !eq[i][j] {
+                    continue;
+                }
+                for k in 0..n {
+                    if eq[j][k] && !eq[i][k] {
+                        eq[i][k] = true;
+                        eq[k][i] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // congruence over f(·) and ·.attr
+        for i in 0..n {
+            for j in 0..n {
+                if !eq[i][j] {
+                    continue;
+                }
+                let lifted = |wrap: &dyn Fn(Expr) -> Expr| {
+                    let (a, b) = (wrap(uni[i].clone()), wrap(uni[j].clone()));
+                    match (idx(&a), idx(&b)) {
+                        (Some(x), Some(y)) => Some((x, y)),
+                        _ => None,
+                    }
+                };
+                let candidates = [
+                    lifted(&|e| Expr::App("f".into(), vec![e])),
+                    lifted(&|e| Expr::Attr(Box::new(e), "k".into())),
+                    lifted(&|e| Expr::Attr(Box::new(e), "a".into())),
+                ];
+                for c in candidates.into_iter().flatten() {
+                    if !eq[c.0][c.1] {
+                        eq[c.0][c.1] = true;
+                        eq[c.1][c.0] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return eq;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The Nelson–Oppen engine agrees with the brute-force closure on every
+    /// pair of universe terms.
+    #[test]
+    fn congruence_matches_bruteforce(pairs in proptest::collection::vec((0usize..22, 0usize..22), 0..6)) {
+        let uni = universe();
+        let pairs: Vec<(usize, usize)> =
+            pairs.into_iter().map(|(i, j)| (i % uni.len(), j % uni.len())).collect();
+        let oracle = bruteforce_closure(&uni, &pairs);
+        let mut cc = Congruence::new();
+        for &(i, j) in &pairs {
+            cc.assert_eq(&uni[i], &uni[j]);
+        }
+        for i in 0..uni.len() {
+            for j in 0..uni.len() {
+                let got = cc.same(&uni[i], &uni[j]);
+                // The engine may know MORE than the finite-universe oracle
+                // (e.g. via terms outside the universe), but ground
+                // congruence closure needs only subterms, so on this
+                // subterm-closed universe they must agree exactly.
+                prop_assert_eq!(
+                    got, oracle[i][j],
+                    "congruence disagrees on {} ≈ {} (asserted {:?})",
+                    &uni[i], &uni[j], &pairs
+                );
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------------- terms
+
+/// A small random conjunctive-query term: bound variables `v1..=vn`, atoms
+/// with variable arguments, equality predicates over attributes. `VarId(0)`
+/// is the free output variable.
+fn random_cq_term(bytes: &[u8], sid: SchemaId, rels: [RelId; 2]) -> Term {
+    let mut pos = 0usize;
+    let mut take = || {
+        let b = bytes.get(pos).copied().unwrap_or(0);
+        pos += 1;
+        b
+    };
+    let nvars = 1 + (take() % 3) as u32;
+    let vars: Vec<VarId> = (1..=nvars).map(VarId).collect();
+    let mut t = Term::one();
+    t.vars = vars.iter().map(|v| (*v, sid)).collect();
+    let pick = |b: u8| -> VarId {
+        let all: Vec<VarId> = std::iter::once(VarId(0)).chain(vars.iter().copied()).collect();
+        all[b as usize % all.len()]
+    };
+    let natoms = 1 + (take() % 3);
+    for _ in 0..natoms {
+        let rel = rels[(take() % 2) as usize];
+        t.atoms.push(Atom::new(rel, Expr::Var(pick(take()))));
+    }
+    let npreds = take() % 3;
+    for _ in 0..npreds {
+        let v1 = pick(take());
+        let a1 = if take() % 2 == 0 { "k" } else { "a" };
+        if take() % 2 == 0 {
+            let v2 = pick(take());
+            let a2 = if take() % 2 == 0 { "k" } else { "a" };
+            t.preds.push(Pred::eq(Expr::var_attr(v1, a1), Expr::var_attr(v2, a2)));
+        } else {
+            t.preds.push(Pred::eq(Expr::var_attr(v1, a1), Expr::int((take() % 2) as i64)));
+        }
+    }
+    t
+}
+
+/// Brute-force homomorphism existence: try every mapping of the pattern's
+/// bound variables to the target's bound variables (or the shared output
+/// variable) and check syntactic atom membership + predicate membership.
+fn bruteforce_hom_exists(pattern: &Term, target: &Term) -> bool {
+    let pvars: Vec<VarId> = pattern.vars.iter().map(|(v, _)| *v).collect();
+    let tvars: Vec<VarId> =
+        std::iter::once(VarId(0)).chain(target.vars.iter().map(|(v, _)| *v)).collect();
+    let target_preds: BTreeSet<Pred> = target.preds.iter().map(|p| p.clone().oriented()).collect();
+    let target_atoms: BTreeSet<(RelId, Expr)> =
+        target.atoms.iter().map(|a| (a.rel, a.arg.clone())).collect();
+    let mut assignment = vec![0usize; pvars.len()];
+    loop {
+        let lookup: BTreeMap<VarId, VarId> =
+            pvars.iter().zip(&assignment).map(|(v, i)| (*v, tvars[*i])).collect();
+        let map = |w: VarId| lookup.get(&w).map(|nv| Expr::Var(*nv));
+        let atoms_ok = pattern.atoms.iter().all(|a| {
+            let arg = a.arg.subst_map(&map);
+            target_atoms.contains(&(a.rel, arg))
+        });
+        let preds_ok = pattern.preds.iter().all(|p| {
+            let q = p.subst_map(&map).oriented();
+            q.is_trivially_true() || target_preds.contains(&q)
+        });
+        if atoms_ok && preds_ok {
+            return true;
+        }
+        // next assignment
+        let mut i = 0;
+        loop {
+            if i == assignment.len() {
+                return false;
+            }
+            assignment[i] += 1;
+            if assignment[i] < tvars.len() {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Evaluate a term's body (with binders) under a model, for each candidate
+/// output tuple.
+fn eval_term<S: USemiring + std::hash::Hash>(
+    interp: &Interp<S>,
+    sid: SchemaId,
+    t: &Term,
+) -> Vec<S> {
+    let domain = interp.domains.get(&sid).cloned().unwrap_or_default();
+    domain
+        .iter()
+        .map(|out| {
+            let env = BTreeMap::from([(VarId(0), out.clone())]);
+            interp.eval_uexpr(&t.to_uexpr(), &env)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Completeness of the guided search: whenever the brute-force
+    /// enumeration finds a variable-to-variable homomorphism, `match_terms`
+    /// must find one too (its search space is a superset).
+    #[test]
+    fn hom_search_finds_every_bruteforce_witness(
+        b1 in proptest::collection::vec(any::<u8>(), 8..24),
+        b2 in proptest::collection::vec(any::<u8>(), 8..24),
+    ) {
+        let (cat, sid, r, s) = catalog();
+        let cs = udp_core::constraints::ConstraintSet::new();
+        let pattern = random_cq_term(&b1, sid, [r, s]);
+        let target = random_cq_term(&b2, sid, [r, s]);
+        if bruteforce_hom_exists(&pattern, &target) {
+            let mut ctx = Ctx::new(&cat, &cs).with_budget(Budget::steps(2_000_000));
+            ctx.gen.reserve(VarId(64));
+            ctx.declare_free(VarId(0), sid);
+            let found = match_terms(&mut ctx, &pattern, &target, MatchMode::Hom, &[])
+                .unwrap_or(None);
+            prop_assert!(
+                found.is_some(),
+                "brute force finds a hom but match_terms does not:\n  pattern {}\n  target {}",
+                pattern, target
+            );
+        }
+    }
+
+    /// Soundness of homomorphisms: a hom pattern → target witnesses the
+    /// set-semantics containment target ⊆ pattern. In the Boolean model,
+    /// wherever the target is non-zero the pattern must be too.
+    #[test]
+    fn hom_witnesses_boolean_containment(
+        b1 in proptest::collection::vec(any::<u8>(), 8..24),
+        b2 in proptest::collection::vec(any::<u8>(), 8..24),
+        fill in 0u8..255,
+    ) {
+        let (cat, sid, r, s) = catalog();
+        let cs = udp_core::constraints::ConstraintSet::new();
+        let pattern = random_cq_term(&b1, sid, [r, s]);
+        let target = random_cq_term(&b2, sid, [r, s]);
+        let mut ctx = Ctx::new(&cat, &cs).with_budget(Budget::steps(2_000_000));
+        ctx.gen.reserve(VarId(64));
+        ctx.declare_free(VarId(0), sid);
+        let Ok(Some(_)) = match_terms(&mut ctx, &pattern, &target, MatchMode::Hom, &[]) else {
+            return Ok(());
+        };
+        let spec = DomainSpec { ints: vec![0, 1], strs: vec![] };
+        let mut interp: Interp<Bools> = Interp::new(&cat, &spec);
+        let domain = interp.domains.get(&sid).cloned().unwrap_or_default();
+        let rows = |offset: u8| {
+            domain
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (fill.wrapping_add(offset) >> (i % 8)) & 1 == 1)
+                .map(|(_, t)| (t.clone(), Bools(true)))
+                .collect::<Vec<_>>()
+        };
+        interp.set_relation(r, rows(0));
+        interp.set_relation(s, rows(3));
+        let pv = eval_term(&interp, sid, &pattern);
+        let tv = eval_term(&interp, sid, &target);
+        for (p, t) in pv.iter().zip(&tv) {
+            prop_assert!(
+                !(t.0 && !p.0),
+                "hom exists but containment fails:\n  pattern {}\n  target {}",
+                pattern, target
+            );
+        }
+    }
+
+    /// Soundness of isomorphisms: if `match_terms` reports an isomorphism,
+    /// the two terms denote the same ℕ-valued function.
+    #[test]
+    fn iso_witnesses_nat_equality(
+        b1 in proptest::collection::vec(any::<u8>(), 8..24),
+        b2 in proptest::collection::vec(any::<u8>(), 8..24),
+        seed in 0u64..500,
+    ) {
+        let (cat, sid, r, s) = catalog();
+        let cs = udp_core::constraints::ConstraintSet::new();
+        let t1 = random_cq_term(&b1, sid, [r, s]);
+        let t2 = random_cq_term(&b2, sid, [r, s]);
+        let mut ctx = Ctx::new(&cat, &cs).with_budget(Budget::steps(2_000_000));
+        ctx.gen.reserve(VarId(64));
+        let Ok(Some(_)) = match_terms(&mut ctx, &t1, &t2, MatchMode::Iso, &[]) else {
+            return Ok(());
+        };
+        let interp = random_model(&cat, &cs, &DomainSpec { ints: vec![0, 1], strs: vec![] }, seed);
+        let v1 = eval_term(&interp, sid, &t1);
+        let v2 = eval_term(&interp, sid, &t2);
+        prop_assert_eq!(v1, v2, "iso reported for ℕ-inequal terms:\n  {}\n  {}", t1, t2);
+    }
+
+    /// Minimization (SDP's `minimize`) is idempotent and preserves the
+    /// squash semantics `‖t‖` on random models.
+    #[test]
+    fn minimize_is_idempotent_and_squash_preserving(
+        bytes in proptest::collection::vec(any::<u8>(), 8..24),
+        seed in 0u64..500,
+    ) {
+        let (cat, sid, r, s) = catalog();
+        let cs = udp_core::constraints::ConstraintSet::new();
+        let t = random_cq_term(&bytes, sid, [r, s]);
+        let mut ctx = Ctx::new(&cat, &cs).with_budget(Budget::steps(2_000_000));
+        ctx.gen.reserve(VarId(64));
+        let Ok(m1) = minimize_term(&mut ctx, t.clone(), &[]) else { return Ok(()) };
+        let Ok(m2) = minimize_term(&mut ctx, m1.clone(), &[]) else { return Ok(()) };
+        prop_assert_eq!(&m1, &m2, "minimize not idempotent on {}", t);
+        let interp = random_model(&cat, &cs, &DomainSpec { ints: vec![0, 1], strs: vec![] }, seed);
+        let squash = |term: &Term| {
+            let domain = interp.domains.get(&sid).cloned().unwrap_or_default();
+            domain
+                .iter()
+                .map(|out| {
+                    let env = BTreeMap::from([(VarId(0), out.clone())]);
+                    interp.eval_uexpr(&UExpr::squash(term.to_uexpr()), &env)
+                })
+                .collect::<Vec<udp_core::semiring::Nat>>()
+        };
+        prop_assert_eq!(
+            squash(&t), squash(&m1),
+            "minimize changed ‖t‖ for {}", t
+        );
+    }
+}

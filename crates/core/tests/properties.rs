@@ -1,0 +1,333 @@
+//! Property-based tests of the rewrite system.
+//!
+//! Random U-expressions are built from a fuzz-style byte decoder (bounded
+//! depth, well-scoped binders) over a two-relation catalog, then:
+//!
+//! * SPNF conversion must preserve the interpreted value over ℕ and ℕ̄;
+//! * canonization must preserve it on constraint-satisfying models;
+//! * queries proved equal by UDP must evaluate identically;
+//! * alpha-renamed, factor-shuffled clones must always be proved equal.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use udp_core::budget::Budget;
+use udp_core::canonize::canonize_nf;
+use udp_core::constraints::ConstraintSet;
+use udp_core::ctx::Ctx;
+use udp_core::equiv::udp_equiv;
+use udp_core::expr::{Expr, Pred, VarGen, VarId};
+use udp_core::interp::{DomainSpec, Interp};
+use udp_core::proof::random_model;
+use udp_core::schema::{Catalog, RelId, Schema, SchemaId, Ty};
+use udp_core::semiring::{BoolProv, Fuzzy, NatInf, USemiring};
+use udp_core::spnf::normalize_with;
+use udp_core::uexpr::UExpr;
+
+fn catalog() -> (Catalog, SchemaId, RelId, RelId) {
+    let mut cat = Catalog::new();
+    let sid = cat
+        .add_schema(Schema::new(
+            "s",
+            vec![("k".into(), Ty::Int), ("a".into(), Ty::Int)],
+            false,
+        ))
+        .unwrap();
+    let r = cat.add_relation("R", sid).unwrap();
+    let s = cat.add_relation("S", sid).unwrap();
+    (cat, sid, r, s)
+}
+
+/// Byte-stream decoder for random, well-scoped U-expressions. The free
+/// variable `VarId(0)` plays the output tuple.
+struct Builder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    next_var: u32,
+    sid: SchemaId,
+    rels: [RelId; 2],
+}
+
+impl<'a> Builder<'a> {
+    fn take(&mut self) -> u8 {
+        let b = self.bytes.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    fn var(&mut self, bound: &[VarId]) -> VarId {
+        if bound.is_empty() {
+            VarId(0)
+        } else {
+            let i = self.take() as usize % (bound.len() + 1);
+            if i == 0 {
+                VarId(0)
+            } else {
+                bound[i - 1]
+            }
+        }
+    }
+
+    fn attr(&mut self) -> &'static str {
+        if self.take() % 2 == 0 {
+            "k"
+        } else {
+            "a"
+        }
+    }
+
+    fn pred(&mut self, bound: &[VarId]) -> Pred {
+        let v1 = self.var(bound);
+        let a1 = self.attr();
+        match self.take() % 3 {
+            0 => Pred::eq(Expr::var_attr(v1, a1), Expr::int((self.take() % 3) as i64)),
+            1 => {
+                let v2 = self.var(bound);
+                let a2 = self.attr();
+                Pred::eq(Expr::var_attr(v1, a1), Expr::var_attr(v2, a2))
+            }
+            _ => Pred::lift("p", vec![Expr::var_attr(v1, a1)]),
+        }
+    }
+
+    fn build(&mut self, depth: u8, bound: &mut Vec<VarId>) -> UExpr {
+        let choice = self.take();
+        if depth == 0 {
+            return match choice % 4 {
+                0 => UExpr::One,
+                1 => UExpr::Pred(self.pred(bound)),
+                2 => {
+                    let rel = self.rels[(choice / 4) as usize % 2];
+                    let v = self.var(bound);
+                    UExpr::rel(rel, Expr::Var(v))
+                }
+                _ => UExpr::Zero,
+            };
+        }
+        match choice % 8 {
+            0 => UExpr::add(self.build(depth - 1, bound), self.build(depth - 1, bound)),
+            1 | 2 => UExpr::mul(self.build(depth - 1, bound), self.build(depth - 1, bound)),
+            3 => UExpr::squash(self.build(depth - 1, bound)),
+            4 => UExpr::not(self.build(depth - 1, bound)),
+            5 | 6 => {
+                self.next_var += 1;
+                let v = VarId(self.next_var);
+                bound.push(v);
+                let body = self.build(depth - 1, bound);
+                bound.pop();
+                UExpr::sum(v, self.sid, body)
+            }
+            _ => {
+                let rel = self.rels[(choice / 8) as usize % 2];
+                let v = self.var(bound);
+                UExpr::mul(
+                    UExpr::rel(rel, Expr::Var(v)),
+                    UExpr::Pred(self.pred(bound)),
+                )
+            }
+        }
+    }
+}
+
+fn random_uexpr(bytes: &[u8], sid: SchemaId, r: RelId, s: RelId) -> UExpr {
+    let mut b = Builder { bytes, pos: 0, next_var: 0, sid, rels: [r, s] };
+    let depth = 2 + (bytes.first().copied().unwrap_or(0) % 2);
+    b.build(depth, &mut Vec::new())
+}
+
+fn eval_both<S: USemiring + std::hash::Hash>(
+    interp: &Interp<S>,
+    sid: SchemaId,
+    e1: &UExpr,
+    e2: &UExpr,
+) -> (Vec<S>, Vec<S>) {
+    let domain = interp.domains.get(&sid).cloned().unwrap_or_default();
+    let evals = |e: &UExpr| {
+        domain
+            .iter()
+            .map(|t| {
+                let env = BTreeMap::from([(VarId(0), t.clone())]);
+                interp.eval_uexpr(e, &env)
+            })
+            .collect::<Vec<S>>()
+    };
+    (evals(e1), evals(e2))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Theorem 3.4, empirically: SPNF conversion preserves the value in ℕ.
+    #[test]
+    fn spnf_preserves_nat_semantics(bytes in proptest::collection::vec(any::<u8>(), 8..40),
+                                    seed in 0u64..1000) {
+        let (cat, sid, r, s) = catalog();
+        let cs = ConstraintSet::new();
+        let e = random_uexpr(&bytes, sid, r, s);
+        let mut gen = VarGen::above(e.max_var() + 1);
+        let nf = normalize_with(&e, &mut gen);
+        let interp = random_model(&cat, &cs, &DomainSpec { ints: vec![0, 1], strs: vec![] }, seed);
+        let (v1, v2) = eval_both(&interp, sid, &e, &nf.to_uexpr());
+        prop_assert_eq!(v1, v2, "SPNF changed the ℕ value of {}", e);
+    }
+
+    /// …and in ℕ̄ (summation domains are finite here, so ℕ̄ agrees with ℕ on
+    /// finite inputs — this exercises the saturating/∞ arithmetic paths).
+    #[test]
+    fn spnf_preserves_natinf_semantics(bytes in proptest::collection::vec(any::<u8>(), 8..40)) {
+        let (cat, sid, r, s) = catalog();
+        let e = random_uexpr(&bytes, sid, r, s);
+        let mut gen = VarGen::above(e.max_var() + 1);
+        let nf = normalize_with(&e, &mut gen);
+        let spec = DomainSpec { ints: vec![0, 1], strs: vec![] };
+        let mut interp: Interp<NatInf> = Interp::new(&cat, &spec);
+        // Seed a relation including an ∞ multiplicity.
+        let domain = interp.domains.get(&sid).cloned().unwrap_or_default();
+        let rows: Vec<(udp_core::interp::Val, NatInf)> = domain
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let m = match i % 3 {
+                    0 => NatInf::Fin(1),
+                    1 => NatInf::Fin(2),
+                    _ => NatInf::Inf,
+                };
+                (t.clone(), m)
+            })
+            .collect();
+        interp.set_relation(r, rows);
+        let (v1, v2) = eval_both(&interp, sid, &e, &nf.to_uexpr());
+        prop_assert_eq!(v1, v2, "SPNF changed the ℕ̄ value of {}", e);
+    }
+
+    /// SPNF is axiom-only, so it must also preserve the value in models the
+    /// paper never evaluates on — here the Boolean provenance algebra B(X):
+    /// normalization cannot change any output row's lineage.
+    #[test]
+    fn spnf_preserves_boolean_provenance(bytes in proptest::collection::vec(any::<u8>(), 8..40)) {
+        let (cat, sid, r, s) = catalog();
+        let e = random_uexpr(&bytes, sid, r, s);
+        let mut gen = VarGen::above(e.max_var() + 1);
+        let nf = normalize_with(&e, &mut gen);
+        let spec = DomainSpec { ints: vec![0, 1], strs: vec![] };
+        let mut interp: Interp<BoolProv> = Interp::new(&cat, &spec);
+        let domain = interp.domains.get(&sid).cloned().unwrap_or_default();
+        let tag = |offset: usize| {
+            domain
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.clone(), BoolProv::var((i + offset) % BoolProv::VARS)))
+                .collect::<Vec<_>>()
+        };
+        interp.set_relation(r, tag(0));
+        interp.set_relation(s, tag(2));
+        let (v1, v2) = eval_both(&interp, sid, &e, &nf.to_uexpr());
+        prop_assert_eq!(v1, v2, "SPNF changed the provenance of {}", e);
+    }
+
+    /// …and in the Gödel fuzzy semiring (membership degrees).
+    #[test]
+    fn spnf_preserves_fuzzy_semantics(bytes in proptest::collection::vec(any::<u8>(), 8..40)) {
+        let (cat, sid, r, s) = catalog();
+        let e = random_uexpr(&bytes, sid, r, s);
+        let mut gen = VarGen::above(e.max_var() + 1);
+        let nf = normalize_with(&e, &mut gen);
+        let spec = DomainSpec { ints: vec![0, 1], strs: vec![] };
+        let mut interp: Interp<Fuzzy> = Interp::new(&cat, &spec);
+        let domain = interp.domains.get(&sid).cloned().unwrap_or_default();
+        let degrees = [0u8, 25, 60, 100];
+        let tag = |offset: usize| {
+            domain
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.clone(), Fuzzy::new(degrees[(i + offset) % degrees.len()])))
+                .collect::<Vec<_>>()
+        };
+        interp.set_relation(r, tag(0));
+        interp.set_relation(s, tag(1));
+        let (v1, v2) = eval_both(&interp, sid, &e, &nf.to_uexpr());
+        prop_assert_eq!(v1, v2, "SPNF changed the fuzzy value of {}", e);
+    }
+
+    /// Algorithm 1, empirically: canonization preserves the value on models
+    /// satisfying the key constraint.
+    #[test]
+    fn canonize_preserves_constrained_semantics(
+        bytes in proptest::collection::vec(any::<u8>(), 8..40),
+        seed in 0u64..1000,
+    ) {
+        let (cat, sid, r, s) = catalog();
+        let mut cs = ConstraintSet::new();
+        cs.add_key(r, vec!["k".into()]);
+        let e = random_uexpr(&bytes, sid, r, s);
+        let mut ctx = Ctx::new(&cat, &cs).with_budget(Budget::new(Some(2_000_000), None));
+        ctx.gen.reserve(VarId(e.max_var() + 1));
+        let nf = normalize_with(&e, &mut ctx.gen);
+        let Ok(canon) = canonize_nf(&mut ctx, nf.clone(), &[], false) else {
+            return Ok(()); // budget exhausted on a pathological sample
+        };
+        let interp =
+            random_model(&cat, &cs, &DomainSpec { ints: vec![0, 1], strs: vec![] }, seed);
+        let (v1, v2) = eval_both(&interp, sid, &nf.to_uexpr(), &canon.to_uexpr());
+        prop_assert_eq!(v1, v2, "canonize changed the value of {}", e);
+    }
+
+    /// Soundness, empirically: whenever UDP proves two random expressions
+    /// equal, their ℕ values agree on constraint-satisfying models.
+    #[test]
+    fn udp_verdicts_are_sound(
+        b1 in proptest::collection::vec(any::<u8>(), 8..32),
+        b2 in proptest::collection::vec(any::<u8>(), 8..32),
+        seed in 0u64..500,
+    ) {
+        let (cat, sid, r, s) = catalog();
+        let mut cs = ConstraintSet::new();
+        cs.add_key(r, vec!["k".into()]);
+        let e1 = random_uexpr(&b1, sid, r, s);
+        let e2 = random_uexpr(&b2, sid, r, s);
+        let mut ctx = Ctx::new(&cat, &cs).with_budget(Budget::new(Some(2_000_000), None));
+        ctx.gen.reserve(VarId(e1.max_var().max(e2.max_var()) + 1));
+        let n1 = normalize_with(&e1, &mut ctx.gen);
+        let n2 = normalize_with(&e2, &mut ctx.gen);
+        let Ok(verdict) = udp_equiv(&mut ctx, &n1, &n2, &[]) else { return Ok(()) };
+        if verdict {
+            let interp =
+                random_model(&cat, &cs, &DomainSpec { ints: vec![0, 1], strs: vec![] }, seed);
+            let (v1, v2) = eval_both(&interp, sid, &e1, &e2);
+            prop_assert_eq!(v1, v2, "UDP proved inequivalent expressions:\n{}\n{}", e1, e2);
+        }
+    }
+
+    /// Completeness on syntactic clones: an alpha-renamed copy must always
+    /// be proved equal.
+    #[test]
+    fn alpha_renamed_clones_always_prove(bytes in proptest::collection::vec(any::<u8>(), 8..40)) {
+        let (cat, sid, r, s) = catalog();
+        let cs = ConstraintSet::new();
+        let e1 = random_uexpr(&bytes, sid, r, s);
+        // Clone with shifted binder ids.
+        let shift = e1.max_var() + 10;
+        let e2 = {
+            fn shift_expr(e: &UExpr, by: u32) -> UExpr {
+                match e {
+                    UExpr::Sum(v, s, body) => {
+                        let nv = VarId(v.0 + by);
+                        let shifted = shift_expr(body, by);
+                        UExpr::sum(nv, *s, shifted.subst(*v, &Expr::Var(nv)))
+                    }
+                    UExpr::Add(a, b) => UExpr::add(shift_expr(a, by), shift_expr(b, by)),
+                    UExpr::Mul(a, b) => UExpr::mul(shift_expr(a, by), shift_expr(b, by)),
+                    UExpr::Squash(a) => UExpr::squash(shift_expr(a, by)),
+                    UExpr::Not(a) => UExpr::not(shift_expr(a, by)),
+                    other => other.clone(),
+                }
+            }
+            shift_expr(&e1, shift)
+        };
+        let mut ctx = Ctx::new(&cat, &cs).with_budget(Budget::new(Some(5_000_000), None));
+        ctx.gen.reserve(VarId(e1.max_var().max(e2.max_var()) + 1));
+        let n1 = normalize_with(&e1, &mut ctx.gen);
+        let n2 = normalize_with(&e2, &mut ctx.gen);
+        let Ok(verdict) = udp_equiv(&mut ctx, &n1, &n2, &[]) else { return Ok(()) };
+        prop_assert!(verdict, "failed to prove an alpha-renamed clone of {}", e1);
+    }
+}

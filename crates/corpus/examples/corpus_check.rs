@@ -1,0 +1,30 @@
+//! Quick corpus sweep: print observed vs expected verdict per rule.
+use udp_core::budget::Budget;
+use udp_core::DecideConfig;
+use udp_corpus::{all_rules, run_rule, Expectation};
+
+fn main() {
+    let mut mismatches = 0;
+    for rule in all_rules() {
+        let budget = if rule.expect == Expectation::Timeout {
+            Budget::steps(300_000)
+        } else {
+            Budget::new(Some(5_000_000), Some(std::time::Duration::from_secs(25)))
+        };
+        let out = run_rule(&rule, DecideConfig { budget: Some(budget), ..Default::default() });
+        let ok = out.observed == rule.expect;
+        if !ok {
+            mismatches += 1;
+        }
+        println!(
+            "{} {:40} expect={:<11} got={:<11} {:?} {}",
+            if ok { "ok  " } else { "FAIL" },
+            rule.name,
+            rule.expect.to_string(),
+            out.observed.to_string(),
+            out.wall,
+            out.detail
+        );
+    }
+    println!("\nmismatches: {mismatches}");
+}

@@ -1,0 +1,138 @@
+//! # udp-sql
+//!
+//! SQL front end for the UDP equivalence prover: lexer, parser, catalog
+//! construction, view/index inlining (GMAP), GROUP BY desugaring, and
+//! lowering to U-expressions — the denotational semantics of the paper's
+//! Appendix C over flat named schemas.
+//!
+//! The typical pipeline:
+//!
+//! ```
+//! use udp_sql::{parse_program, build_frontend, lower_query};
+//! use udp_core::expr::VarGen;
+//!
+//! let program = parse_program(
+//!     "schema s(k:int, a:int);\n\
+//!      table r(s);\n\
+//!      key r(k);\n\
+//!      verify SELECT * FROM r x == SELECT * FROM r y;",
+//! ).unwrap();
+//! let mut fe = build_frontend(&program).unwrap();
+//! let goals = fe.goals.clone();
+//! let mut gen = VarGen::new();
+//! let q1 = lower_query(&mut fe, &mut gen, &goals[0].0).unwrap();
+//! let q2 = lower_query(&mut fe, &mut gen, &goals[0].1).unwrap();
+//! let verdict = udp_core::decide(&fe.catalog, &fe.constraints, &q1, &q2);
+//! assert!(verdict.decision.is_proved());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod desugar;
+pub mod feature;
+pub mod frontend;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod pretty;
+
+pub use frontend::{build_frontend, Frontend, FrontendError};
+pub use lower::{lower_query, LowerError};
+pub use parser::{parse_program, parse_program_with, parse_query, parse_query_with, Dialect, ParseError};
+
+/// One-shot convenience: parse a program (paper dialect), build the catalog,
+/// lower each `verify` goal, and decide it. Returns one [`GoalResult`] per
+/// goal.
+pub fn verify_program(
+    input: &str,
+    config: udp_core::DecideConfig,
+) -> Result<Vec<GoalResult>, VerifyError> {
+    verify_program_with_frontend_in(input, Dialect::Paper, config).map(|(results, _)| results)
+}
+
+/// [`verify_program`] with an explicit [`Dialect`].
+pub fn verify_program_in(
+    input: &str,
+    dialect: Dialect,
+    config: udp_core::DecideConfig,
+) -> Result<Vec<GoalResult>, VerifyError> {
+    verify_program_with_frontend_in(input, dialect, config).map(|(results, _)| results)
+}
+
+/// Like [`verify_program`], but also returns the post-lowering [`Frontend`]
+/// — its catalog includes the anonymous subquery schemas, which proof-trace
+/// replay (`udp_core::proof::check_trace`) needs for summation domains.
+pub fn verify_program_with_frontend(
+    input: &str,
+    config: udp_core::DecideConfig,
+) -> Result<(Vec<GoalResult>, Frontend), VerifyError> {
+    verify_program_with_frontend_in(input, Dialect::Paper, config)
+}
+
+/// [`verify_program_with_frontend`] with an explicit [`Dialect`].
+pub fn verify_program_with_frontend_in(
+    input: &str,
+    dialect: Dialect,
+    config: udp_core::DecideConfig,
+) -> Result<(Vec<GoalResult>, Frontend), VerifyError> {
+    let program = parse_program_with(input, dialect).map_err(VerifyError::Parse)?;
+    let mut fe = build_frontend(&program).map_err(VerifyError::Frontend)?;
+    let goals = fe.goals.clone();
+    let mut results = Vec::with_capacity(goals.len());
+    for (q1, q2) in &goals {
+        let mut gen = udp_core::expr::VarGen::new();
+        let lowered1 = lower_query(&mut fe, &mut gen, q1).map_err(VerifyError::Lower)?;
+        let lowered2 = lower_query(&mut fe, &mut gen, q2).map_err(VerifyError::Lower)?;
+        let verdict = udp_core::decide_with(
+            &fe.catalog,
+            &fe.constraints,
+            &lowered1,
+            &lowered2,
+            config.clone(),
+        );
+        results.push(GoalResult { verdict });
+    }
+    Ok((results, fe))
+}
+
+/// Result of verifying one goal.
+#[derive(Debug, Clone)]
+pub struct GoalResult {
+    /// The decision, stats, and optional trace for this goal.
+    pub verdict: udp_core::Verdict,
+}
+
+/// Errors from [`verify_program`].
+#[derive(Debug)]
+pub enum VerifyError {
+    /// The program failed to parse.
+    Parse(ParseError),
+    /// Catalog/constraint construction failed.
+    Frontend(FrontendError),
+    /// Lowering to U-expressions failed.
+    Lower(LowerError),
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Parse(e) => write!(f, "{e}"),
+            VerifyError::Frontend(e) => write!(f, "{e}"),
+            VerifyError::Lower(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl VerifyError {
+    /// The unsupported feature, if this failure is a feature-based
+    /// rejection (Fig 5 bucketing).
+    pub fn unsupported_feature(&self) -> Option<feature::Feature> {
+        match self {
+            VerifyError::Parse(e) => e.unsupported_feature(),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Fuzz-style robustness tests: the front end must never panic, in either
+//! dialect, on arbitrary input — it returns a structured error instead. When
+//! a fuzzed input *does* parse, the pretty-printer must render it back to
+//! something that re-parses to the same AST (printer totality).
+
+use proptest::prelude::*;
+use udp_sql::parser::{parse_program_with, parse_query_with, Dialect};
+use udp_sql::pretty::query_to_sql;
+
+/// SQL-ish vocabulary: random sentences over these tokens reach far deeper
+/// into the parser than raw character noise.
+const VOCAB: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "DISTINCT", "AS", "AND", "OR", "NOT",
+    "EXISTS", "IN", "BETWEEN", "UNION", "ALL", "EXCEPT", "INTERSECT", "JOIN", "ON", "INNER",
+    "CROSS", "NATURAL", "CASE", "WHEN", "THEN", "ELSE", "END", "VALUES", "TRUE", "FALSE",
+    "CAST", "COUNT", "SUM", "MIN", "verify", "schema", "table", "key", "foreign", "references",
+    "view", "index", "*", "(", ")", ",", ";", ".", "=", "<>", "<", "<=", ">", ">=", "+", "-",
+    "/", "==", "??", ":", "r", "s", "x", "y", "a", "b", "k", "1", "42", "'str'", "int",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Arbitrary character soup: no panics, ever.
+    #[test]
+    fn arbitrary_strings_never_panic(input in ".{0,200}") {
+        let _ = parse_program_with(&input, Dialect::Paper);
+        let _ = parse_program_with(&input, Dialect::Extended);
+        let _ = parse_query_with(&input, Dialect::Paper);
+        let _ = parse_query_with(&input, Dialect::Extended);
+    }
+
+    /// Token soup over the SQL vocabulary: no panics, and any accepted query
+    /// round-trips through the pretty-printer.
+    #[test]
+    fn token_soup_never_panics_and_round_trips(
+        words in proptest::collection::vec(0usize..VOCAB.len(), 0..40),
+    ) {
+        let input: String =
+            words.iter().map(|i| VOCAB[*i]).collect::<Vec<_>>().join(" ");
+        for dialect in [Dialect::Paper, Dialect::Extended] {
+            let _ = parse_program_with(&input, dialect);
+            if let Ok(q) = parse_query_with(&input, dialect) {
+                let printed = query_to_sql(&q);
+                let q2 = parse_query_with(&printed, dialect).unwrap_or_else(|e| {
+                    panic!("printer produced unparseable SQL: {printed}\n{e}")
+                });
+                prop_assert_eq!(&q, &q2, "round trip changed the AST: {}", printed);
+            }
+        }
+    }
+
+    /// Seeded mutations of a real query: flip one token of a valid query into
+    /// another vocabulary token; the parser must accept or reject cleanly.
+    #[test]
+    fn mutated_valid_queries_never_panic(
+        slot in 0usize..16,
+        replacement in 0usize..VOCAB.len(),
+    ) {
+        let base = "SELECT DISTINCT x.a AS a FROM r x , s y WHERE x.k = y.k \
+                    AND EXISTS ( SELECT * FROM r z WHERE z.a = x.a )";
+        let mut words: Vec<&str> = base.split(' ').collect();
+        let i = slot % words.len();
+        words[i] = VOCAB[replacement];
+        let input = words.join(" ");
+        let _ = parse_query_with(&input, Dialect::Paper);
+        let _ = parse_query_with(&input, Dialect::Extended);
+    }
+}

@@ -1,0 +1,186 @@
+//! `udp-verify` — command-line front end for the prover.
+//!
+//! ```text
+//! udp-verify FILE.sql [--trace] [--check-trace] [--counterexample]
+//!                     [--spnf] [--extended] [--timeout SECS]
+//! ```
+//!
+//! Reads an input program (schema/table/key/foreign key/view/index
+//! declarations plus `verify q1 == q2;` goals), runs UDP on each goal, and
+//! reports the verdict. `--trace` prints the recorded proof script,
+//! `--check-trace` replays it through the independent checker,
+//! `--counterexample` hunts for a refuting database when no proof is found,
+//! `--spnf` prints each goal's lowered U-expressions in sum-product normal
+//! form, and `--extended` enables the Sec 6.4 dialect extensions
+//! (set-semantics UNION, INTERSECT, VALUES, CASE, NATURAL JOIN).
+
+use std::process::ExitCode;
+use std::time::Duration;
+use udp_core::budget::Budget;
+use udp_core::DecideConfig;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut trace = false;
+    let mut check_trace = false;
+    let mut counterexample = false;
+    let mut spnf = false;
+    let mut dialect = udp_sql::Dialect::Paper;
+    let mut timeout = 30u64;
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => trace = true,
+            "--check-trace" => {
+                trace = true;
+                check_trace = true;
+            }
+            "--counterexample" => counterexample = true,
+            "--extended" => dialect = udp_sql::Dialect::Extended,
+            "--spnf" => spnf = true,
+            "--timeout" => {
+                timeout = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --timeout"));
+            }
+            "--help" | "-h" => {
+                usage("");
+            }
+            other if file.is_none() => file = Some(other.to_string()),
+            other => usage(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(file) = file else { usage("missing input file") };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read `{file}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if spnf {
+        if let Err(code) = show_spnf(&text, dialect) {
+            return code;
+        }
+    }
+
+    let config = DecideConfig {
+        budget: Some(Budget::new(Some(20_000_000), Some(Duration::from_secs(timeout)))),
+        record_trace: trace,
+        ..Default::default()
+    };
+    let (results, fe) = match udp_sql::verify_program_with_frontend_in(&text, dialect, config) {
+        Ok(r) => r,
+        Err(e) => {
+            if let Some(f) = e.unsupported_feature() {
+                println!("unsupported: {f}");
+                return ExitCode::from(3);
+            }
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut all_proved = true;
+    for (i, goal) in results.iter().enumerate() {
+        let v = &goal.verdict;
+        println!(
+            "goal {}: {:?}  ({:.2} ms, {} steps, SPNF sizes {:?} → {:?})",
+            i + 1,
+            v.decision,
+            v.stats.wall.as_secs_f64() * 1e3,
+            v.stats.steps_used,
+            v.stats.size_before,
+            v.stats.size_after,
+        );
+        if trace && v.decision.is_proved() {
+            println!("{}", v.trace.render());
+        }
+        if !v.decision.is_proved() {
+            all_proved = false;
+        }
+    }
+
+    if check_trace && all_proved {
+        for goal in &results {
+            let report =
+                udp_core::proof::check_trace(&fe.catalog, &fe.constraints, &goal.verdict.trace, 8);
+            if report.ok() {
+                println!(
+                    "trace check: {} steps revalidated over {} random models each",
+                    report.steps_checked, report.models_per_step
+                );
+            } else {
+                for f in &report.failures {
+                    eprintln!("trace check FAILURE: {f}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if counterexample && !all_proved {
+        match udp_eval::check_program_in(&text, dialect, 500) {
+            Ok(udp_eval::SearchResult::Refuted(ce)) => {
+                println!("{}", ce.render(&fe));
+            }
+            Ok(udp_eval::SearchResult::NoCounterexample { trials }) => {
+                println!("no counterexample in {trials} random databases (inconclusive)");
+            }
+            Ok(udp_eval::SearchResult::Inconclusive(e)) => {
+                println!("model checker inconclusive: {e}");
+            }
+            Err(e) => eprintln!("model checker error: {e}"),
+        }
+    }
+
+    if all_proved {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+/// Lower each goal and print both sides as SPNF normal forms.
+fn show_spnf(text: &str, dialect: udp_sql::Dialect) -> Result<(), ExitCode> {
+    let program = udp_sql::parse_program_with(text, dialect).map_err(|e| {
+        eprintln!("error: {e}");
+        ExitCode::FAILURE
+    })?;
+    let mut fe = udp_sql::build_frontend(&program).map_err(|e| {
+        eprintln!("error: {e}");
+        ExitCode::FAILURE
+    })?;
+    let goals = fe.goals.clone();
+    for (i, (q1, q2)) in goals.iter().enumerate() {
+        let mut gen = udp_core::expr::VarGen::new();
+        for (side, q) in [("lhs", q1), ("rhs", q2)] {
+            match udp_sql::lower_query(&mut fe, &mut gen, q) {
+                Ok(lowered) => {
+                    let nf = udp_core::spnf::normalize(&lowered.body);
+                    println!("goal {} {side}: λ{}. {nf}", i + 1, lowered.out);
+                }
+                Err(e) => {
+                    eprintln!("error lowering goal {} {side}: {e}", i + 1);
+                    return Err(ExitCode::FAILURE);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}\n");
+    }
+    eprintln!(
+        "usage: udp-verify FILE.sql [--trace] [--check-trace] [--counterexample] \
+         [--spnf] [--extended] [--timeout SECS]"
+    );
+    std::process::exit(64);
+}

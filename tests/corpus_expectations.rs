@@ -1,0 +1,168 @@
+//! Integration: every corpus rule must produce its expected verdict, and
+//! every `Proved` verdict must survive empirical cross-validation.
+
+use udp_core::budget::Budget;
+use udp_core::DecideConfig;
+use udp_corpus::{all_rules, run_rule, Expectation, Source};
+
+fn budget_for(e: Expectation) -> Budget {
+    match e {
+        // The deliberate-timeout pair exhausts any budget; keep CI fast.
+        Expectation::Timeout => Budget::steps(150_000),
+        _ => Budget::new(Some(20_000_000), Some(std::time::Duration::from_secs(30))),
+    }
+}
+
+#[test]
+fn every_rule_matches_its_expectation() {
+    let mut failures = Vec::new();
+    for rule in all_rules() {
+        let config = DecideConfig { budget: Some(budget_for(rule.expect)), ..Default::default() };
+        let out = run_rule(&rule, config);
+        if out.observed != rule.expect {
+            failures.push(format!(
+                "{}: expected {}, observed {} {}",
+                rule.name, rule.expect, out.observed, out.detail
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "corpus mismatches:\n{}", failures.join("\n"));
+}
+
+/// Fig 5 headline numbers.
+#[test]
+fn fig5_headline_counts() {
+    let rules = all_rules();
+    let proved = |s: Source| {
+        rules
+            .iter()
+            .filter(|r| r.source == s && r.expect == Expectation::Proved)
+            .count()
+    };
+    assert_eq!(proved(Source::Literature), 29);
+    assert_eq!(proved(Source::Calcite), 33);
+    assert_eq!(proved(Source::Bugs), 0);
+    // 62 proved rules total — the paper's abstract claim.
+    assert_eq!(proved(Source::Literature) + proved(Source::Calcite), 62);
+}
+
+/// Every rule UDP proves must agree on randomized constraint-satisfying
+/// databases (soundness spot-check through the concrete evaluator).
+#[test]
+fn proved_rules_survive_model_checking() {
+    let mut failures = Vec::new();
+    for rule in all_rules() {
+        if rule.expect != Expectation::Proved {
+            continue;
+        }
+        match udp_eval::check_program_in(&rule.text, rule.dialect, 40) {
+            Ok(udp_eval::SearchResult::Refuted(ce)) => {
+                failures.push(format!("{} REFUTED at seed {}", rule.name, ce.seed));
+            }
+            Ok(_) => {}
+            Err(e) => failures.push(format!("{}: evaluator error {e}", rule.name)),
+        }
+    }
+    assert!(failures.is_empty(), "soundness violations:\n{}", failures.join("\n"));
+}
+
+/// Proof traces of *every* proved corpus rule (all datasets, both dialects)
+/// replay through the independent checker. Split per dataset so the test
+/// harness runs them in parallel; 2 random models per step keeps each shard
+/// in CI range while still catching context-dependent rewrites (a missing
+/// ambient context fails on nearly every model).
+/// Semantic step replay is exponential in aggregate-subquery nesting depth
+/// (each nested `Σ` multiplies the evaluation domain); this one rule costs
+/// more than the rest of the corpus combined. Its trace is still replayed by
+/// the `#[ignore]`d slow test below (`cargo test -- --ignored`).
+const SLOW_REPLAY: &[&str] = &["calcite/aggregate-subquery-filter-merge"];
+
+fn replay_rule(rule: &udp_corpus::Rule) {
+    let (results, fe) = udp_sql::verify_program_with_frontend_in(
+        &rule.text,
+        rule.dialect,
+        DecideConfig { record_trace: true, ..Default::default() },
+    )
+    .unwrap();
+    assert!(results[0].verdict.decision.is_proved(), "{}", rule.name);
+    let report =
+        udp_core::proof::check_trace(&fe.catalog, &fe.constraints, &results[0].verdict.trace, 2);
+    assert!(report.ok(), "{}: {:?}", rule.name, report.failures);
+}
+
+fn replay_traces_of(source: Source, expected: usize) {
+    let mut replayed = 0usize;
+    for rule in all_rules() {
+        if rule.source != source
+            || rule.expect != Expectation::Proved
+            || SLOW_REPLAY.contains(&rule.name.as_str())
+        {
+            continue;
+        }
+        replay_rule(&rule);
+        replayed += 1;
+    }
+    assert_eq!(replayed, expected, "{source} proved rules replay");
+}
+
+#[test]
+fn proved_traces_replay_literature() {
+    replay_traces_of(Source::Literature, 29);
+}
+
+#[test]
+fn proved_traces_replay_calcite() {
+    replay_traces_of(Source::Calcite, 32);
+}
+
+#[test]
+fn proved_traces_replay_extensions() {
+    replay_traces_of(Source::Extension, 16);
+}
+
+/// The aggregate-nesting-heavy trace excluded from the fast shards.
+#[test]
+#[ignore = "exponential-cost semantic replay; run with -- --ignored"]
+fn proved_traces_replay_slow() {
+    for rule in all_rules() {
+        if SLOW_REPLAY.contains(&rule.name.as_str()) {
+            replay_rule(&rule);
+        }
+    }
+}
+
+/// The extension dataset (Sec 6.4 features under the extended dialect):
+/// 16 of the 17 rules prove; the deliberately wrong UNION-vs-UNION-ALL
+/// rewrite fails and is refuted by the model checker.
+#[test]
+fn extension_rules_prove_and_the_wrong_one_is_refuted() {
+    let rules = all_rules();
+    let ext: Vec<_> = rules.iter().filter(|r| r.source == Source::Extension).collect();
+    assert_eq!(ext.len(), 17);
+    let proved_expected = ext.iter().filter(|r| r.expect == Expectation::Proved).count();
+    assert_eq!(proved_expected, 16);
+    let wrong = ext
+        .iter()
+        .find(|r| r.expect == Expectation::NotProved)
+        .expect("one deliberately wrong extension rule");
+    match udp_eval::check_program_in(&wrong.text, wrong.dialect, 100).unwrap() {
+        udp_eval::SearchResult::Refuted(_) => {}
+        other => panic!("expected refutation of {}, got {other:?}", wrong.name),
+    }
+}
+
+/// The Bugs dataset: UDP fails on the COUNT bug and the model checker
+/// refutes it (Sec 6.2 "Previously Documented Bugs").
+#[test]
+fn count_bug_not_proved_and_refuted() {
+    let rule = all_rules()
+        .into_iter()
+        .find(|r| r.name == "bugs/count-bug")
+        .expect("count bug in corpus");
+    let out = run_rule(&rule, DecideConfig::default());
+    assert_eq!(out.observed, Expectation::NotProved);
+    match udp_eval::check_program(&rule.text, 300).unwrap() {
+        udp_eval::SearchResult::Refuted(_) => {}
+        other => panic!("expected refutation, got {other:?}"),
+    }
+}
