@@ -17,7 +17,11 @@ fn prove(rule: &Rule) {
     };
     let results = udp_sql::verify_program(&rule.text, config).expect("supported rule");
     black_box(&results);
-    assert!(results[0].verdict.decision.is_proved(), "{} must prove", rule.name);
+    assert!(
+        results[0].verdict.decision.is_proved(),
+        "{} must prove",
+        rule.name
+    );
 }
 
 fn bucket(source: Source, category: Category) -> Vec<Rule> {

@@ -27,7 +27,11 @@ use udp_core::uexpr::UExpr;
 fn setup() -> (Catalog, ConstraintSet, SchemaId, RelId) {
     let mut catalog = Catalog::new();
     let s = catalog
-        .add_schema(Schema::new("s", vec![("k".into(), Ty::Int), ("a".into(), Ty::Int)], false))
+        .add_schema(Schema::new(
+            "s",
+            vec![("k".into(), Ty::Int), ("a".into(), Ty::Int)],
+            false,
+        ))
         .unwrap();
     let r = catalog.add_relation("R", s).unwrap();
     (catalog, ConstraintSet::new(), s, r)
@@ -45,7 +49,10 @@ fn cycle(n: u32, base: u32, sid: SchemaId, r: RelId) -> UExpr {
     for i in 0..n {
         vars.push((var(i), sid));
         factors.push(UExpr::rel(r, Expr::Var(var(i))));
-        factors.push(UExpr::eq(Expr::var_attr(var(i), "a"), Expr::var_attr(var(i + 1), "k")));
+        factors.push(UExpr::eq(
+            Expr::var_attr(var(i), "a"),
+            Expr::var_attr(var(i + 1), "k"),
+        ));
     }
     UExpr::sum_over(vars, UExpr::product(factors))
 }
@@ -54,7 +61,10 @@ fn cycle(n: u32, base: u32, sid: SchemaId, r: RelId) -> UExpr {
 /// multiset as one `n`-cycle — every cheap pruning test passes).
 fn two_half_cycles(n: u32, base: u32, sid: SchemaId, r: RelId) -> UExpr {
     let half = n / 2;
-    UExpr::mul(cycle(half, base, sid, r), cycle(n - half, base + half, sid, r))
+    UExpr::mul(
+        cycle(half, base, sid, r),
+        cycle(n - half, base + half, sid, r),
+    )
 }
 
 fn bench_cycle_match(c: &mut Criterion) {

@@ -16,8 +16,12 @@ fn lowered_bodies(source: Source) -> Vec<UExpr> {
         if rule.source != source || rule.expect == Expectation::Unsupported {
             continue;
         }
-        let Ok(program) = udp_sql::parse_program(&rule.text) else { continue };
-        let Ok(mut fe) = udp_sql::build_frontend(&program) else { continue };
+        let Ok(program) = udp_sql::parse_program(&rule.text) else {
+            continue;
+        };
+        let Ok(mut fe) = udp_sql::build_frontend(&program) else {
+            continue;
+        };
         let goals = fe.goals.clone();
         for (q1, q2) in &goals {
             let mut gen = VarGen::new();

@@ -1,0 +1,122 @@
+//! Batch-verification throughput: goals/sec through a `udp-service` session
+//! at 1, N/2, and N workers, over a corpus-shaped workload (filter / join /
+//! distinct / group-by rewrite goals plus alias-renamed duplicates, the mix
+//! the evaluation corpus exercises rule by rule).
+//!
+//! Run with `cargo bench --bench throughput`. The final summary prints the
+//! measured speedup of N workers over 1; the scheduler is expected to clear
+//! 1.5× at 4 workers on any multicore host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use udp_service::{Session, SessionConfig};
+use udp_sql::ast::Query;
+
+const DDL: &str = "schema rs(k:int, a:int, b:int);\nschema ss(k2:int, c:int);\n\
+                   schema ts(id:int, e:int);\n\
+                   table r(rs);\ntable r2(rs);\ntable s(ss);\ntable t(ts);\nkey r(k);\n";
+
+/// Corpus-shaped goal workload: each index yields a deterministic rewrite
+/// goal; roughly a third are alias-renamed clones of earlier goals (the
+/// fingerprint cache's bread and butter), and a sprinkle are non-theorems.
+fn goal_line(i: usize) -> String {
+    let c = i % 13;
+    match i % 6 {
+        0 => format!(
+            "SELECT x.a AS a, y.c AS c FROM r x, s y WHERE x.k = y.k2 AND x.a = {c} \
+             == SELECT x.a AS a, y.c AS c FROM (SELECT * FROM r x2 WHERE x2.a = {c}) x, s y \
+                WHERE x.k = y.k2"
+        ),
+        1 => format!(
+            "SELECT u.a AS a, w.c AS c FROM r u, s w WHERE u.k = w.k2 AND u.a = {c} \
+             == SELECT u.a AS a, w.c AS c FROM (SELECT * FROM r v WHERE v.a = {c}) u, s w \
+                WHERE u.k = w.k2"
+        ),
+        2 => format!(
+            "SELECT DISTINCT x.a AS a FROM r x WHERE EXISTS (SELECT * FROM s y WHERE y.k2 = x.k) AND x.b = {c} \
+             == SELECT DISTINCT x.a AS a FROM r x, s y WHERE y.k2 = x.k AND x.b = {c}"
+        ),
+        3 => format!(
+            "SELECT x.k AS k, SUM(x.a) AS t FROM r x WHERE x.b = {c} GROUP BY x.k \
+             == SELECT q.k AS k, SUM(q.a) AS t FROM r q WHERE q.b = {c} GROUP BY q.k"
+        ),
+        4 => format!(
+            "SELECT x.a AS v FROM r x WHERE x.a = {c} UNION ALL SELECT z.a AS v FROM r2 z \
+             == SELECT z.a AS v FROM r2 z UNION ALL SELECT x.a AS v FROM r x WHERE x.a = {c}"
+        ),
+        _ => format!(
+            // Non-theorem: different constants.
+            "SELECT x.a AS a FROM r x WHERE x.a = {c} == SELECT y.a AS a FROM r y WHERE y.a = {}",
+            c + 400
+        ),
+    }
+}
+
+fn workload(session: &Session, n: usize) -> Vec<(Query, Query)> {
+    (0..n)
+        .map(|i| session.parse_goal(&goal_line(i)).unwrap())
+        .collect()
+}
+
+fn session_with(workers: usize, cache: usize) -> Session {
+    let config = SessionConfig {
+        workers,
+        cache_capacity: cache,
+        steps: Some(2_000_000),
+        wall: Some(Duration::from_secs(10)),
+        ..SessionConfig::default()
+    };
+    Session::new(DDL, config).unwrap()
+}
+
+const GOALS: usize = 240;
+
+fn bench_throughput(c: &mut Criterion) {
+    let max_workers = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(8);
+    let counts = [1, (max_workers / 2).max(2), max_workers];
+
+    for &workers in &counts {
+        c.bench_function(&format!("throughput/uncached/workers-{workers}"), |b| {
+            b.iter(|| {
+                let session = session_with(workers, 0);
+                let goals = workload(&session, GOALS);
+                black_box(session.verify_batch(&goals));
+            })
+        });
+    }
+    c.bench_function("throughput/cached/workers-max", |b| {
+        let session = session_with(max_workers, 4096);
+        let goals = workload(&session, GOALS);
+        session.verify_batch(&goals); // warm the cache
+        b.iter(|| black_box(session.verify_batch(&goals)))
+    });
+
+    // Direct speedup summary (single measurement per configuration, goals/s).
+    let mut rates = Vec::new();
+    for &workers in &counts {
+        let session = session_with(workers, 0);
+        let goals = workload(&session, GOALS);
+        let t0 = Instant::now();
+        let reports = session.verify_batch(&goals);
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(reports.len(), GOALS);
+        rates.push((workers, GOALS as f64 / secs));
+    }
+    let base = rates[0].1;
+    for (workers, rate) in &rates {
+        println!(
+            "throughput summary: {workers} workers → {rate:.0} goals/s ({:.2}× vs 1 worker)",
+            rate / base
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_throughput
+}
+criterion_main!(benches);

@@ -52,11 +52,17 @@ fn main() {
 fn report_mismatches(run: &CorpusRun) {
     let mismatches = run.mismatches();
     if mismatches.is_empty() {
-        println!("corpus: all {} rules behave as expected\n", run.results.len());
+        println!(
+            "corpus: all {} rules behave as expected\n",
+            run.results.len()
+        );
     } else {
         println!("corpus: {} UNEXPECTED outcomes:", mismatches.len());
         for (r, o) in mismatches {
-            println!("  {} expected {} got {} {}", r.name, r.expect, o.observed, o.detail);
+            println!(
+                "  {} expected {} got {} {}",
+                r.name, r.expect, o.observed, o.detail
+            );
         }
         println!();
     }
@@ -136,8 +142,10 @@ fn cosette(run: &CorpusRun) {
         .iter()
         .filter(|(r, _)| r.cosette != CosetteStatus::Inexpressible)
         .count();
-    let manual =
-        proved.iter().filter(|(r, _)| r.cosette == CosetteStatus::Manual).count();
+    let manual = proved
+        .iter()
+        .filter(|(r, _)| r.cosette == CosetteStatus::Manual)
+        .count();
     println!("rules proved by UDP:                      {}", proved.len());
     println!("…expressible in COSETTE:                  {expressible}");
     println!("…manually proven in COSETTE:              {manual}");
@@ -163,7 +171,10 @@ fn bugs() {
                 }
             }
             Expectation::Unsupported => {
-                println!("{:<32} outside the fragment (NULL semantics), as in the paper", rule.name)
+                println!(
+                    "{:<32} outside the fragment (NULL semantics), as in the paper",
+                    rule.name
+                )
             }
             _ => {}
         }
@@ -174,7 +185,10 @@ fn bugs() {
 
 fn ablation() {
     println!("-- Ablations: proved-rule counts with phases disabled (paper datasets) --");
-    println!("{:<16} {:>8} {:>12}", "Configuration", "Proved", "of expected");
+    println!(
+        "{:<16} {:>8} {:>12}",
+        "Configuration", "Proved", "of expected"
+    );
     let expected = run_corpus(Options::default()).total_proved_paper();
     for (name, opts) in ablation_configs() {
         let run = run_corpus(opts);
@@ -187,27 +201,52 @@ fn ablation() {
 /// `Dialect::Extended`, reported per feature.
 fn extensions(run: &CorpusRun) {
     println!("-- Extensions (Sec 6.4 'future work' features, extended dialect) --");
-    println!("{:<16} {:>6} {:>8} {:>10}", "Feature", "Rules", "Proved", "Not-proved");
+    println!(
+        "{:<16} {:>6} {:>8} {:>10}",
+        "Feature", "Rules", "Proved", "Not-proved"
+    );
     let ext: Vec<_> = run.by_source(Source::Extension).collect();
-    let mut features: Vec<String> =
-        ext.iter().filter_map(|(r, _)| r.ext_feature.clone()).collect();
+    let mut features: Vec<String> = ext
+        .iter()
+        .filter_map(|(r, _)| r.ext_feature.clone())
+        .collect();
     features.sort();
     features.dedup();
     for f in &features {
-        let rows: Vec<_> =
-            ext.iter().filter(|(r, _)| r.ext_feature.as_deref() == Some(f)).collect();
-        let proved = rows.iter().filter(|(_, o)| o.observed == Expectation::Proved).count();
-        println!("{f:<16} {:>6} {proved:>8} {:>10}", rows.len(), rows.len() - proved);
+        let rows: Vec<_> = ext
+            .iter()
+            .filter(|(r, _)| r.ext_feature.as_deref() == Some(f))
+            .collect();
+        let proved = rows
+            .iter()
+            .filter(|(_, o)| o.observed == Expectation::Proved)
+            .count();
+        println!(
+            "{f:<16} {:>6} {proved:>8} {:>10}",
+            rows.len(),
+            rows.len() - proved
+        );
     }
-    let total_proved = ext.iter().filter(|(_, o)| o.observed == Expectation::Proved).count();
-    println!("{:<16} {:>6} {total_proved:>8} {:>10}", "total", ext.len(), ext.len() - total_proved);
+    let total_proved = ext
+        .iter()
+        .filter(|(_, o)| o.observed == Expectation::Proved)
+        .count();
+    println!(
+        "{:<16} {:>6} {total_proved:>8} {:>10}",
+        "total",
+        ext.len(),
+        ext.len() - total_proved
+    );
     // The one expected failure is the deliberately wrong rewrite; show the
     // model checker refuting it.
     for (r, o) in &ext {
         if r.expect == Expectation::NotProved && o.observed == Expectation::NotProved {
             match udp_eval::check_program_in(&r.text, r.dialect, 200) {
                 Ok(SearchResult::Refuted(ce)) => {
-                    println!("{:<32} refuted by the model checker (seed {})", r.name, ce.seed)
+                    println!(
+                        "{:<32} refuted by the model checker (seed {})",
+                        r.name, ce.seed
+                    )
                 }
                 Ok(other) => println!("{:<32} {other:?}", r.name),
                 Err(e) => println!("{:<32} model checker error: {e}", r.name),

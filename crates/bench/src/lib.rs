@@ -61,9 +61,14 @@ impl CorpusRun {
             Source::Calcite => udp_corpus::CALCITE_TOTAL_RULES,
             _ => rules.len(),
         };
-        let supported =
-            rules.iter().filter(|(_, o)| o.observed != Expectation::Unsupported).count();
-        let proved = rules.iter().filter(|(_, o)| o.observed == Expectation::Proved).count();
+        let supported = rules
+            .iter()
+            .filter(|(_, o)| o.observed != Expectation::Unsupported)
+            .count();
+        let proved = rules
+            .iter()
+            .filter(|(_, o)| o.observed == Expectation::Proved)
+            .count();
         (total, supported, proved, supported - proved)
     }
 
@@ -94,7 +99,12 @@ impl CorpusRun {
                 xs.iter().sum::<f64>() / xs.len() as f64
             }
         };
-        let overall = mean(proved.iter().map(|(_, o)| o.wall.as_secs_f64() * 1e3).collect());
+        let overall = mean(
+            proved
+                .iter()
+                .map(|(_, o)| o.wall.as_secs_f64() * 1e3)
+                .collect(),
+        );
         let mut per = BTreeMap::new();
         for c in Category::ALL {
             per.insert(
@@ -126,7 +136,10 @@ impl CorpusRun {
 
     /// Total proved across the corpus (all datasets, extensions included).
     pub fn total_proved(&self) -> usize {
-        self.results.iter().filter(|(_, o)| o.observed == Expectation::Proved).count()
+        self.results
+            .iter()
+            .filter(|(_, o)| o.observed == Expectation::Proved)
+            .count()
     }
 
     /// Total proved across the paper's Fig 5 datasets only — the "62 rules"
@@ -140,7 +153,10 @@ impl CorpusRun {
 
     /// Rules whose observed outcome diverges from the expectation.
     pub fn mismatches(&self) -> Vec<&(Rule, RuleOutcome)> {
-        self.results.iter().filter(|(r, o)| r.expect != o.observed).collect()
+        self.results
+            .iter()
+            .filter(|(r, o)| r.expect != o.observed)
+            .collect()
     }
 }
 
@@ -149,11 +165,41 @@ pub fn ablation_configs() -> Vec<(&'static str, Options)> {
     let base = Options::default();
     vec![
         ("full", base.clone()),
-        ("no-canonize", Options { canonize: false, ..base.clone() }),
-        ("no-congruence", Options { congruence: false, ..base.clone() }),
-        ("no-minimize", Options { minimize: false, ..base.clone() }),
-        ("no-constraints", Options { use_constraints: false, ..base.clone() }),
-        ("no-squash-intro", Options { squash_intro: false, ..base }),
+        (
+            "no-canonize",
+            Options {
+                canonize: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no-congruence",
+            Options {
+                congruence: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no-minimize",
+            Options {
+                minimize: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no-constraints",
+            Options {
+                use_constraints: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no-squash-intro",
+            Options {
+                squash_intro: false,
+                ..base
+            },
+        ),
     ]
 }
 

@@ -15,9 +15,16 @@ use std::time::{Duration, Instant};
 pub struct Exhausted;
 
 /// Combined step + wall-clock budget.
+///
+/// The wall clock starts at the budget's *first tick*, not at construction:
+/// a `Budget` (e.g. inside a [`crate::decide::DecideConfig`]) can be built
+/// ahead of time, cloned, and shipped to worker threads without its deadline
+/// silently burning down while the goal waits in a queue.
 #[derive(Debug, Clone)]
 pub struct Budget {
     steps_left: u64,
+    /// Wall-clock allowance; materialized into `deadline` on first tick.
+    wall: Option<Duration>,
     deadline: Option<Instant>,
     /// Check the clock only every N ticks to keep ticking cheap.
     clock_stride: u64,
@@ -47,7 +54,8 @@ impl Budget {
     pub fn new(steps: Option<u64>, wall: Option<Duration>) -> Self {
         Budget {
             steps_left: steps.unwrap_or(u64::MAX),
-            deadline: wall.map(|d| Instant::now() + d),
+            wall,
+            deadline: None,
             clock_stride: 4096,
             ticks: 0,
         }
@@ -58,6 +66,11 @@ impl Budget {
     pub fn tick(&mut self) -> Result<(), Exhausted> {
         if self.steps_left == 0 {
             return Err(Exhausted);
+        }
+        if self.ticks == 0 {
+            if let Some(w) = self.wall {
+                self.deadline = Some(Instant::now() + w);
+            }
         }
         self.steps_left -= 1;
         self.ticks += 1;

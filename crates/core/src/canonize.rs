@@ -42,7 +42,11 @@ pub fn canonize_nf(
     if !ctx.opts.canonize {
         return Ok(nf);
     }
-    let nf = if under_squash { nf.flatten_under_squash() } else { nf };
+    let nf = if under_squash {
+        nf.flatten_under_squash()
+    } else {
+        nf
+    };
     let mut terms = Vec::with_capacity(nf.terms.len());
     for t in nf.terms {
         if let Some(t) = canonize_term(ctx, t, ambient, under_squash)? {
@@ -134,11 +138,12 @@ pub fn canonize_term(
             let before = t.clone();
             t.squash = None;
             let after = t.clone();
-            ctx.trace.record(Rule::SquashFlatten, || StepData::TermRewrite {
-                before,
-                after: vec![after],
-                ambient: ambient.to_vec(),
-            });
+            ctx.trace
+                .record(Rule::SquashFlatten, || StepData::TermRewrite {
+                    before,
+                    after: vec![after],
+                    ambient: ambient.to_vec(),
+                });
         }
     }
 
@@ -151,11 +156,12 @@ pub fn canonize_term(
     {
         let mut cc = build_congruence(ctx, &t, ambient);
         if is_squash_invariant(ctx, &t, &mut cc) {
-            ctx.trace.record(Rule::SquashIntro, || StepData::TermRewrite {
-                before: t.clone(),
-                after: vec![],
-                ambient: ambient.to_vec(),
-            });
+            ctx.trace
+                .record(Rule::SquashIntro, || StepData::TermRewrite {
+                    before: t.clone(),
+                    after: vec![],
+                    ambient: ambient.to_vec(),
+                });
             let inner = Nf { terms: vec![t] }.flatten_under_squash();
             let inner = canonize_nf(ctx, inner, ambient, true)?;
             if inner.is_zero() {
@@ -205,14 +211,16 @@ fn resolve_term_attrs(ctx: &Ctx, t: Term) -> Term {
             .iter()
             .map(|p| p.map_exprs(&|e| e.clone().resolve_attr_with(&left_has)))
             .collect(),
-        squash: t
-            .squash
-            .as_ref()
-            .map(|nf| Box::new(map_nf_exprs(nf, &|e| e.clone().resolve_attr_with(&left_has)))),
-        negation: t
-            .negation
-            .as_ref()
-            .map(|nf| Box::new(map_nf_exprs(nf, &|e| e.clone().resolve_attr_with(&left_has)))),
+        squash: t.squash.as_ref().map(|nf| {
+            Box::new(map_nf_exprs(nf, &|e| {
+                e.clone().resolve_attr_with(&left_has)
+            }))
+        }),
+        negation: t.negation.as_ref().map(|nf| {
+            Box::new(map_nf_exprs(nf, &|e| {
+                e.clone().resolve_attr_with(&left_has)
+            }))
+        }),
         atoms: t
             .atoms
             .iter()
@@ -322,12 +330,18 @@ fn apply_elimination(
     rule: Rule,
     ambient: &[Pred],
 ) {
-    let before = if ctx.trace.is_enabled() { Some(t.clone()) } else { None };
+    let before = if ctx.trace.is_enabled() {
+        Some(t.clone())
+    } else {
+        None
+    };
     t.vars.remove(idx);
     *t = t.subst(v, &w);
     if let Some(before) = before {
-        ctx.trace.record(rule, || {
-            StepData::TermRewrite { before, after: vec![t.clone()], ambient: ambient.to_vec() }
+        ctx.trace.record(rule, || StepData::TermRewrite {
+            before,
+            after: vec![t.clone()],
+            ambient: ambient.to_vec(),
         });
     }
 }
@@ -348,8 +362,7 @@ fn key_chase_step(
                 continue;
             }
             let rel = t.atoms[i].rel;
-            let keys: Vec<Vec<String>> =
-                ctx.cs.keys_of(rel).map(|k| k.to_vec()).collect();
+            let keys: Vec<Vec<String>> = ctx.cs.keys_of(rel).map(|k| k.to_vec()).collect();
             for key in &keys {
                 let ai = t.atoms[i].arg.clone();
                 let aj = t.atoms[j].arg.clone();
@@ -361,7 +374,11 @@ fn key_chase_step(
                 if !keys_match {
                     continue;
                 }
-                let before = if ctx.trace.is_enabled() { Some(t.clone()) } else { None };
+                let before = if ctx.trace.is_enabled() {
+                    Some(t.clone())
+                } else {
+                    None
+                };
                 if cc.same(&ai, &aj) {
                     // R(t)·R(t) = R(t) for keyed R (Def 4.1 with t = t').
                     t.atoms.remove(j);
@@ -407,16 +424,21 @@ fn squash_dedup_step(
             }
             let (ai, aj) = (t.atoms[i].arg.clone(), t.atoms[j].arg.clone());
             if cc.same(&ai, &aj) {
-                let before = if ctx.trace.is_enabled() { Some(t.clone()) } else { None };
+                let before = if ctx.trace.is_enabled() {
+                    Some(t.clone())
+                } else {
+                    None
+                };
                 t.atoms.remove(j);
                 if let Some(before) = before {
                     // Valid only under a squash: record both sides wrapped.
                     let after = t.clone();
-                    ctx.trace.record(Rule::SquashFlatten, || StepData::TermRewrite {
-                        before: wrap_in_squash(before),
-                        after: vec![wrap_in_squash(after)],
-                        ambient: ambient.to_vec(),
-                    });
+                    ctx.trace
+                        .record(Rule::SquashFlatten, || StepData::TermRewrite {
+                            before: wrap_in_squash(before),
+                            after: vec![wrap_in_squash(after)],
+                            ambient: ambient.to_vec(),
+                        });
                 }
                 return Ok(true);
             }
@@ -460,11 +482,16 @@ fn fk_chase_step(
             }
             let schema = ctx.catalog.relation(parent).schema;
             let u = ctx.gen.fresh();
-            let before = if ctx.trace.is_enabled() { Some(t.clone()) } else { None };
+            let before = if ctx.trace.is_enabled() {
+                Some(t.clone())
+            } else {
+                None
+            };
             t.vars.push((u, schema));
             t.atoms.push(crate::spnf::Atom::new(parent, Expr::Var(u)));
             for (pa, ck) in parent_attrs.iter().zip(&child_keys) {
-                t.preds.push(Pred::Eq(Expr::var_attr(u, pa), ck.clone()).oriented());
+                t.preds
+                    .push(Pred::Eq(Expr::var_attr(u, pa), ck.clone()).oriented());
             }
             if let Some(before) = before {
                 ctx.trace.record(Rule::FkExpand, || StepData::TermRewrite {
@@ -603,7 +630,10 @@ mod tests {
         assert_eq!(got.terms.len(), 1);
         let term = &got.terms[0];
         assert!(term.vars.is_empty(), "all summations eliminated: {term}");
-        let inner = term.squash.as_ref().expect("Thm 4.3 wraps the duplicate-free term");
+        let inner = term
+            .squash
+            .as_ref()
+            .expect("Thm 4.3 wraps the duplicate-free term");
         assert_eq!(inner.terms.len(), 1);
         let it = &inner.terms[0];
         assert_eq!(it.atoms.len(), 1, "single R atom expected: {it}");
@@ -619,7 +649,10 @@ mod tests {
         let e = UExpr::sum(
             v(1),
             sid,
-            UExpr::mul(UExpr::eq(Expr::Var(v(1)), Expr::Var(v(0))), UExpr::rel(r, Expr::Var(v(1)))),
+            UExpr::mul(
+                UExpr::eq(Expr::Var(v(1)), Expr::Var(v(0))),
+                UExpr::rel(r, Expr::Var(v(1))),
+            ),
         );
         let got = canon(&cat, &cs, &e);
         assert_eq!(got.terms.len(), 1);
@@ -681,8 +714,12 @@ mod tests {
     #[test]
     fn fk_chase_does_not_duplicate_existing_parent() {
         let mut cat = Catalog::new();
-        let sp = cat.add_schema(Schema::new("p", vec![("id".into(), Ty::Int)], false)).unwrap();
-        let sc = cat.add_schema(Schema::new("c", vec![("fk".into(), Ty::Int)], false)).unwrap();
+        let sp = cat
+            .add_schema(Schema::new("p", vec![("id".into(), Ty::Int)], false))
+            .unwrap();
+        let sc = cat
+            .add_schema(Schema::new("c", vec![("fk".into(), Ty::Int)], false))
+            .unwrap();
         let parent = cat.add_relation("P", sp).unwrap();
         let child = cat.add_relation("C", sc).unwrap();
         let mut cs = ConstraintSet::new();
@@ -712,7 +749,11 @@ mod tests {
         let e = UExpr::sum(x, sid, body);
         let got = canon(&cat, &cs, &e);
         assert_eq!(got.terms.len(), 1);
-        assert!(got.terms[0].squash.is_some(), "Thm 4.3 wrap expected: {}", got.terms[0]);
+        assert!(
+            got.terms[0].squash.is_some(),
+            "Thm 4.3 wrap expected: {}",
+            got.terms[0]
+        );
     }
 
     #[test]
@@ -726,7 +767,11 @@ mod tests {
         ]);
         let e = UExpr::sum(x, sid, body);
         let got = canon(&cat, &cs, &e);
-        assert!(got.terms[0].squash.is_none(), "no wrap expected: {}", got.terms[0]);
+        assert!(
+            got.terms[0].squash.is_none(),
+            "no wrap expected: {}",
+            got.terms[0]
+        );
         assert_eq!(got.terms[0].vars.len(), 1);
     }
 
@@ -784,6 +829,10 @@ mod tests {
         ctx.opts.use_constraints = false;
         ctx.gen.reserve(VarId(nf.max_var() + 1));
         let got = canonize_nf(&mut ctx, nf, &[], false).unwrap();
-        assert_eq!(got.terms[0].atoms.len(), 2, "no key merge when constraints disabled");
+        assert_eq!(
+            got.terms[0].atoms.len(),
+            2,
+            "no key merge when constraints disabled"
+        );
     }
 }

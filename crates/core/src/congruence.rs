@@ -71,9 +71,7 @@ pub fn alpha_normalize(e: &UExpr) -> UExpr {
             UExpr::One => UExpr::One,
             UExpr::Add(a, b) => UExpr::add(go(a, next, env), go(b, next, env)),
             UExpr::Mul(a, b) => UExpr::mul(go(a, next, env), go(b, next, env)),
-            UExpr::Pred(p) => {
-                UExpr::Pred(p.subst_map(&|v| env.get(&v).map(|nv| Expr::Var(*nv))))
-            }
+            UExpr::Pred(p) => UExpr::Pred(p.subst_map(&|v| env.get(&v).map(|nv| Expr::Var(*nv)))),
             UExpr::Rel(r, arg) => {
                 UExpr::Rel(*r, arg.subst_map(&|v| env.get(&v).map(|nv| Expr::Var(*nv))))
             }
@@ -157,7 +155,12 @@ impl Congruence {
         let id = self.nodes.len();
         let mut vars = BTreeSet::new();
         expr.collect_vars(&mut vars);
-        self.nodes.push(Node { op: op.clone(), children: children.clone(), expr: expr.clone(), vars });
+        self.nodes.push(Node {
+            op: op.clone(),
+            children: children.clone(),
+            expr: expr.clone(),
+            vars,
+        });
         self.uf.push(id);
         self.members.insert(id, vec![id]);
         self.sig.insert((op, canon.clone()), id);
@@ -229,8 +232,11 @@ impl Congruence {
         // parents get scheduled for merging.
         let moved_parents = self.parents.remove(&small).unwrap_or_default();
         for p in moved_parents {
-            let canon: Vec<usize> =
-                self.nodes[p].children.iter().map(|&c| self.root(c)).collect();
+            let canon: Vec<usize> = self.nodes[p]
+                .children
+                .iter()
+                .map(|&c| self.root(c))
+                .collect();
             let key = (self.nodes[p].op.clone(), canon);
             if let Some(&other) = self.sig.get(&key) {
                 if self.root(other) != self.root(p) {
@@ -462,10 +468,7 @@ mod tests {
     #[test]
     fn record_projection_alignment() {
         let mut cc = Congruence::new();
-        let rec = Expr::record(vec![
-            ("a".into(), va(2, "x")),
-            ("b".into(), Expr::int(5)),
-        ]);
+        let rec = Expr::record(vec![("a".into(), va(2, "x")), ("b".into(), Expr::int(5))]);
         cc.assert_eq(&Expr::Var(v(0)), &rec);
         assert!(cc.same(&va(0, "a"), &va(2, "x")));
         assert!(cc.same(&va(0, "b"), &Expr::int(5)));
@@ -484,8 +487,16 @@ mod tests {
     #[test]
     fn concat_injectivity() {
         let mut cc = Congruence::new();
-        let c1 = Expr::Concat(Box::new(Expr::Var(v(0))), SchemaId(0), Box::new(Expr::Var(v(1))));
-        let c2 = Expr::Concat(Box::new(Expr::Var(v(2))), SchemaId(0), Box::new(Expr::Var(v(3))));
+        let c1 = Expr::Concat(
+            Box::new(Expr::Var(v(0))),
+            SchemaId(0),
+            Box::new(Expr::Var(v(1))),
+        );
+        let c2 = Expr::Concat(
+            Box::new(Expr::Var(v(2))),
+            SchemaId(0),
+            Box::new(Expr::Var(v(3))),
+        );
         cc.assert_eq(&c1, &c2);
         assert!(cc.same(&Expr::Var(v(0)), &Expr::Var(v(2))));
         assert!(cc.same(&Expr::Var(v(1)), &Expr::Var(v(3))));
@@ -499,10 +510,12 @@ mod tests {
         let w = cc.rep_without_var(&Expr::Var(v(0)), v(0)).unwrap();
         assert_eq!(w, va(1, "k"));
         // no witness avoiding t1
-        assert!(cc.rep_without_var(&Expr::Var(v(0)), v(1)).is_none() || {
-            let w2 = cc.rep_without_var(&Expr::Var(v(0)), v(1)).unwrap();
-            !w2.contains_var(v(1))
-        });
+        assert!(
+            cc.rep_without_var(&Expr::Var(v(0)), v(1)).is_none() || {
+                let w2 = cc.rep_without_var(&Expr::Var(v(0)), v(1)).unwrap();
+                !w2.contains_var(v(1))
+            }
+        );
     }
 
     #[test]

@@ -52,9 +52,16 @@ impl ConstraintSet {
             // A foreign key makes its parent attributes a key of the parent
             // (Theorem 4.5); register that derived key so the key chase and
             // the squash-invariance analysis can use it.
-            if let Constraint::ForeignKey { parent, parent_attrs, .. } = &c {
-                let derived =
-                    Constraint::Key { rel: *parent, attrs: parent_attrs.clone() };
+            if let Constraint::ForeignKey {
+                parent,
+                parent_attrs,
+                ..
+            } = &c
+            {
+                let derived = Constraint::Key {
+                    rel: *parent,
+                    attrs: parent_attrs.clone(),
+                };
                 if !self.constraints.contains(&derived) {
                     self.constraints.push(derived);
                 }
@@ -77,7 +84,12 @@ impl ConstraintSet {
         parent: RelId,
         parent_attrs: Vec<String>,
     ) {
-        self.add(Constraint::ForeignKey { child, child_attrs, parent, parent_attrs });
+        self.add(Constraint::ForeignKey {
+            child,
+            child_attrs,
+            parent,
+            parent_attrs,
+        });
     }
 
     /// Is the set empty?
@@ -113,11 +125,12 @@ impl ConstraintSet {
     /// Foreign keys whose child is `rel`.
     pub fn fks_from(&self, rel: RelId) -> impl Iterator<Item = (&[String], RelId, &[String])> {
         self.constraints.iter().filter_map(move |c| match c {
-            Constraint::ForeignKey { child, child_attrs, parent, parent_attrs }
-                if *child == rel =>
-            {
-                Some((child_attrs.as_slice(), *parent, parent_attrs.as_slice()))
-            }
+            Constraint::ForeignKey {
+                child,
+                child_attrs,
+                parent,
+                parent_attrs,
+            } if *child == rel => Some((child_attrs.as_slice(), *parent, parent_attrs.as_slice())),
             _ => None,
         })
     }
@@ -144,7 +157,10 @@ mod tests {
     fn foreign_key_implies_parent_key() {
         let mut cs = ConstraintSet::new();
         cs.add_foreign_key(RelId(1), vec!["fk".into()], RelId(0), vec!["id".into()]);
-        assert!(cs.has_key(RelId(0)), "Theorem 4.5: FK target attributes are a key");
+        assert!(
+            cs.has_key(RelId(0)),
+            "Theorem 4.5: FK target attributes are a key"
+        );
     }
 
     #[test]

@@ -128,25 +128,17 @@ pub fn decide_with(
     config: DecideConfig,
 ) -> Verdict {
     let start = Instant::now();
-    let mut trace = if config.record_trace { Trace::enabled() } else { Trace::disabled() };
+    let mut trace = if config.record_trace {
+        Trace::enabled()
+    } else {
+        Trace::disabled()
+    };
     let mut stats = Stats {
         size_before: (q1.body.size(), q2.body.size()),
         ..Stats::default()
     };
 
-    // Output schemas must agree attribute-wise (by name — types are
-    // advisory, e.g. aggregate outputs infer as Unknown).
-    let s1 = catalog.schema(q1.schema);
-    let s2 = catalog.schema(q2.schema);
-    let names = |s: &crate::schema::Schema| -> Vec<String> {
-        s.attrs.iter().map(|(n, _)| n.clone()).collect()
-    };
-    let compatible = if s1.is_closed() && s2.is_closed() {
-        names(s1) == names(s2)
-    } else {
-        q1.schema == q2.schema || names(s1) == names(s2)
-    };
-    if !compatible {
+    if !schemas_compatible(catalog, q1.schema, q2.schema) {
         stats.wall = start.elapsed();
         return Verdict {
             decision: Decision::NotProved(NotProvedReason::SchemaMismatch),
@@ -190,7 +182,89 @@ pub fn decide_with(
     stats.steps_used = ctx.budget.steps_used();
     stats.wall = start.elapsed();
     trace = ctx.trace;
-    Verdict { decision, trace, stats }
+    Verdict {
+        decision,
+        trace,
+        stats,
+    }
+}
+
+/// Output schemas must agree attribute-wise (by name — types are advisory,
+/// e.g. aggregate outputs infer as Unknown).
+fn schemas_compatible(catalog: &Catalog, sid1: SchemaId, sid2: SchemaId) -> bool {
+    let s1 = catalog.schema(sid1);
+    let s2 = catalog.schema(sid2);
+    let names = |s: &crate::schema::Schema| -> Vec<String> {
+        s.attrs.iter().map(|(n, _)| n.clone()).collect()
+    };
+    if s1.is_closed() && s2.is_closed() {
+        names(s1) == names(s2)
+    } else {
+        sid1 == sid2 || names(s1) == names(s2)
+    }
+}
+
+/// Decide from **pre-normalized** SPNF forms. Both `nf1` and `nf2` must
+/// denote their query bodies with the *same* output variable `out` free
+/// (align `q2.out` onto `q1.out` by substitution before normalizing).
+///
+/// This is the batch-service hot path: the caller has already paid the SPNF
+/// normalization (to compute canonical fingerprints), so this entry point
+/// skips re-normalizing. Proof traces recorded here omit the two `normalize`
+/// steps (there is no pre-SPNF expression to record), and `size_before`
+/// reports the normalized sizes.
+#[allow(clippy::too_many_arguments)]
+pub fn decide_normalized_with(
+    catalog: &Catalog,
+    cs: &ConstraintSet,
+    out: VarId,
+    schema1: SchemaId,
+    schema2: SchemaId,
+    nf1: &crate::spnf::Nf,
+    nf2: &crate::spnf::Nf,
+    config: DecideConfig,
+) -> Verdict {
+    let start = Instant::now();
+    let trace = if config.record_trace {
+        Trace::enabled()
+    } else {
+        Trace::disabled()
+    };
+    let mut stats = Stats {
+        size_before: (nf1.size(), nf2.size()),
+        size_after: (nf1.size(), nf2.size()),
+        ..Stats::default()
+    };
+
+    if !schemas_compatible(catalog, schema1, schema2) {
+        stats.wall = start.elapsed();
+        return Verdict {
+            decision: Decision::NotProved(NotProvedReason::SchemaMismatch),
+            trace,
+            stats,
+        };
+    }
+
+    let mut ctx = Ctx::new(catalog, cs)
+        .with_budget(config.budget.unwrap_or_default())
+        .with_options(config.options);
+    ctx.trace = trace;
+    let watermark = nf1.max_var().max(nf2.max_var()).max(out.0) + 1;
+    ctx.gen.reserve(VarId(watermark));
+    ctx.declare_free(out, schema1);
+
+    let decision = match udp_equiv(&mut ctx, nf1, nf2, &[]) {
+        Ok(true) => Decision::Proved,
+        Ok(false) => Decision::NotProved(NotProvedReason::NoProofFound),
+        Err(Exhausted) => Decision::Timeout,
+    };
+    stats.steps_used = ctx.budget.steps_used();
+    stats.wall = start.elapsed();
+    Verdict {
+        decision,
+        trace: ctx.trace,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -252,7 +326,11 @@ mod tests {
             ),
         );
         let verdict = decide(&cat, &cs, &q1, &q2);
-        assert!(verdict.decision.is_proved(), "verdict: {:?}", verdict.decision);
+        assert!(
+            verdict.decision.is_proved(),
+            "verdict: {:?}",
+            verdict.decision
+        );
     }
 
     /// Without the key constraint the Fig 1 rewrite is *not* provable (and
@@ -306,7 +384,11 @@ mod tests {
             ),
         );
         let verdict = decide(&cat, &cs, &q1, &q2);
-        assert!(verdict.decision.is_proved(), "verdict: {:?}", verdict.decision);
+        assert!(
+            verdict.decision.is_proved(),
+            "verdict: {:?}",
+            verdict.decision
+        );
     }
 
     #[test]
@@ -331,13 +413,20 @@ mod tests {
         let (cat, cs) = setup();
         let r = cat.relation_id("R").unwrap();
         let sid = cat.schema_id("s").unwrap();
-        let q = QueryU::new(v(0), sid, UExpr::sum(v(1), sid, UExpr::rel(r, Expr::Var(v(1)))));
+        let q = QueryU::new(
+            v(0),
+            sid,
+            UExpr::sum(v(1), sid, UExpr::rel(r, Expr::Var(v(1)))),
+        );
         let verdict = decide_with(
             &cat,
             &cs,
             &q,
             &q,
-            DecideConfig { budget: Some(Budget::steps(1)), ..Default::default() },
+            DecideConfig {
+                budget: Some(Budget::steps(1)),
+                ..Default::default()
+            },
         );
         assert_eq!(verdict.decision, Decision::Timeout);
     }
@@ -368,7 +457,10 @@ mod tests {
             &cs,
             &q1,
             &q1,
-            DecideConfig { record_trace: true, ..Default::default() },
+            DecideConfig {
+                record_trace: true,
+                ..Default::default()
+            },
         );
         assert!(verdict.decision.is_proved());
         assert!(!verdict.trace.is_empty());

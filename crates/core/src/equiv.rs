@@ -40,7 +40,16 @@ pub fn udp_equiv(ctx: &mut Ctx, a: &Nf, b: &Nf, ambient: &[Pred]) -> Result<bool
     let mut verdicts: Vec<Vec<Option<bool>>> = vec![vec![None; n]; n];
     let mut assignment = vec![usize::MAX; n];
     let mut used = vec![false; n];
-    let found = match_permutation(ctx, &ca.terms, &cb.terms, ambient, 0, &mut used, &mut verdicts, &mut assignment)?;
+    let found = match_permutation(
+        ctx,
+        &ca.terms,
+        &cb.terms,
+        ambient,
+        0,
+        &mut used,
+        &mut verdicts,
+        &mut assignment,
+    )?;
     if found {
         ctx.trace.record(Rule::Permutation, || {
             StepData::Witness(format!("term pairing: {assignment:?}"))
@@ -118,8 +127,12 @@ pub fn sdp_equiv(ctx: &mut Ctx, a: &Nf, b: &Nf, ambient: &[Pred]) -> Result<bool
     }
 
     if std::env::var("UDP_DEBUG").is_ok() {
-        for t in &ta { eprintln!("SDP A-term: {t}"); }
-        for t in &tb { eprintln!("SDP B-term: {t}"); }
+        for t in &ta {
+            eprintln!("SDP A-term: {t}");
+        }
+        for t in &tb {
+            eprintln!("SDP B-term: {t}");
+        }
     }
     // ‖0‖ = 0: both empty ⇒ equal; one empty ⇒ the other must have at least
     // one satisfiable term — conservatively report inequivalence.
@@ -139,7 +152,11 @@ pub fn sdp_equiv(ctx: &mut Ctx, a: &Nf, b: &Nf, ambient: &[Pred]) -> Result<bool
         }
     }
     ctx.trace.record(Rule::Containment, || {
-        StepData::Witness(format!("mutual containment across {}×{} terms", ta.len(), tb.len()))
+        StepData::Witness(format!(
+            "mutual containment across {}×{} terms",
+            ta.len(),
+            tb.len()
+        ))
     });
     Ok(true)
 }
@@ -296,8 +313,14 @@ mod tests {
     #[test]
     fn union_all_commutes() {
         let (cat, cs, r, s, _) = setup();
-        let q1 = UExpr::add(UExpr::rel(r, Expr::Var(v(0))), UExpr::rel(s, Expr::Var(v(0))));
-        let q2 = UExpr::add(UExpr::rel(s, Expr::Var(v(0))), UExpr::rel(r, Expr::Var(v(0))));
+        let q1 = UExpr::add(
+            UExpr::rel(r, Expr::Var(v(0))),
+            UExpr::rel(s, Expr::Var(v(0))),
+        );
+        let q2 = UExpr::add(
+            UExpr::rel(s, Expr::Var(v(0))),
+            UExpr::rel(r, Expr::Var(v(0))),
+        );
         assert!(check(&cat, &cs, &q1, &q2));
     }
 
@@ -305,7 +328,10 @@ mod tests {
     #[test]
     fn union_all_not_idempotent() {
         let (cat, cs, r, _, _) = setup();
-        let q1 = UExpr::add(UExpr::rel(r, Expr::Var(v(0))), UExpr::rel(r, Expr::Var(v(0))));
+        let q1 = UExpr::add(
+            UExpr::rel(r, Expr::Var(v(0))),
+            UExpr::rel(r, Expr::Var(v(0))),
+        );
         let q2 = UExpr::rel(r, Expr::Var(v(0)));
         assert!(!check(&cat, &cs, &q1, &q2));
     }

@@ -195,7 +195,13 @@ impl Expr {
 
     /// Substitute `v := replacement` and simplify record/concat projections.
     pub fn subst(&self, v: VarId, replacement: &Expr) -> Expr {
-        self.subst_map(&|w| if w == v { Some(replacement.clone()) } else { None })
+        self.subst_map(&|w| {
+            if w == v {
+                Some(replacement.clone())
+            } else {
+                None
+            }
+        })
     }
 
     /// Substitute according to `lookup` (None = keep variable).
@@ -204,14 +210,22 @@ impl Expr {
             Expr::Var(w) => lookup(*w).unwrap_or(Expr::Var(*w)),
             Expr::Attr(e, a) => Expr::attr(e.subst_map(lookup), a.clone()).simplify_head(),
             Expr::Const(c) => Expr::Const(c.clone()),
-            Expr::App(f, args) => Expr::App(f.clone(), args.iter().map(|e| e.subst_map(lookup)).collect()),
+            Expr::App(f, args) => Expr::App(
+                f.clone(),
+                args.iter().map(|e| e.subst_map(lookup)).collect(),
+            ),
             Expr::Agg(name, body) => Expr::Agg(name.clone(), Box::new(body.subst_map(lookup))),
-            Expr::Record(fields) => {
-                Expr::Record(fields.iter().map(|(a, e)| (a.clone(), e.subst_map(lookup))).collect())
-            }
-            Expr::Concat(l, s, r) => {
-                Expr::Concat(Box::new(l.subst_map(lookup)), *s, Box::new(r.subst_map(lookup)))
-            }
+            Expr::Record(fields) => Expr::Record(
+                fields
+                    .iter()
+                    .map(|(a, e)| (a.clone(), e.subst_map(lookup)))
+                    .collect(),
+            ),
+            Expr::Concat(l, s, r) => Expr::Concat(
+                Box::new(l.subst_map(lookup)),
+                *s,
+                Box::new(r.subst_map(lookup)),
+            ),
         }
     }
 
@@ -254,15 +268,21 @@ impl Expr {
                 }
                 Expr::Attr(Box::new(base), a).simplify_head()
             }
-            Expr::App(f, args) => {
-                Expr::App(f, args.into_iter().map(|e| e.resolve_attr_with(left_has)).collect())
-            }
+            Expr::App(f, args) => Expr::App(
+                f,
+                args.into_iter()
+                    .map(|e| e.resolve_attr_with(left_has))
+                    .collect(),
+            ),
             Expr::Agg(name, body) => {
                 let mapped = body.map_exprs(&|e| e.clone().resolve_attr_with(left_has));
                 Expr::Agg(name, Box::new(mapped))
             }
             Expr::Record(fields) => Expr::Record(
-                fields.into_iter().map(|(n, e)| (n, e.resolve_attr_with(left_has))).collect(),
+                fields
+                    .into_iter()
+                    .map(|(n, e)| (n, e.resolve_attr_with(left_has)))
+                    .collect(),
             ),
             Expr::Concat(l, s, r) => Expr::Concat(
                 Box::new(l.resolve_attr_with(left_has)),
@@ -302,9 +322,11 @@ impl Expr {
             Expr::Const(_) => 0,
             Expr::App(_, args) => args.iter().map(Expr::max_var_all).max().unwrap_or(0),
             Expr::Agg(_, body) => body.max_var(),
-            Expr::Record(fields) => {
-                fields.iter().map(|(_, e)| e.max_var_all()).max().unwrap_or(0)
-            }
+            Expr::Record(fields) => fields
+                .iter()
+                .map(|(_, e)| e.max_var_all())
+                .max()
+                .unwrap_or(0),
             Expr::Concat(l, _, r) => l.max_var_all().max(r.max_var_all()),
         }
     }
@@ -378,7 +400,11 @@ impl Pred {
 
     /// A (positive) uninterpreted predicate atom.
     pub fn lift(name: impl Into<String>, args: Vec<Expr>) -> Pred {
-        Pred::Lift { name: name.into(), args, negated: false }
+        Pred::Lift {
+            name: name.into(),
+            args,
+            negated: false,
+        }
     }
 
     /// Logical complement: `[b] ↦ [¬b]` (excluded middle for equality;
@@ -387,9 +413,15 @@ impl Pred {
         match self {
             Pred::Eq(a, b) => Pred::Ne(a.clone(), b.clone()),
             Pred::Ne(a, b) => Pred::Eq(a.clone(), b.clone()),
-            Pred::Lift { name, args, negated } => {
-                Pred::Lift { name: name.clone(), args: args.clone(), negated: !negated }
-            }
+            Pred::Lift {
+                name,
+                args,
+                negated,
+            } => Pred::Lift {
+                name: name.clone(),
+                args: args.clone(),
+                negated: !negated,
+            },
         }
     }
 
@@ -467,7 +499,11 @@ impl Pred {
         match self {
             Pred::Eq(a, b) => Pred::Eq(a.subst_map(lookup), b.subst_map(lookup)),
             Pred::Ne(a, b) => Pred::Ne(a.subst_map(lookup), b.subst_map(lookup)),
-            Pred::Lift { name, args, negated } => Pred::Lift {
+            Pred::Lift {
+                name,
+                args,
+                negated,
+            } => Pred::Lift {
                 name: name.clone(),
                 args: args.iter().map(|e| e.subst_map(lookup)).collect(),
                 negated: *negated,
@@ -480,7 +516,11 @@ impl Pred {
         match self {
             Pred::Eq(a, b) => Pred::Eq(f(a), f(b)),
             Pred::Ne(a, b) => Pred::Ne(f(a), f(b)),
-            Pred::Lift { name, args, negated } => Pred::Lift {
+            Pred::Lift {
+                name,
+                args,
+                negated,
+            } => Pred::Lift {
                 name: name.clone(),
                 args: args.iter().map(f).collect(),
                 negated: *negated,
@@ -510,7 +550,11 @@ impl fmt::Display for Pred {
         match self {
             Pred::Eq(a, b) => write!(f, "[{a} = {b}]"),
             Pred::Ne(a, b) => write!(f, "[{a} ≠ {b}]"),
-            Pred::Lift { name, args, negated } => {
+            Pred::Lift {
+                name,
+                args,
+                negated,
+            } => {
                 if *negated {
                     write!(f, "[¬{name}(")?;
                 } else {

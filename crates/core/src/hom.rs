@@ -316,8 +316,7 @@ impl<'a> Matcher<'a> {
                     .iter()
                     .filter(|(w, s)| {
                         Some(**s) == v_schema
-                            && !(self.mode == MatchMode::Iso
-                                && self.used_target_vars.contains(w))
+                            && !(self.mode == MatchMode::Iso && self.used_target_vars.contains(w))
                     })
                     .map(|(w, _)| *w)
                     .collect();
@@ -361,8 +360,12 @@ impl<'a> Matcher<'a> {
         let mapping = self.mapping.clone();
         let lookup = move |v: VarId| mapping.get(&v).cloned();
 
-        let mapped_preds: Vec<Pred> =
-            self.pattern.preds.iter().map(|p| p.subst_map(&lookup)).collect();
+        let mapped_preds: Vec<Pred> = self
+            .pattern
+            .preds
+            .iter()
+            .map(|p| p.subst_map(&lookup))
+            .collect();
 
         // Uninterpreted aggregates are compared *semantically*: congruent
         // bodies (recursive UDP under the ambient context) collapse to the
@@ -370,11 +373,19 @@ impl<'a> Matcher<'a> {
         // functions are treated as uninterpreted functions", strengthened to
         // equate provably equivalent argument queries).
         let mut agg_list: Vec<Expr> = Vec::new();
-        for p in mapped_preds.iter().chain(self.target.preds.iter()).chain(self.ambient.iter()) {
+        for p in mapped_preds
+            .iter()
+            .chain(self.target.preds.iter())
+            .chain(self.ambient.iter())
+        {
             collect_aggs_pred(p, &mut agg_list);
         }
         let (mapped_preds, target_preds, ambient_preds) = if agg_list.is_empty() {
-            (mapped_preds, self.target.preds.clone(), self.ambient.to_vec())
+            (
+                mapped_preds,
+                self.target.preds.clone(),
+                self.ambient.to_vec(),
+            )
         } else {
             // Aggregate-body equivalence may depend on the equalities that
             // hold in this term (e.g. a group-key filter): extend the ambient
@@ -387,14 +398,28 @@ impl<'a> Matcher<'a> {
                 collect_aggs_pred(p, &mut tmp);
                 tmp.is_empty()
             };
-            let mut agg_ambient: Vec<Pred> =
-                self.ambient.iter().filter(|p| agg_free(p)).cloned().collect();
+            let mut agg_ambient: Vec<Pred> = self
+                .ambient
+                .iter()
+                .filter(|p| agg_free(p))
+                .cloned()
+                .collect();
             agg_ambient.extend(self.target.preds.iter().filter(|p| agg_free(p)).cloned());
             let classes = agg_classes(ctx, agg_list, &agg_ambient)?;
             (
-                mapped_preds.iter().map(|p| replace_aggs_pred(p, &classes)).collect(),
-                self.target.preds.iter().map(|p| replace_aggs_pred(p, &classes)).collect(),
-                self.ambient.iter().map(|p| replace_aggs_pred(p, &classes)).collect(),
+                mapped_preds
+                    .iter()
+                    .map(|p| replace_aggs_pred(p, &classes))
+                    .collect(),
+                self.target
+                    .preds
+                    .iter()
+                    .map(|p| replace_aggs_pred(p, &classes))
+                    .collect(),
+                self.ambient
+                    .iter()
+                    .map(|p| replace_aggs_pred(p, &classes))
+                    .collect(),
             )
         };
 
@@ -403,8 +428,11 @@ impl<'a> Matcher<'a> {
         let mut cc_fwd = Congruence::new();
         cc_fwd.assert_preds(ambient_preds.iter());
         cc_fwd.assert_preds(target_preds.iter());
-        let target_pool: Vec<Pred> =
-            target_preds.iter().chain(ambient_preds.iter()).cloned().collect();
+        let target_pool: Vec<Pred> = target_preds
+            .iter()
+            .chain(ambient_preds.iter())
+            .cloned()
+            .collect();
         for p in &mapped_preds {
             if !entails_pred(ctx, &mut cc_fwd, &target_pool, p) {
                 if std::env::var("UDP_DEBUG").is_ok() {
@@ -419,8 +447,11 @@ impl<'a> Matcher<'a> {
             let mut cc_back = Congruence::new();
             cc_back.assert_preds(ambient_preds.iter());
             cc_back.assert_preds(mapped_preds.iter());
-            let back_pool: Vec<Pred> =
-                mapped_preds.iter().chain(ambient_preds.iter()).cloned().collect();
+            let back_pool: Vec<Pred> = mapped_preds
+                .iter()
+                .chain(ambient_preds.iter())
+                .cloned()
+                .collect();
             for p in &target_preds {
                 if !entails_pred(ctx, &mut cc_back, &back_pool, p) {
                     return Ok(false);
@@ -541,12 +572,7 @@ fn agg_classes(
 /// Are two aggregate expressions provably equal? Same aggregate symbol and
 /// UDP-equivalent argument queries (the bodies use the convention
 /// `agg(Σ_z body(z))`, the `Σ` marking the argument's output tuple).
-pub fn aggs_equiv(
-    ctx: &mut Ctx,
-    a: &Expr,
-    b: &Expr,
-    ambient: &[Pred],
-) -> Result<bool, Exhausted> {
+pub fn aggs_equiv(ctx: &mut Ctx, a: &Expr, b: &Expr, ambient: &[Pred]) -> Result<bool, Exhausted> {
     let (Expr::Agg(n1, b1), Expr::Agg(n2, b2)) = (a, b) else {
         return Ok(false);
     };
@@ -568,10 +594,20 @@ pub fn aggs_equiv(
         (crate::uexpr::UExpr::Sum(z1, s1, e1), crate::uexpr::UExpr::Sum(z2, s2, e2)) => {
             // Attribute *names* must agree; types are advisory (aggregate
             // outputs are often `Unknown`).
-            let names1: Vec<&str> =
-                ctx.catalog.schema(*s1).attrs.iter().map(|(n, _)| n.as_str()).collect();
-            let names2: Vec<&str> =
-                ctx.catalog.schema(*s2).attrs.iter().map(|(n, _)| n.as_str()).collect();
+            let names1: Vec<&str> = ctx
+                .catalog
+                .schema(*s1)
+                .attrs
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect();
+            let names2: Vec<&str> = ctx
+                .catalog
+                .schema(*s2)
+                .attrs
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect();
             if names1 != names2 {
                 return Ok(false);
             }
@@ -597,11 +633,14 @@ fn replace_aggs_expr(e: &Expr, classes: &[(Expr, usize)]) -> Expr {
     }
     match e {
         Expr::Attr(b, a) => Expr::Attr(Box::new(replace_aggs_expr(b, classes)), a.clone()),
-        Expr::App(f, args) => {
-            Expr::App(f.clone(), args.iter().map(|x| replace_aggs_expr(x, classes)).collect())
-        }
+        Expr::App(f, args) => Expr::App(
+            f.clone(),
+            args.iter().map(|x| replace_aggs_expr(x, classes)).collect(),
+        ),
         Expr::Record(fs) => Expr::Record(
-            fs.iter().map(|(n, x)| (n.clone(), replace_aggs_expr(x, classes))).collect(),
+            fs.iter()
+                .map(|(n, x)| (n.clone(), replace_aggs_expr(x, classes)))
+                .collect(),
         ),
         Expr::Concat(l, s, r) => Expr::Concat(
             Box::new(replace_aggs_expr(l, classes)),
@@ -626,7 +665,8 @@ pub fn entails_pred(ctx: &Ctx, cc: &mut Congruence, pool: &[Pred], p: &Pred) -> 
             if ctx.opts.congruence {
                 cc.same(a, b)
             } else {
-                pool.iter().any(|q| q.clone().oriented() == p.clone().oriented())
+                pool.iter()
+                    .any(|q| q.clone().oriented() == p.clone().oriented())
             }
         }
         Pred::Ne(a, b) => {
@@ -647,8 +687,16 @@ pub fn entails_pred(ctx: &Ctx, cc: &mut Congruence, pool: &[Pred], p: &Pred) -> 
                 _ => false,
             })
         }
-        Pred::Lift { name, args, negated } => pool.iter().any(|q| match q {
-            Pred::Lift { name: n2, args: a2, negated: neg2 } => {
+        Pred::Lift {
+            name,
+            args,
+            negated,
+        } => pool.iter().any(|q| match q {
+            Pred::Lift {
+                name: n2,
+                args: a2,
+                negated: neg2,
+            } => {
                 name == n2
                     && negated == neg2
                     && args.len() == a2.len()
@@ -697,7 +745,10 @@ mod tests {
             preds,
             squash: None,
             negation: None,
-            atoms: atoms.iter().map(|&(r, x)| Atom::new(RelId(r), Expr::Var(v(x)))).collect(),
+            atoms: atoms
+                .iter()
+                .map(|&(r, x)| Atom::new(RelId(r), Expr::Var(v(x))))
+                .collect(),
         }
     }
 
@@ -713,7 +764,10 @@ mod tests {
         // pattern: Σ_{t1,t2} [t1.k = t0.k] × R(t2); target: Σ_{t9} R(t9).
         let pattern = term(
             &[1, 2],
-            vec![Pred::eq(Expr::var_attr(v(1), "k"), Expr::var_attr(v(0), "k"))],
+            vec![Pred::eq(
+                Expr::var_attr(v(1), "k"),
+                Expr::var_attr(v(0), "k"),
+            )],
             vec![(0, 2)],
         );
         let target = term(&[9], vec![], vec![(0, 9)]);
@@ -723,9 +777,11 @@ mod tests {
         assert_eq!(found.get(&v(1)), Some(&Expr::Var(v(0))));
         // Isomorphisms are bijections between bound variables only: the same
         // pair must NOT match in Iso mode (and differs in arity anyway).
-        assert!(match_terms(&mut ctx, &pattern, &target, MatchMode::Iso, &[])
-            .unwrap()
-            .is_none());
+        assert!(
+            match_terms(&mut ctx, &pattern, &target, MatchMode::Iso, &[])
+                .unwrap()
+                .is_none()
+        );
     }
 
     /// Direct API calls may violate the globally-fresh-binder invariant;
@@ -768,13 +824,18 @@ mod tests {
         ctx.declare_free(v(0), other);
         let pattern = term(
             &[1, 2],
-            vec![Pred::eq(Expr::var_attr(v(1), "k"), Expr::var_attr(v(0), "k"))],
+            vec![Pred::eq(
+                Expr::var_attr(v(1), "k"),
+                Expr::var_attr(v(0), "k"),
+            )],
             vec![(0, 2)],
         );
         let target = term(&[9], vec![], vec![(0, 9)]);
-        assert!(match_terms(&mut ctx, &pattern, &target, MatchMode::Hom, &[])
-            .unwrap()
-            .is_none());
+        assert!(
+            match_terms(&mut ctx, &pattern, &target, MatchMode::Hom, &[])
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]
@@ -783,12 +844,18 @@ mod tests {
         let mut ctx = Ctx::new(&cat, &cs).with_budget(Budget::unlimited());
         let t1 = term(
             &[1, 2],
-            vec![Pred::eq(Expr::var_attr(v(1), "a"), Expr::var_attr(v(2), "a"))],
+            vec![Pred::eq(
+                Expr::var_attr(v(1), "a"),
+                Expr::var_attr(v(2), "a"),
+            )],
             vec![(0, 1), (1, 2)],
         );
         let t2 = term(
             &[5, 6],
-            vec![Pred::eq(Expr::var_attr(v(6), "a"), Expr::var_attr(v(5), "a"))],
+            vec![Pred::eq(
+                Expr::var_attr(v(6), "a"),
+                Expr::var_attr(v(5), "a"),
+            )],
             vec![(0, 5), (1, 6)],
         );
         let m = match_terms(&mut ctx, &t2, &t1, MatchMode::Iso, &[]).unwrap();
@@ -803,18 +870,28 @@ mod tests {
         let mut ctx = Ctx::new(&cat, &cs).with_budget(Budget::unlimited());
         let t1 = term(&[1], vec![], vec![(0, 1)]);
         let t2 = term(&[2], vec![], vec![(1, 2)]);
-        assert!(match_terms(&mut ctx, &t2, &t1, MatchMode::Iso, &[]).unwrap().is_none());
+        assert!(match_terms(&mut ctx, &t2, &t1, MatchMode::Iso, &[])
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn iso_rejects_missing_predicate() {
         let (cat, cs) = setup();
         let mut ctx = Ctx::new(&cat, &cs).with_budget(Budget::unlimited());
-        let t1 = term(&[1], vec![Pred::lift("p", vec![Expr::var_attr(v(1), "a")])], vec![(0, 1)]);
+        let t1 = term(
+            &[1],
+            vec![Pred::lift("p", vec![Expr::var_attr(v(1), "a")])],
+            vec![(0, 1)],
+        );
         let t2 = term(&[2], vec![], vec![(0, 2)]);
         // pattern t1 has a pred the target lacks (backward check kills it too)
-        assert!(match_terms(&mut ctx, &t1, &t2, MatchMode::Iso, &[]).unwrap().is_none());
-        assert!(match_terms(&mut ctx, &t2, &t1, MatchMode::Iso, &[]).unwrap().is_none());
+        assert!(match_terms(&mut ctx, &t1, &t2, MatchMode::Iso, &[])
+            .unwrap()
+            .is_none());
+        assert!(match_terms(&mut ctx, &t2, &t1, MatchMode::Iso, &[])
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -838,7 +915,9 @@ mod tests {
             ],
             vec![(0, 3), (0, 4)],
         );
-        assert!(match_terms(&mut ctx, &t2, &t1, MatchMode::Iso, &[]).unwrap().is_some());
+        assert!(match_terms(&mut ctx, &t2, &t1, MatchMode::Iso, &[])
+            .unwrap()
+            .is_some());
     }
 
     #[test]
@@ -848,8 +927,12 @@ mod tests {
         // pattern: R(x), R(y) → target: R(z) — both x,y ↦ z (hom only).
         let pat = term(&[1, 2], vec![], vec![(0, 1), (0, 2)]);
         let tgt = term(&[3], vec![], vec![(0, 3)]);
-        assert!(match_terms(&mut ctx, &pat, &tgt, MatchMode::Hom, &[]).unwrap().is_some());
-        assert!(match_terms(&mut ctx, &pat, &tgt, MatchMode::Iso, &[]).unwrap().is_none());
+        assert!(match_terms(&mut ctx, &pat, &tgt, MatchMode::Hom, &[])
+            .unwrap()
+            .is_some());
+        assert!(match_terms(&mut ctx, &pat, &tgt, MatchMode::Iso, &[])
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -857,13 +940,24 @@ mod tests {
         let (cat, cs) = setup();
         let mut ctx = Ctx::new(&cat, &cs).with_budget(Budget::unlimited());
         // pattern: R(x) with p(x.a); target: R(z) without p — no hom.
-        let pat = term(&[1], vec![Pred::lift("p", vec![Expr::var_attr(v(1), "a")])], vec![(0, 1)]);
+        let pat = term(
+            &[1],
+            vec![Pred::lift("p", vec![Expr::var_attr(v(1), "a")])],
+            vec![(0, 1)],
+        );
         let tgt = term(&[3], vec![], vec![(0, 3)]);
-        assert!(match_terms(&mut ctx, &pat, &tgt, MatchMode::Hom, &[]).unwrap().is_none());
+        assert!(match_terms(&mut ctx, &pat, &tgt, MatchMode::Hom, &[])
+            .unwrap()
+            .is_none());
         // with the predicate present, the hom exists.
-        let tgt2 =
-            term(&[3], vec![Pred::lift("p", vec![Expr::var_attr(v(3), "a")])], vec![(0, 3)]);
-        assert!(match_terms(&mut ctx, &pat, &tgt2, MatchMode::Hom, &[]).unwrap().is_some());
+        let tgt2 = term(
+            &[3],
+            vec![Pred::lift("p", vec![Expr::var_attr(v(3), "a")])],
+            vec![(0, 3)],
+        );
+        assert!(match_terms(&mut ctx, &pat, &tgt2, MatchMode::Hom, &[])
+            .unwrap()
+            .is_some());
     }
 
     #[test]
@@ -874,15 +968,23 @@ mod tests {
         // free variables, no match.
         let pat = term(
             &[1],
-            vec![Pred::eq(Expr::var_attr(v(0), "a"), Expr::var_attr(v(1), "a"))],
+            vec![Pred::eq(
+                Expr::var_attr(v(0), "a"),
+                Expr::var_attr(v(1), "a"),
+            )],
             vec![(0, 1)],
         );
         let tgt = term(
             &[2],
-            vec![Pred::eq(Expr::var_attr(v(9), "a"), Expr::var_attr(v(2), "a"))],
+            vec![Pred::eq(
+                Expr::var_attr(v(9), "a"),
+                Expr::var_attr(v(2), "a"),
+            )],
             vec![(0, 2)],
         );
-        assert!(match_terms(&mut ctx, &pat, &tgt, MatchMode::Iso, &[]).unwrap().is_none());
+        assert!(match_terms(&mut ctx, &pat, &tgt, MatchMode::Iso, &[])
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -891,15 +993,23 @@ mod tests {
         let mut ctx = Ctx::new(&cat, &cs).with_budget(Budget::unlimited());
         let pat = term(
             &[1, 2],
-            vec![Pred::ne(Expr::var_attr(v(1), "a"), Expr::var_attr(v(2), "a"))],
+            vec![Pred::ne(
+                Expr::var_attr(v(1), "a"),
+                Expr::var_attr(v(2), "a"),
+            )],
             vec![(0, 1), (0, 2)],
         );
         let tgt = term(
             &[3, 4],
-            vec![Pred::ne(Expr::var_attr(v(4), "a"), Expr::var_attr(v(3), "a"))],
+            vec![Pred::ne(
+                Expr::var_attr(v(4), "a"),
+                Expr::var_attr(v(3), "a"),
+            )],
             vec![(0, 3), (0, 4)],
         );
-        assert!(match_terms(&mut ctx, &pat, &tgt, MatchMode::Iso, &[]).unwrap().is_some());
+        assert!(match_terms(&mut ctx, &pat, &tgt, MatchMode::Iso, &[])
+            .unwrap()
+            .is_some());
     }
 
     #[test]

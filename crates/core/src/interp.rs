@@ -66,7 +66,10 @@ pub struct DomainSpec {
 
 impl Default for DomainSpec {
     fn default() -> Self {
-        DomainSpec { ints: vec![0, 1, 2], strs: vec!["s0".into(), "s1".into()] }
+        DomainSpec {
+            ints: vec![0, 1, 2],
+            strs: vec!["s0".into(), "s1".into()],
+        }
     }
 }
 
@@ -109,7 +112,11 @@ impl<S: USemiring + Hash> Interp<S> {
         for (sid, _) in catalog.schemas() {
             domains.insert(sid, enumerate_tuples(catalog, sid, spec));
         }
-        Interp { domains, relations: HashMap::new(), salt: 0 }
+        Interp {
+            domains,
+            relations: HashMap::new(),
+            salt: 0,
+        }
     }
 
     /// Set the multiplicity function of a relation (absent tuples map to 0).
@@ -198,7 +205,11 @@ impl<S: USemiring + Hash> Interp<S> {
         match p {
             Pred::Eq(a, b) => self.eval_expr(a, env) == self.eval_expr(b, env),
             Pred::Ne(a, b) => self.eval_expr(a, env) != self.eval_expr(b, env),
-            Pred::Lift { name, args, negated } => {
+            Pred::Lift {
+                name,
+                args,
+                negated,
+            } => {
                 let vals: Vec<Val> = args.iter().map(|a| self.eval_expr(a, env)).collect();
                 let raw = match name.as_str() {
                     // Comparisons get their standard meaning so that e.g.
@@ -234,8 +245,7 @@ impl<S: USemiring + Hash> Interp<S> {
             UExpr::Squash(x) => self.eval_uexpr(x, env).squash(),
             UExpr::Not(x) => self.eval_uexpr(x, env).not(),
             UExpr::Sum(v, sid, body) => {
-                let domain: &[Val] =
-                    self.domains.get(sid).map(|d| d.as_slice()).unwrap_or(&[]);
+                let domain: &[Val] = self.domains.get(sid).map(|d| d.as_slice()).unwrap_or(&[]);
                 let mut acc = S::zero();
                 let mut env2 = env.clone();
                 for t in domain {
@@ -249,7 +259,9 @@ impl<S: USemiring + Hash> Interp<S> {
 
     /// Does this interpretation satisfy a key constraint on `rel.attrs`?
     pub fn satisfies_key(&self, rel: RelId, attrs: &[String]) -> bool {
-        let Some(rows) = self.relations.get(&rel) else { return true };
+        let Some(rows) = self.relations.get(&rel) else {
+            return true;
+        };
         let live: Vec<(&Val, &S)> = rows.iter().filter(|(_, s)| **s != S::zero()).collect();
         for (i, (t1, s1)) in live.iter().enumerate() {
             // multiplicity must be idempotent: R(t)² = R(t)
@@ -257,9 +269,7 @@ impl<S: USemiring + Hash> Interp<S> {
                 return false;
             }
             for (t2, _) in live.iter().skip(i + 1) {
-                let same_key = attrs
-                    .iter()
-                    .all(|a| t1.field(a) == t2.field(a));
+                let same_key = attrs.iter().all(|a| t1.field(a) == t2.field(a));
                 if same_key {
                     return false;
                 }
@@ -300,13 +310,19 @@ mod tests {
     }
 
     fn tup(k: i64, a: i64) -> Val {
-        Val::Tuple(BTreeMap::from([("k".to_string(), Val::Int(k)), ("a".to_string(), Val::Int(a))]))
+        Val::Tuple(BTreeMap::from([
+            ("k".to_string(), Val::Int(k)),
+            ("a".to_string(), Val::Int(a)),
+        ]))
     }
 
     #[test]
     fn domains_enumerate_all_tuples() {
         let (cat, sid, _) = setup();
-        let spec = DomainSpec { ints: vec![0, 1], strs: vec![] };
+        let spec = DomainSpec {
+            ints: vec![0, 1],
+            strs: vec![],
+        };
         let tuples = enumerate_tuples(&cat, sid, &spec);
         assert_eq!(tuples.len(), 4); // 2 attrs × 2 values
     }
@@ -314,7 +330,10 @@ mod tests {
     #[test]
     fn relation_multiplicities() {
         let (cat, _, r) = setup();
-        let spec = DomainSpec { ints: vec![0, 1], strs: vec![] };
+        let spec = DomainSpec {
+            ints: vec![0, 1],
+            strs: vec![],
+        };
         let mut interp: Interp<Nat> = Interp::new(&cat, &spec);
         interp.set_relation(r, vec![(tup(0, 1), Nat(2))]);
         let e = UExpr::rel(r, Expr::Var(VarId(0)));
@@ -327,7 +346,10 @@ mod tests {
     #[test]
     fn summation_counts_multiplicities() {
         let (cat, sid, r) = setup();
-        let spec = DomainSpec { ints: vec![0, 1], strs: vec![] };
+        let spec = DomainSpec {
+            ints: vec![0, 1],
+            strs: vec![],
+        };
         let mut interp: Interp<Nat> = Interp::new(&cat, &spec);
         interp.set_relation(r, vec![(tup(0, 0), Nat(2)), (tup(1, 1), Nat(3))]);
         // Σ_t R(t) = 5
@@ -346,7 +368,10 @@ mod tests {
     fn eq15_holds_in_model() {
         // Σ_t [t = e] × R(t) = R(e)
         let (cat, sid, r) = setup();
-        let spec = DomainSpec { ints: vec![0, 1], strs: vec![] };
+        let spec = DomainSpec {
+            ints: vec![0, 1],
+            strs: vec![],
+        };
         let mut interp: Interp<Nat> = Interp::new(&cat, &spec);
         interp.set_relation(r, vec![(tup(0, 1), Nat(4))]);
         let env = BTreeMap::from([(VarId(9), tup(0, 1))]);
@@ -364,12 +389,18 @@ mod tests {
     #[test]
     fn normalize_preserves_value_on_example() {
         let (cat, sid, r) = setup();
-        let spec = DomainSpec { ints: vec![0, 1], strs: vec![] };
+        let spec = DomainSpec {
+            ints: vec![0, 1],
+            strs: vec![],
+        };
         let mut interp: Interp<Nat> = Interp::new(&cat, &spec);
         interp.set_relation(r, vec![(tup(0, 0), Nat(1)), (tup(1, 0), Nat(2))]);
         let e = UExpr::squash(UExpr::mul(
             UExpr::sum(VarId(0), sid, UExpr::rel(r, Expr::Var(VarId(0)))),
-            UExpr::add(UExpr::One, UExpr::sum(VarId(1), sid, UExpr::rel(r, Expr::Var(VarId(1))))),
+            UExpr::add(
+                UExpr::One,
+                UExpr::sum(VarId(1), sid, UExpr::rel(r, Expr::Var(VarId(1)))),
+            ),
         ));
         let nf = normalize(&e);
         let before = interp.eval_uexpr(&e, &BTreeMap::new());
@@ -380,7 +411,10 @@ mod tests {
     #[test]
     fn key_satisfaction_detects_duplicates() {
         let (cat, _, r) = setup();
-        let spec = DomainSpec { ints: vec![0, 1], strs: vec![] };
+        let spec = DomainSpec {
+            ints: vec![0, 1],
+            strs: vec![],
+        };
         let mut interp: Interp<Nat> = Interp::new(&cat, &spec);
         interp.set_relation(r, vec![(tup(0, 0), Nat(1)), (tup(0, 1), Nat(1))]);
         assert!(!interp.satisfies_key(r, &["k".to_string()]));
@@ -397,7 +431,10 @@ mod tests {
         // R = {t0 ↦ x0, t1 ↦ x1}; the self-join on `k` of the two distinct
         // tuples is empty, and the diagonal pairs carry lineage xᵢ ∧ xᵢ = xᵢ.
         let (cat, sid, r) = setup();
-        let spec = DomainSpec { ints: vec![0, 1], strs: vec![] };
+        let spec = DomainSpec {
+            ints: vec![0, 1],
+            strs: vec![],
+        };
         let mut interp: Interp<BoolProv> = Interp::new(&cat, &spec);
         interp.set_relation(
             r,
@@ -426,9 +463,15 @@ mod tests {
     fn fuzzy_degrees_combine_with_min_and_max() {
         use crate::semiring::Fuzzy;
         let (cat, sid, r) = setup();
-        let spec = DomainSpec { ints: vec![0, 1], strs: vec![] };
+        let spec = DomainSpec {
+            ints: vec![0, 1],
+            strs: vec![],
+        };
         let mut interp: Interp<Fuzzy> = Interp::new(&cat, &spec);
-        interp.set_relation(r, vec![(tup(0, 0), Fuzzy::new(30)), (tup(1, 1), Fuzzy::new(80))]);
+        interp.set_relation(
+            r,
+            vec![(tup(0, 0), Fuzzy::new(30)), (tup(1, 1), Fuzzy::new(80))],
+        );
         // Σ_t R(t): the best membership degree of any tuple.
         let e = UExpr::sum(VarId(0), sid, UExpr::rel(r, Expr::Var(VarId(0))));
         assert_eq!(interp.eval_uexpr(&e, &BTreeMap::new()), Fuzzy::new(80));

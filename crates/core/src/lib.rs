@@ -56,6 +56,7 @@ pub mod ctx;
 pub mod decide;
 pub mod equiv;
 pub mod expr;
+pub mod fingerprint;
 pub mod hom;
 pub mod interp;
 pub mod minimize;
@@ -67,6 +68,7 @@ pub mod trace;
 pub mod uexpr;
 
 pub use decide::{decide, decide_with, DecideConfig, Decision, NotProvedReason, QueryU, Verdict};
+pub use fingerprint::{canonical_form, fingerprint, Fingerprint};
 
 /// Convenient re-exports of the types most APIs need.
 pub mod prelude {

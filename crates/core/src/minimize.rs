@@ -40,7 +40,11 @@ pub fn minimize_term(ctx: &mut Ctx, mut t: Term, ambient: &[Pred]) -> Result<Ter
                     continue;
                 }
                 if fold_ok(ctx, &t, &mut cc, ambient, u, w)? {
-                    let before = if ctx.trace.is_enabled() { Some(t.clone()) } else { None };
+                    let before = if ctx.trace.is_enabled() {
+                        Some(t.clone())
+                    } else {
+                        None
+                    };
                     t.vars.remove(i);
                     t = t.subst(u, &Expr::Var(w));
                     t.simplify_preds();
@@ -177,7 +181,10 @@ mod tests {
         let mut ctx = Ctx::new(&cat, &cs).with_budget(Budget::unlimited());
         let t = Term {
             vars: vec![(v(1), SchemaId(0)), (v(2), SchemaId(0))],
-            preds: vec![Pred::eq(Expr::var_attr(v(1), "a"), Expr::var_attr(v(0), "a"))],
+            preds: vec![Pred::eq(
+                Expr::var_attr(v(1), "a"),
+                Expr::var_attr(v(0), "a"),
+            )],
             squash: None,
             negation: None,
             atoms: vec![atom(0, 1), atom(0, 2)],
@@ -197,7 +204,7 @@ mod tests {
         let t = Term {
             vars: vec![(v(1), SchemaId(0)), (v(2), SchemaId(0))],
             preds: vec![
-                Pred::eq(Expr::var_attr(v(1), "a"), Expr::var_attr(v(0), "a"))  ,
+                Pred::eq(Expr::var_attr(v(1), "a"), Expr::var_attr(v(0), "a")),
                 Pred::lift("p", vec![Expr::var_attr(v(2), "a")]),
             ],
             squash: None,
@@ -250,7 +257,11 @@ mod tests {
         let (cat, cs) = setup();
         let mut ctx = Ctx::new(&cat, &cs).with_budget(Budget::unlimited());
         let t = Term {
-            vars: vec![(v(1), SchemaId(0)), (v(2), SchemaId(0)), (v(3), SchemaId(0))],
+            vars: vec![
+                (v(1), SchemaId(0)),
+                (v(2), SchemaId(0)),
+                (v(3), SchemaId(0)),
+            ],
             preds: vec![],
             squash: None,
             negation: None,

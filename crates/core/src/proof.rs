@@ -70,7 +70,11 @@ pub fn random_model(
     interp.salt = seed;
     // Assign multiplicities per relation.
     for (rel, relation) in catalog.relations() {
-        let domain = interp.domains.get(&relation.schema).cloned().unwrap_or_default();
+        let domain = interp
+            .domains
+            .get(&relation.schema)
+            .cloned()
+            .unwrap_or_default();
         let keyed = cs.has_key(rel);
         let mut rows: Vec<(Val, Nat)> = Vec::new();
         for t in domain {
@@ -92,8 +96,7 @@ pub fn random_model(
                 }
                 let mut seen: Vec<Vec<Option<Val>>> = Vec::new();
                 rows.retain(|(t, _)| {
-                    let key: Vec<Option<Val>> =
-                        attrs.iter().map(|a| t.field(a).cloned()).collect();
+                    let key: Vec<Option<Val>> = attrs.iter().map(|a| t.field(a).cloned()).collect();
                     if seen.contains(&key) {
                         false
                     } else {
@@ -147,11 +150,7 @@ pub fn random_model(
 /// Random environment for the free variables of an expression: each free
 /// variable receives a tuple drawn from a schema domain (the same assignment
 /// is used on both sides of an identity).
-fn random_env(
-    free: &[VarId],
-    interp: &Interp<Nat>,
-    rng: &mut Prng,
-) -> BTreeMap<VarId, Val> {
+fn random_env(free: &[VarId], interp: &Interp<Nat>, rng: &mut Prng) -> BTreeMap<VarId, Val> {
     let mut domains: Vec<&Vec<Val>> = interp.domains.values().collect();
     domains.sort_by_key(|d| d.len());
     let mut env = BTreeMap::new();
@@ -184,8 +183,7 @@ fn check_step(
     // conditional identity `[b̄] × before = [b̄] × after`: multiply both
     // sides by the context before comparing.
     let under = |ambient: &[crate::expr::Pred], e: UExpr| {
-        let mut factors: Vec<UExpr> =
-            ambient.iter().cloned().map(UExpr::Pred).collect();
+        let mut factors: Vec<UExpr> = ambient.iter().cloned().map(UExpr::Pred).collect();
         factors.push(e);
         UExpr::product(factors)
     };
@@ -194,13 +192,26 @@ fn check_step(
             (before.clone(), after.to_uexpr())
         }
         // Theorem 4.3 marker: the term equals its own squash.
-        (Rule::SquashIntro, StepData::TermRewrite { before, ambient, .. }) => (
+        (
+            Rule::SquashIntro,
+            StepData::TermRewrite {
+                before, ambient, ..
+            },
+        ) => (
             under(ambient, before.to_uexpr()),
             under(ambient, UExpr::squash(before.to_uexpr())),
         ),
-        (_, StepData::TermRewrite { before, after, ambient }) => {
-            (under(ambient, before.to_uexpr()), under(ambient, term_sum(after)))
-        }
+        (
+            _,
+            StepData::TermRewrite {
+                before,
+                after,
+                ambient,
+            },
+        ) => (
+            under(ambient, before.to_uexpr()),
+            under(ambient, term_sum(after)),
+        ),
         // Search witnesses carry no checkable identity.
         (_, StepData::Witness(_)) => return Ok(()),
         (rule, data) => {
@@ -234,8 +245,14 @@ pub fn check_trace(
     trace: &Trace,
     trials: usize,
 ) -> CheckReport {
-    let spec = DomainSpec { ints: vec![0, 1], strs: vec!["s0".into()] };
-    let mut report = CheckReport { models_per_step: trials, ..Default::default() };
+    let spec = DomainSpec {
+        ints: vec![0, 1],
+        strs: vec!["s0".into()],
+    };
+    let mut report = CheckReport {
+        models_per_step: trials,
+        ..Default::default()
+    };
     for step in trace.steps() {
         report.steps_checked += 1;
         if let Err(msg) = check_step(catalog, cs, step, trials, &spec) {
@@ -301,7 +318,10 @@ mod tests {
         let (cat, mut cs) = setup();
         let r = cat.relation_id("R").unwrap();
         cs.add_key(r, vec!["k".into()]);
-        let spec = DomainSpec { ints: vec![0, 1], strs: vec![] };
+        let spec = DomainSpec {
+            ints: vec![0, 1],
+            strs: vec![],
+        };
         for seed in 0..30 {
             let m = random_model(&cat, &cs, &spec, seed);
             assert!(m.satisfies_key(r, &["k".to_string()]), "seed {seed}");
@@ -343,10 +363,17 @@ mod tests {
             &cs,
             &q1,
             &q2,
-            DecideConfig { record_trace: true, ..Default::default() },
+            DecideConfig {
+                record_trace: true,
+                ..Default::default()
+            },
         );
         assert!(verdict.decision.is_proved());
-        assert!(verdict.trace.len() >= 3, "trace: {}", verdict.trace.render());
+        assert!(
+            verdict.trace.len() >= 3,
+            "trace: {}",
+            verdict.trace.render()
+        );
         let report = check_trace(&cat, &cs, &verdict.trace, 10);
         assert!(report.ok(), "failures: {:?}", report.failures);
         assert!(report.steps_checked >= 3);
@@ -376,7 +403,10 @@ mod tests {
         let (cat, cs) = setup();
         let r = cat.relation_id("R").unwrap();
         let sid = cat.schema_id("s").unwrap();
-        let spec = DomainSpec { ints: vec![0, 1], strs: vec![] };
+        let spec = DomainSpec {
+            ints: vec![0, 1],
+            strs: vec![],
+        };
         let t = VarId(0);
         let b1 = UExpr::rel(r, Expr::Var(t));
         let b2 = UExpr::rel(r, Expr::Var(t));

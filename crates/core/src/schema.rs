@@ -61,7 +61,11 @@ pub struct Schema {
 impl Schema {
     /// Build a schema from its name, attributes, and openness flag.
     pub fn new(name: impl Into<String>, attrs: Vec<(String, Ty)>, open: bool) -> Self {
-        Schema { name: name.into(), attrs, open }
+        Schema {
+            name: name.into(),
+            attrs,
+            open,
+        }
     }
 
     /// Position of an attribute, if declared.
@@ -139,7 +143,11 @@ impl Catalog {
 
     /// Intern a base relation. Identical redeclaration is idempotent;
     /// rebinding a name to a different schema is an error.
-    pub fn add_relation(&mut self, name: impl Into<String>, schema: SchemaId) -> Result<RelId, CatalogError> {
+    pub fn add_relation(
+        &mut self,
+        name: impl Into<String>,
+        schema: SchemaId,
+    ) -> Result<RelId, CatalogError> {
         let name = name.into();
         if let Some(&id) = self.relation_by_name.get(&name) {
             if self.relations[id.0 as usize].schema == schema {
@@ -180,12 +188,18 @@ impl Catalog {
 
     /// Iterate over every schema, anonymous ones included.
     pub fn schemas(&self) -> impl Iterator<Item = (SchemaId, &Schema)> {
-        self.schemas.iter().enumerate().map(|(i, s)| (SchemaId(i as u32), s))
+        self.schemas
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SchemaId(i as u32), s))
     }
 
     /// Iterate over every declared relation.
     pub fn relations(&self) -> impl Iterator<Item = (RelId, &Relation)> {
-        self.relations.iter().enumerate().map(|(i, r)| (RelId(i as u32), r))
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i as u32), r))
     }
 
     /// Number of declared relations.
@@ -222,8 +236,12 @@ pub enum CatalogError {
 impl fmt::Display for CatalogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CatalogError::DuplicateSchema(n) => write!(f, "schema `{n}` redeclared with a different shape"),
-            CatalogError::DuplicateRelation(n) => write!(f, "relation `{n}` redeclared with a different schema"),
+            CatalogError::DuplicateSchema(n) => {
+                write!(f, "schema `{n}` redeclared with a different shape")
+            }
+            CatalogError::DuplicateRelation(n) => {
+                write!(f, "relation `{n}` redeclared with a different schema")
+            }
             CatalogError::UnknownSchema(n) => write!(f, "unknown schema `{n}`"),
             CatalogError::UnknownRelation(n) => write!(f, "unknown relation `{n}`"),
             CatalogError::UnknownAttribute { schema, attr } => {
@@ -240,7 +258,11 @@ mod tests {
     use super::*;
 
     fn two_col(name: &str) -> Schema {
-        Schema::new(name, vec![("a".into(), Ty::Int), ("b".into(), Ty::Int)], false)
+        Schema::new(
+            name,
+            vec![("a".into(), Ty::Int), ("b".into(), Ty::Int)],
+            false,
+        )
     }
 
     #[test]
@@ -268,7 +290,10 @@ mod tests {
         let mut cat = Catalog::new();
         cat.add_schema(two_col("s")).unwrap();
         let other = Schema::new("s", vec![("x".into(), Ty::Bool)], false);
-        assert_eq!(cat.add_schema(other), Err(CatalogError::DuplicateSchema("s".into())));
+        assert_eq!(
+            cat.add_schema(other),
+            Err(CatalogError::DuplicateSchema("s".into()))
+        );
     }
 
     #[test]

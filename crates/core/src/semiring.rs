@@ -217,7 +217,6 @@ impl BoolProv {
     /// Number of provenance variables.
     pub const VARS: usize = 5;
 
-
     /// The provenance variable `x_i` (truth table of the `i`-th projection).
     pub fn var(i: usize) -> BoolProv {
         assert!(i < Self::VARS, "variable index out of range");
@@ -499,7 +498,10 @@ mod tests {
     #[test]
     fn natinf_violates_axiom_6_at_infinity() {
         let err = check_axioms(&natinf_samples()).unwrap_err();
-        assert!(err.contains("(6)"), "expected axiom (6) violation, got: {err}");
+        assert!(
+            err.contains("(6)"),
+            "expected axiom (6) violation, got: {err}"
+        );
         assert_eq!(NatInf::Inf.mul(&NatInf::Inf), NatInf::Inf);
         assert_eq!(NatInf::Inf.squash(), NatInf::Fin(1));
     }
@@ -591,7 +593,9 @@ mod tests {
         assert!(!lin.eval_at(0b00001));
         assert!(!lin.eval_at(0b00010));
         // x0 implies x0 ∨ x1.
-        assert!(BoolProv::var(0).add(&BoolProv::var(1)).implied_by(BoolProv::var(0)));
+        assert!(BoolProv::var(0)
+            .add(&BoolProv::var(1))
+            .implied_by(BoolProv::var(0)));
         assert!(!BoolProv::var(0).implied_by(BoolProv::var(1)));
     }
 

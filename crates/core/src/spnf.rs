@@ -77,7 +77,13 @@ pub struct Nf {
 impl Term {
     /// The term `1` (empty product, no summation).
     pub fn one() -> Term {
-        Term { vars: vec![], preds: vec![], squash: None, negation: None, atoms: vec![] }
+        Term {
+            vars: vec![],
+            preds: vec![],
+            squash: None,
+            negation: None,
+            atoms: vec![],
+        }
     }
 
     /// Is this the term `1`?
@@ -129,8 +135,14 @@ impl Term {
         Term {
             vars: self.vars.clone(),
             preds: self.preds.iter().map(|p| p.subst_map(lookup)).collect(),
-            squash: self.squash.as_ref().map(|nf| Box::new(nf.subst_map(lookup))),
-            negation: self.negation.as_ref().map(|nf| Box::new(nf.subst_map(lookup))),
+            squash: self
+                .squash
+                .as_ref()
+                .map(|nf| Box::new(nf.subst_map(lookup))),
+            negation: self
+                .negation
+                .as_ref()
+                .map(|nf| Box::new(nf.subst_map(lookup))),
             atoms: self
                 .atoms
                 .iter()
@@ -150,7 +162,9 @@ impl Term {
     /// freshness invariant).
     pub fn mul(mut self, mut other: Term) -> Term {
         debug_assert!(
-            self.vars.iter().all(|(v, _)| !other.vars.iter().any(|(w, _)| w == v)),
+            self.vars
+                .iter()
+                .all(|(v, _)| !other.vars.iter().any(|(w, _)| w == v)),
             "binder collision in Term::mul — freshness invariant broken"
         );
         self.vars.append(&mut other.vars);
@@ -172,13 +186,15 @@ impl Term {
     /// safe to multiply with the original.
     pub fn freshen(&self, gen: &mut VarGen) -> Term {
         let mut t = self.clone();
-        let renames: Vec<(VarId, VarId)> =
-            t.vars.iter().map(|(v, _)| (*v, gen.fresh())).collect();
+        let renames: Vec<(VarId, VarId)> = t.vars.iter().map(|(v, _)| (*v, gen.fresh())).collect();
         for ((v, _), (_, nv)) in t.vars.iter_mut().zip(&renames) {
             *v = *nv;
         }
         let lookup = move |w: VarId| {
-            renames.iter().find(|(old, _)| *old == w).map(|(_, nv)| Expr::Var(*nv))
+            renames
+                .iter()
+                .find(|(old, _)| *old == w)
+                .map(|(_, nv)| Expr::Var(*nv))
         };
         let mut renamed = Term {
             vars: t.vars,
@@ -252,7 +268,9 @@ impl Nf {
 
     /// The normal form `1` (the single empty-product term).
     pub fn one() -> Nf {
-        Nf { terms: vec![Term::one()] }
+        Nf {
+            terms: vec![Term::one()],
+        }
     }
 
     /// Is this syntactically `0`?
@@ -310,12 +328,16 @@ impl Nf {
 
     /// Substitute free variables in every term.
     pub fn subst_map(&self, lookup: &dyn Fn(VarId) -> Option<Expr>) -> Nf {
-        Nf { terms: self.terms.iter().map(|t| t.subst_map(lookup)).collect() }
+        Nf {
+            terms: self.terms.iter().map(|t| t.subst_map(lookup)).collect(),
+        }
     }
 
     /// Alpha-rename every binder to fresh ids (see [`Term::freshen`]).
     pub fn freshen(&self, gen: &mut VarGen) -> Nf {
-        Nf { terms: self.terms.iter().map(|t| t.freshen(gen)).collect() }
+        Nf {
+            terms: self.terms.iter().map(|t| t.freshen(gen)).collect(),
+        }
     }
 
     /// Structural size (the Sec 6.3 growth metric).

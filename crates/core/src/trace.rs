@@ -115,7 +115,10 @@ pub struct Trace {
 impl Trace {
     /// A trace that records steps.
     pub fn enabled() -> Self {
-        Trace { enabled: true, steps: vec![] }
+        Trace {
+            enabled: true,
+            steps: vec![],
+        }
     }
 
     /// A trace that drops everything (no recording overhead).
@@ -161,10 +164,13 @@ impl Trace {
                 StepData::Normalize { before, after } => {
                     let _ = write!(out, "\n       {before}\n     = {after}");
                 }
-                StepData::TermRewrite { before, after, ambient } => {
+                StepData::TermRewrite {
+                    before,
+                    after,
+                    ambient,
+                } => {
                     if !ambient.is_empty() {
-                        let rendered: Vec<String> =
-                            ambient.iter().map(|p| p.to_string()).collect();
+                        let rendered: Vec<String> = ambient.iter().map(|p| p.to_string()).collect();
                         let _ = write!(out, " (under {})", rendered.join(" × "));
                     }
                     let _ = write!(out, "\n       {before}");

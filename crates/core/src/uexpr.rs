@@ -109,7 +109,9 @@ impl UExpr {
     /// Nested summation over several variables.
     pub fn sum_over(vars: impl IntoIterator<Item = (VarId, SchemaId)>, body: UExpr) -> UExpr {
         let vars: Vec<_> = vars.into_iter().collect();
-        vars.into_iter().rev().fold(body, |acc, (v, s)| UExpr::sum(v, s, acc))
+        vars.into_iter()
+            .rev()
+            .fold(body, |acc, (v, s)| UExpr::sum(v, s, acc))
     }
 
     /// Free tuple variables (summation binds).

@@ -28,7 +28,11 @@ use udp_core::uexpr::UExpr;
 fn catalog() -> (Catalog, SchemaId, RelId, RelId) {
     let mut cat = Catalog::new();
     let sid = cat
-        .add_schema(Schema::new("s", vec![("k".into(), Ty::Int), ("a".into(), Ty::Int)], false))
+        .add_schema(Schema::new(
+            "s",
+            vec![("k".into(), Ty::Int), ("a".into(), Ty::Int)],
+            false,
+        ))
         .unwrap();
     let r = cat.add_relation("R", sid).unwrap();
     let s = cat.add_relation("S", sid).unwrap();
@@ -169,7 +173,9 @@ fn random_cq_term(bytes: &[u8], sid: SchemaId, rels: [RelId; 2]) -> Term {
     let mut t = Term::one();
     t.vars = vars.iter().map(|v| (*v, sid)).collect();
     let pick = |b: u8| -> VarId {
-        let all: Vec<VarId> = std::iter::once(VarId(0)).chain(vars.iter().copied()).collect();
+        let all: Vec<VarId> = std::iter::once(VarId(0))
+            .chain(vars.iter().copied())
+            .collect();
         all[b as usize % all.len()]
     };
     let natoms = 1 + (take() % 3);
@@ -184,9 +190,13 @@ fn random_cq_term(bytes: &[u8], sid: SchemaId, rels: [RelId; 2]) -> Term {
         if take() % 2 == 0 {
             let v2 = pick(take());
             let a2 = if take() % 2 == 0 { "k" } else { "a" };
-            t.preds.push(Pred::eq(Expr::var_attr(v1, a1), Expr::var_attr(v2, a2)));
+            t.preds
+                .push(Pred::eq(Expr::var_attr(v1, a1), Expr::var_attr(v2, a2)));
         } else {
-            t.preds.push(Pred::eq(Expr::var_attr(v1, a1), Expr::int((take() % 2) as i64)));
+            t.preds.push(Pred::eq(
+                Expr::var_attr(v1, a1),
+                Expr::int((take() % 2) as i64),
+            ));
         }
     }
     t
@@ -197,15 +207,22 @@ fn random_cq_term(bytes: &[u8], sid: SchemaId, rels: [RelId; 2]) -> Term {
 /// variable) and check syntactic atom membership + predicate membership.
 fn bruteforce_hom_exists(pattern: &Term, target: &Term) -> bool {
     let pvars: Vec<VarId> = pattern.vars.iter().map(|(v, _)| *v).collect();
-    let tvars: Vec<VarId> =
-        std::iter::once(VarId(0)).chain(target.vars.iter().map(|(v, _)| *v)).collect();
+    let tvars: Vec<VarId> = std::iter::once(VarId(0))
+        .chain(target.vars.iter().map(|(v, _)| *v))
+        .collect();
     let target_preds: BTreeSet<Pred> = target.preds.iter().map(|p| p.clone().oriented()).collect();
-    let target_atoms: BTreeSet<(RelId, Expr)> =
-        target.atoms.iter().map(|a| (a.rel, a.arg.clone())).collect();
+    let target_atoms: BTreeSet<(RelId, Expr)> = target
+        .atoms
+        .iter()
+        .map(|a| (a.rel, a.arg.clone()))
+        .collect();
     let mut assignment = vec![0usize; pvars.len()];
     loop {
-        let lookup: BTreeMap<VarId, VarId> =
-            pvars.iter().zip(&assignment).map(|(v, i)| (*v, tvars[*i])).collect();
+        let lookup: BTreeMap<VarId, VarId> = pvars
+            .iter()
+            .zip(&assignment)
+            .map(|(v, i)| (*v, tvars[*i]))
+            .collect();
         let map = |w: VarId| lookup.get(&w).map(|nv| Expr::Var(*nv));
         let atoms_ok = pattern.atoms.iter().all(|a| {
             let arg = a.arg.subst_map(&map);

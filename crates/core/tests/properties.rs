@@ -119,17 +119,20 @@ impl<'a> Builder<'a> {
             _ => {
                 let rel = self.rels[(choice / 8) as usize % 2];
                 let v = self.var(bound);
-                UExpr::mul(
-                    UExpr::rel(rel, Expr::Var(v)),
-                    UExpr::Pred(self.pred(bound)),
-                )
+                UExpr::mul(UExpr::rel(rel, Expr::Var(v)), UExpr::Pred(self.pred(bound)))
             }
         }
     }
 }
 
 fn random_uexpr(bytes: &[u8], sid: SchemaId, r: RelId, s: RelId) -> UExpr {
-    let mut b = Builder { bytes, pos: 0, next_var: 0, sid, rels: [r, s] };
+    let mut b = Builder {
+        bytes,
+        pos: 0,
+        next_var: 0,
+        sid,
+        rels: [r, s],
+    };
     let depth = 2 + (bytes.first().copied().unwrap_or(0) % 2);
     b.build(depth, &mut Vec::new())
 }

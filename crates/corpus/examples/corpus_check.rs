@@ -11,7 +11,13 @@ fn main() {
         } else {
             Budget::new(Some(5_000_000), Some(std::time::Duration::from_secs(25)))
         };
-        let out = run_rule(&rule, DecideConfig { budget: Some(budget), ..Default::default() });
+        let out = run_rule(
+            &rule,
+            DecideConfig {
+                budget: Some(budget),
+                ..Default::default()
+            },
+        );
         let ok = out.observed == rule.expect;
         if !ok {
             mismatches += 1;

@@ -1,0 +1,20 @@
+-- name: bugs/count-bug
+-- source: bugs
+-- categories: agg
+-- expect: not-proved
+-- cosette: expressible
+-- note: The COUNT bug (Ganski-Wong, SIGMOD 1987): unnesting a correlated COUNT subquery drops zero-count groups; refuted by the model checker.
+schema parts_s(pnum:int, qoh:int);
+schema supply_s(pnum:int, shipdate:int);
+table parts(parts_s);
+table supply(supply_s);
+verify
+SELECT p.pnum AS pnum FROM parts p
+WHERE p.qoh = (SELECT COUNT(s.shipdate) AS c FROM supply s
+               WHERE s.pnum = p.pnum AND s.shipdate < 10)
+==
+SELECT p.pnum AS pnum
+FROM parts p,
+     (SELECT s.pnum AS pnum, COUNT(s.shipdate) AS ct
+      FROM supply s WHERE s.shipdate < 10 GROUP BY s.pnum) t
+WHERE p.qoh = t.ct AND p.pnum = t.pnum;

@@ -1,0 +1,14 @@
+-- name: bugs/oracle-outer-join
+-- source: bugs
+-- categories: ucq
+-- expect: unsupported
+-- cosette: inexpressible
+-- note: Oracle outer-join bug 19052113: the fragment has no outer joins, so the pair is rejected rather than misjudged.
+schema emp_s(empno:int, deptno:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT e.empno AS empno FROM emp e LEFT JOIN dept d ON e.deptno = d.deptno
+==
+SELECT e.empno AS empno FROM emp e;

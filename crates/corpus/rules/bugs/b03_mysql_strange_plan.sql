@@ -1,0 +1,12 @@
+-- name: bugs/mysql-strange-plan
+-- source: bugs
+-- categories: distinct
+-- expect: not-proved
+-- cosette: expressible
+-- note: MySQL bug-style invalid DISTINCT elimination without a key; UDP refuses and the checker can refute it.
+schema rs(k:int, a:int);
+table r(rs);
+verify
+SELECT DISTINCT x.a AS a FROM r x
+==
+SELECT x.a AS a FROM r x;

@@ -1,0 +1,14 @@
+-- name: calcite/filter-merge
+-- source: calcite
+-- categories: ucq
+-- expect: proved
+-- cosette: expressible
+-- note: FilterMergeRule: adjacent filters fuse into a conjunction.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT * FROM (SELECT * FROM emp e WHERE e.sal > 1) f WHERE f.deptno > 2
+==
+SELECT * FROM emp e WHERE e.sal > 1 AND e.deptno > 2;

@@ -1,0 +1,14 @@
+-- name: calcite/filter-project-transpose
+-- source: calcite
+-- categories: ucq
+-- expect: proved
+-- cosette: expressible
+-- note: FilterProjectTransposeRule: filter moves below a projection.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT t.sal AS sal FROM (SELECT e.sal AS sal, e.deptno AS deptno FROM emp e) t WHERE t.deptno = 10
+==
+SELECT e.sal AS sal FROM emp e WHERE e.deptno = 10;

@@ -1,0 +1,14 @@
+-- name: calcite/filter-into-join-left
+-- source: calcite
+-- categories: ucq
+-- expect: proved
+-- cosette: expressible
+-- note: FilterJoinRule: filter on the left input pushes into the join.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT e.sal AS sal, d.dname AS dname FROM emp e JOIN dept d ON e.deptno = d.deptno WHERE e.sal = 1000
+==
+SELECT e.sal AS sal, d.dname AS dname FROM (SELECT * FROM emp e2 WHERE e2.sal = 1000) e JOIN dept d ON e.deptno = d.deptno;

@@ -1,0 +1,14 @@
+-- name: calcite/filter-into-join-right
+-- source: calcite
+-- categories: ucq
+-- expect: proved
+-- cosette: expressible
+-- note: FilterJoinRule: filter on the right input pushes into the join.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT e.sal AS sal, d.dname AS dname FROM emp e JOIN dept d ON e.deptno = d.deptno WHERE d.dname = 'x'
+==
+SELECT e.sal AS sal, d.dname AS dname FROM emp e JOIN (SELECT * FROM dept d2 WHERE d2.dname = 'x') d ON e.deptno = d.deptno;

@@ -1,0 +1,14 @@
+-- name: calcite/join-condition-push
+-- source: calcite
+-- categories: ucq
+-- expect: proved
+-- cosette: expressible
+-- note: JoinConditionPushRule: non-join conjuncts of ON move to WHERE.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT e.sal AS sal FROM emp e JOIN dept d ON e.deptno = d.deptno AND e.sal = 5
+==
+SELECT e.sal AS sal FROM emp e JOIN dept d ON e.deptno = d.deptno WHERE e.sal = 5;

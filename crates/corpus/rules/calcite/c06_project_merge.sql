@@ -1,0 +1,14 @@
+-- name: calcite/project-merge
+-- source: calcite
+-- categories: ucq
+-- expect: proved
+-- cosette: expressible
+-- note: ProjectMergeRule: stacked projections collapse.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT t.sal AS sal FROM (SELECT e.sal AS sal, e.empno AS empno FROM emp e) t
+==
+SELECT e.sal AS sal FROM emp e;

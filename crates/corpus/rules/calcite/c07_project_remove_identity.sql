@@ -1,0 +1,14 @@
+-- name: calcite/project-remove-identity
+-- source: calcite
+-- categories: ucq
+-- expect: proved
+-- cosette: expressible
+-- note: ProjectRemoveRule: an identity projection is a no-op.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT e.empno AS empno, e.deptno AS deptno, e.sal AS sal FROM emp e
+==
+SELECT * FROM emp e;

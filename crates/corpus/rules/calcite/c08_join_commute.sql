@@ -1,0 +1,14 @@
+-- name: calcite/join-commute
+-- source: calcite
+-- categories: ucq
+-- expect: proved
+-- cosette: expressible
+-- note: JoinCommuteRule: join inputs swap.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT e.sal AS sal, d.dname AS dname FROM emp e, dept d WHERE e.deptno = d.deptno
+==
+SELECT e.sal AS sal, d.dname AS dname FROM dept d, emp e WHERE e.deptno = d.deptno;

@@ -1,0 +1,20 @@
+-- name: calcite/join-associate
+-- source: calcite
+-- categories: ucq
+-- expect: proved
+-- cosette: expressible
+-- note: JoinAssociateRule: join trees reassociate.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+schema bonus_s(empno:int, amount:int);
+table bonus(bonus_s);
+verify
+SELECT u.sal AS sal, b.amount AS amount
+FROM (SELECT e.sal AS sal, e.empno AS empno, e.deptno AS deptno FROM emp e, dept d WHERE e.deptno = d.deptno) u, bonus b
+WHERE u.empno = b.empno
+==
+SELECT e.sal AS sal, v.amount AS amount
+FROM emp e, (SELECT d.deptno AS deptno, b.amount AS amount, b.empno AS empno FROM dept d, bonus b) v
+WHERE e.deptno = v.deptno AND e.empno = v.empno;

@@ -1,0 +1,14 @@
+-- name: calcite/cross-to-inner-join
+-- source: calcite
+-- categories: ucq
+-- expect: proved
+-- cosette: expressible
+-- note: A cross join plus join predicate is the inner join.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT e.sal AS sal FROM emp e CROSS JOIN dept d WHERE e.deptno = d.deptno
+==
+SELECT e.sal AS sal FROM emp e JOIN dept d ON e.deptno = d.deptno;

@@ -1,0 +1,14 @@
+-- name: calcite/reduce-expr-true-and
+-- source: calcite
+-- categories: ucq
+-- expect: proved
+-- cosette: expressible
+-- note: ReduceExpressionsRule: TRUE AND p reduces to p.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT * FROM emp e WHERE TRUE AND e.sal = 7
+==
+SELECT * FROM emp e WHERE e.sal = 7;

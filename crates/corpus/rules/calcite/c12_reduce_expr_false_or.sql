@@ -1,0 +1,14 @@
+-- name: calcite/reduce-expr-false-or
+-- source: calcite
+-- categories: ucq
+-- expect: proved
+-- cosette: expressible
+-- note: ReduceExpressionsRule: FALSE OR p reduces to p.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT * FROM emp e WHERE 1 = 2 OR e.sal = 7
+==
+SELECT * FROM emp e WHERE e.sal = 7;

@@ -1,0 +1,14 @@
+-- name: calcite/constant-filter-reduce
+-- source: calcite
+-- categories: ucq
+-- expect: proved
+-- cosette: expressible
+-- note: ReduceExpressionsRule: constant-true comparison drops.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT * FROM emp e WHERE 1 = 1 AND e.deptno = 3
+==
+SELECT * FROM emp e WHERE e.deptno = 3;

@@ -1,0 +1,16 @@
+-- name: calcite/union-merge-assoc
+-- source: calcite
+-- categories: ucq
+-- expect: proved
+-- cosette: expressible
+-- note: UnionMergeRule: nested UNION ALL flattens.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+table emp2(emp_s);
+table emp3(emp_s);
+verify
+SELECT e.sal AS v FROM emp e UNION ALL (SELECT f.sal AS v FROM emp2 f UNION ALL SELECT g.sal AS v FROM emp3 g)
+==
+(SELECT e.sal AS v FROM emp e UNION ALL SELECT f.sal AS v FROM emp2 f) UNION ALL SELECT g.sal AS v FROM emp3 g;

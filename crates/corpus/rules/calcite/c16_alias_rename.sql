@@ -1,0 +1,14 @@
+-- name: calcite/alias-rename
+-- source: calcite
+-- categories: ucq
+-- expect: proved
+-- cosette: expressible
+-- note: Renaming table aliases preserves the query.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT e.sal AS sal FROM emp e WHERE e.deptno = 4
+==
+SELECT worker.sal AS sal FROM emp worker WHERE worker.deptno = 4;

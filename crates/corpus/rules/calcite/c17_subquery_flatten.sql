@@ -1,0 +1,14 @@
+-- name: calcite/subquery-flatten
+-- source: calcite
+-- categories: ucq
+-- expect: proved
+-- cosette: expressible
+-- note: A trivial FROM-subquery flattens away.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT t.sal AS sal FROM (SELECT * FROM emp e) t WHERE t.empno = 1
+==
+SELECT e.sal AS sal FROM emp e WHERE e.empno = 1;

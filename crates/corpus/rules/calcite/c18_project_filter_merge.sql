@@ -1,0 +1,14 @@
+-- name: calcite/project-filter-merge
+-- source: calcite
+-- categories: ucq
+-- expect: proved
+-- cosette: expressible
+-- note: Projection over filter merges into one SELECT.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT t.sal AS sal FROM (SELECT * FROM emp e WHERE e.deptno = 2) t WHERE t.sal > 5
+==
+SELECT e.sal AS sal FROM emp e WHERE e.deptno = 2 AND e.sal > 5;

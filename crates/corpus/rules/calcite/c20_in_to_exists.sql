@@ -1,0 +1,14 @@
+-- name: calcite/in-to-exists
+-- source: calcite
+-- categories: ucq
+-- expect: proved
+-- cosette: expressible
+-- note: IN subquery rewrites to correlated EXISTS.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT e.sal AS sal FROM emp e WHERE e.deptno IN (SELECT d.deptno AS deptno FROM dept d WHERE d.dname = 'eng')
+==
+SELECT e.sal AS sal FROM emp e WHERE EXISTS (SELECT * FROM dept d WHERE d.deptno = e.deptno AND d.dname = 'eng');

@@ -1,0 +1,16 @@
+-- name: calcite/semijoin-remove-fk
+-- source: calcite
+-- categories: cond
+-- expect: proved
+-- cosette: inexpressible
+-- note: SemiJoinRemoveRule: EXISTS against the FK parent always holds.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+key dept(deptno);
+foreign key emp(deptno) references dept(deptno);
+verify
+SELECT e.sal AS sal FROM emp e WHERE EXISTS (SELECT * FROM dept d WHERE d.deptno = e.deptno)
+==
+SELECT e.sal AS sal FROM emp e;

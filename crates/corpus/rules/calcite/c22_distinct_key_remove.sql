@@ -1,0 +1,15 @@
+-- name: calcite/distinct-key-remove
+-- source: calcite
+-- categories: cond, distinct
+-- expect: proved
+-- cosette: inexpressible
+-- note: AggregateRemoveRule: DISTINCT over a keyed table is a no-op.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+key emp(empno);
+verify
+SELECT DISTINCT * FROM emp e
+==
+SELECT * FROM emp e;

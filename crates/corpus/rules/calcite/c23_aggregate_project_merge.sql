@@ -1,0 +1,14 @@
+-- name: calcite/aggregate-project-merge
+-- source: calcite
+-- categories: agg
+-- expect: proved
+-- cosette: expressible
+-- note: AggregateProjectMergeRule: projection below a grouped aggregate inlines.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT t.deptno AS deptno, SUM(t.sal) AS s FROM (SELECT e.deptno AS deptno, e.sal AS sal FROM emp e) t GROUP BY t.deptno
+==
+SELECT e.deptno AS deptno, SUM(e.sal) AS s FROM emp e GROUP BY e.deptno;

@@ -1,0 +1,14 @@
+-- name: calcite/group-by-column-commute
+-- source: calcite
+-- categories: agg
+-- expect: proved
+-- cosette: expressible
+-- note: Grouping column order is irrelevant.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT e.deptno AS deptno, e.sal AS sal, COUNT(e.empno) AS c FROM emp e GROUP BY e.deptno, e.sal
+==
+SELECT e.deptno AS deptno, e.sal AS sal, COUNT(e.empno) AS c FROM emp e GROUP BY e.sal, e.deptno;

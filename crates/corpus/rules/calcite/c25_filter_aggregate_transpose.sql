@@ -1,0 +1,14 @@
+-- name: calcite/filter-aggregate-transpose
+-- source: calcite
+-- categories: agg
+-- expect: proved
+-- cosette: expressible
+-- note: FilterAggregateTransposeRule: filter on a group key moves below the aggregate.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT t.deptno AS deptno, t.s AS s FROM (SELECT e.deptno AS deptno, SUM(e.sal) AS s FROM emp e GROUP BY e.deptno) t WHERE t.deptno = 10
+==
+SELECT e.deptno AS deptno, SUM(e.sal) AS s FROM emp e WHERE e.deptno = 10 GROUP BY e.deptno;

@@ -1,0 +1,14 @@
+-- name: calcite/group-alias-rename
+-- source: calcite
+-- categories: agg
+-- expect: proved
+-- cosette: expressible
+-- note: Alias renaming under GROUP BY.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT e.deptno AS deptno, SUM(e.sal) AS t FROM emp e WHERE e.empno = 0 GROUP BY e.deptno
+==
+SELECT q.deptno AS deptno, SUM(q.sal) AS t FROM emp q WHERE q.empno = 0 GROUP BY q.deptno;

@@ -1,0 +1,14 @@
+-- name: calcite/count-star-vs-count-one
+-- source: calcite
+-- categories: agg
+-- expect: proved
+-- cosette: expressible
+-- note: COUNT(*) and COUNT(1) desugar identically.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT e.deptno AS deptno, COUNT(*) AS c FROM emp e GROUP BY e.deptno
+==
+SELECT e.deptno AS deptno, COUNT(1) AS c FROM emp e GROUP BY e.deptno;

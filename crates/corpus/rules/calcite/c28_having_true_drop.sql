@@ -1,0 +1,14 @@
+-- name: calcite/having-true-drop
+-- source: calcite
+-- categories: agg
+-- expect: proved
+-- cosette: expressible
+-- note: HAVING TRUE drops.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT e.deptno AS deptno, SUM(e.sal) AS s FROM emp e GROUP BY e.deptno HAVING TRUE
+==
+SELECT e.deptno AS deptno, SUM(e.sal) AS s FROM emp e GROUP BY e.deptno;

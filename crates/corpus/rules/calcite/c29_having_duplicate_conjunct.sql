@@ -1,0 +1,14 @@
+-- name: calcite/having-duplicate-conjunct
+-- source: calcite
+-- categories: agg
+-- expect: proved
+-- cosette: expressible
+-- note: Duplicate HAVING conjuncts collapse (predicate idempotence).
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT e.deptno AS deptno, SUM(e.sal) AS s FROM emp e GROUP BY e.deptno HAVING SUM(e.sal) > 3 AND SUM(e.sal) > 3
+==
+SELECT e.deptno AS deptno, SUM(e.sal) AS s FROM emp e GROUP BY e.deptno HAVING SUM(e.sal) > 3;

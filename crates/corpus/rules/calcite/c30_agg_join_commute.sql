@@ -1,0 +1,14 @@
+-- name: calcite/agg-join-commute
+-- source: calcite
+-- categories: agg
+-- expect: proved
+-- cosette: expressible
+-- note: Join below a grouped aggregate commutes.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT e.deptno AS deptno, SUM(e.sal) AS s FROM emp e, dept d WHERE e.deptno = d.deptno GROUP BY e.deptno
+==
+SELECT e.deptno AS deptno, SUM(e.sal) AS s FROM dept d, emp e WHERE e.deptno = d.deptno GROUP BY e.deptno;

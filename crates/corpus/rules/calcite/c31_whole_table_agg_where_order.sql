@@ -1,0 +1,14 @@
+-- name: calcite/whole-table-agg-where-order
+-- source: calcite
+-- categories: agg
+-- expect: proved
+-- cosette: expressible
+-- note: Whole-table aggregate with reordered WHERE conjuncts.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT SUM(e.sal) AS s FROM emp e WHERE e.deptno = 10 AND e.empno = 5
+==
+SELECT SUM(e.sal) AS s FROM emp e WHERE e.empno = 5 AND e.deptno = 10;

@@ -1,0 +1,14 @@
+-- name: calcite/count-distinct-consistent
+-- source: calcite
+-- categories: agg, distinct
+-- expect: proved
+-- cosette: expressible
+-- note: COUNT(DISTINCT) is stable under alias renaming.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT COUNT(DISTINCT e.deptno) AS c FROM emp e
+==
+SELECT COUNT(DISTINCT e2.deptno) AS c FROM emp e2;

@@ -1,0 +1,18 @@
+-- name: calcite/aggregate-subquery-filter-merge
+-- source: calcite
+-- categories: agg
+-- expect: proved
+-- cosette: expressible
+-- note: Filters inside a correlated scalar COUNT subquery merge.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+schema supply_s(pnum:int, shipdate:int);
+table supply(supply_s);
+verify
+SELECT e.empno AS empno FROM emp e
+WHERE e.sal = (SELECT COUNT(s.shipdate) AS c FROM supply s WHERE s.pnum = e.empno AND s.shipdate < 10)
+==
+SELECT e.empno AS empno FROM emp e
+WHERE e.sal = (SELECT COUNT(t.shipdate) AS c FROM (SELECT * FROM supply s WHERE s.pnum = e.empno) t WHERE t.shipdate < 10);

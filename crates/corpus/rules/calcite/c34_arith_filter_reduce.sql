@@ -1,0 +1,14 @@
+-- name: calcite/arith-filter-reduce
+-- source: calcite
+-- categories: ucq
+-- expect: not-proved
+-- cosette: expressible
+-- note: sal + 0 = sal needs interpreted arithmetic; + is uninterpreted here.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT * FROM emp e WHERE e.sal + 0 = 100
+==
+SELECT * FROM emp e WHERE e.sal = 100;

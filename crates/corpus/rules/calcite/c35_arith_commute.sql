@@ -1,0 +1,14 @@
+-- name: calcite/arith-commute
+-- source: calcite
+-- categories: ucq
+-- expect: not-proved
+-- cosette: expressible
+-- note: a + b = b + a needs interpreted arithmetic.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT * FROM emp e WHERE e.sal + e.empno = 10
+==
+SELECT * FROM emp e WHERE e.empno + e.sal = 10;

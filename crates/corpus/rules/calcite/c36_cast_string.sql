@@ -1,0 +1,14 @@
+-- name: calcite/cast-string
+-- source: calcite
+-- categories: ucq
+-- expect: not-proved
+-- cosette: expressible
+-- note: CAST is an uninterpreted function; removing a redundant cast is unprovable.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT * FROM emp e WHERE CAST(e.sal AS int) = 5
+==
+SELECT * FROM emp e WHERE e.sal = 5;

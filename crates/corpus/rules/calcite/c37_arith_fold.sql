@@ -1,0 +1,14 @@
+-- name: calcite/arith-fold
+-- source: calcite
+-- categories: ucq
+-- expect: not-proved
+-- cosette: expressible
+-- note: Constant folding 1 + 1 = 2 needs interpreted arithmetic.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT * FROM emp e WHERE e.sal = 1 + 1
+==
+SELECT * FROM emp e WHERE e.sal = 2;

@@ -1,0 +1,14 @@
+-- name: calcite/cast-date
+-- source: calcite
+-- categories: ucq
+-- expect: not-proved
+-- cosette: expressible
+-- note: Date casts are uninterpreted; the rewrite is out of reach.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT * FROM emp e WHERE CAST(e.sal AS date) = CAST(5 AS date)
+==
+SELECT * FROM emp e WHERE e.sal = 5;

@@ -1,0 +1,14 @@
+-- name: calcite/unsupported-case-when
+-- source: calcite
+-- categories: ucq
+-- expect: unsupported
+-- cosette: inexpressible
+-- note: Out-of-fragment exemplar: CASE WHEN (paper dialect rejects it).
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT CASE WHEN e.sal = 1 THEN 1 ELSE 0 END AS c FROM emp e
+==
+SELECT * FROM emp e;

@@ -1,0 +1,14 @@
+-- name: calcite/unsupported-left-join
+-- source: calcite
+-- categories: ucq
+-- expect: unsupported
+-- cosette: inexpressible
+-- note: Out-of-fragment exemplar: LEFT OUTER JOIN.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT e.sal AS sal FROM emp e LEFT JOIN dept d ON e.deptno = d.deptno
+==
+SELECT * FROM emp e;

@@ -1,0 +1,14 @@
+-- name: calcite/unsupported-order-by
+-- source: calcite
+-- categories: ucq
+-- expect: unsupported
+-- cosette: inexpressible
+-- note: Out-of-fragment exemplar: ORDER BY (list semantics).
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT * FROM emp e ORDER BY e.sal
+==
+SELECT * FROM emp e;

@@ -1,0 +1,14 @@
+-- name: calcite/unsupported-window-over
+-- source: calcite
+-- categories: ucq
+-- expect: unsupported
+-- cosette: inexpressible
+-- note: Out-of-fragment exemplar: window functions.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT SUM(e.sal) OVER (PARTITION BY e.deptno) AS w FROM emp e
+==
+SELECT * FROM emp e;

@@ -1,0 +1,14 @@
+-- name: calcite/unsupported-values
+-- source: calcite
+-- categories: ucq
+-- expect: unsupported
+-- cosette: inexpressible
+-- note: Out-of-fragment exemplar: VALUES constructors (paper dialect).
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT * FROM (VALUES (1, 2, 3)) v
+==
+SELECT * FROM emp e;

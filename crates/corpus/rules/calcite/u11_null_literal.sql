@@ -1,0 +1,14 @@
+-- name: calcite/unsupported-null-literal
+-- source: calcite
+-- categories: ucq
+-- expect: unsupported
+-- cosette: inexpressible
+-- note: Out-of-fragment exemplar: NULL literal.
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT * FROM emp e WHERE e.sal = NULL
+==
+SELECT * FROM emp e;

@@ -1,0 +1,14 @@
+-- name: calcite/unsupported-case-in-filter
+-- source: calcite
+-- categories: ucq
+-- expect: unsupported
+-- cosette: inexpressible
+-- note: Out-of-fragment exemplar: CASE inside WHERE (paper dialect).
+schema emp_s(empno:int, deptno:int, sal:int);
+schema dept_s(deptno:int, dname:string);
+table emp(emp_s);
+table dept(dept_s);
+verify
+SELECT * FROM emp e WHERE CASE WHEN e.sal = 1 THEN 1 ELSE 0 END = 1
+==
+SELECT * FROM emp e;

@@ -1,0 +1,14 @@
+-- name: extension/union-dedup
+-- source: extension
+-- dialect: extended
+-- ext-feature: set-union
+-- categories: ucq
+-- expect: proved
+-- cosette: inexpressible
+-- note: R UNION R equals DISTINCT R (squash idempotence).
+schema s(k:int, a:int);
+table r(s);
+verify
+SELECT * FROM r x UNION SELECT * FROM r y
+==
+SELECT DISTINCT * FROM r z;

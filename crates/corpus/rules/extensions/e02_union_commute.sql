@@ -1,0 +1,15 @@
+-- name: extension/union-commute
+-- source: extension
+-- dialect: extended
+-- ext-feature: set-union
+-- categories: ucq
+-- expect: proved
+-- cosette: inexpressible
+-- note: Set UNION commutes.
+schema s(k:int, a:int);
+table r(s);
+table r2(s);
+verify
+SELECT * FROM r x UNION SELECT * FROM r2 y
+==
+SELECT * FROM r2 y UNION SELECT * FROM r x;

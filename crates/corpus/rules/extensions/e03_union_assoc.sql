@@ -1,0 +1,16 @@
+-- name: extension/union-assoc
+-- source: extension
+-- dialect: extended
+-- ext-feature: set-union
+-- categories: ucq
+-- expect: proved
+-- cosette: inexpressible
+-- note: Set UNION reassociates.
+schema s(k:int, a:int);
+table r(s);
+table r2(s);
+table r3(s);
+verify
+SELECT * FROM r x UNION (SELECT * FROM r2 y UNION SELECT * FROM r3 z)
+==
+(SELECT * FROM r x UNION SELECT * FROM r2 y) UNION SELECT * FROM r3 z;

@@ -1,0 +1,15 @@
+-- name: extension/union-absorbs-distinct
+-- source: extension
+-- dialect: extended
+-- ext-feature: set-union
+-- categories: ucq
+-- expect: proved
+-- cosette: inexpressible
+-- note: A DISTINCT branch is absorbed by the surrounding set UNION.
+schema s(k:int, a:int);
+table r(s);
+table r2(s);
+verify
+SELECT DISTINCT * FROM r x UNION SELECT * FROM r2 y
+==
+SELECT * FROM r x UNION SELECT * FROM r2 y;

@@ -1,0 +1,15 @@
+-- name: extension/intersect-commute
+-- source: extension
+-- dialect: extended
+-- ext-feature: intersect
+-- categories: ucq
+-- expect: proved
+-- cosette: inexpressible
+-- note: INTERSECT commutes.
+schema s(k:int, a:int);
+table r(s);
+table r2(s);
+verify
+SELECT * FROM r x INTERSECT SELECT * FROM r2 y
+==
+SELECT * FROM r2 y INTERSECT SELECT * FROM r x;

@@ -1,0 +1,14 @@
+-- name: extension/intersect-idempotent
+-- source: extension
+-- dialect: extended
+-- ext-feature: intersect
+-- categories: ucq
+-- expect: proved
+-- cosette: inexpressible
+-- note: R INTERSECT R is DISTINCT R.
+schema s(k:int, a:int);
+table r(s);
+verify
+SELECT * FROM r x INTERSECT SELECT * FROM r y
+==
+SELECT DISTINCT * FROM r z;

@@ -1,0 +1,15 @@
+-- name: extension/distinct-unionall-is-union
+-- source: extension
+-- dialect: extended
+-- ext-feature: set-union
+-- categories: ucq
+-- expect: proved
+-- cosette: inexpressible
+-- note: DISTINCT over UNION ALL is set UNION (Sec 6.4 desugaring).
+schema s(k:int, a:int);
+table r(s);
+table r2(s);
+verify
+SELECT x.a AS v FROM r x UNION SELECT y.a AS v FROM r2 y
+==
+SELECT DISTINCT t.v AS v FROM (SELECT x.a AS v FROM r x UNION ALL SELECT y.a AS v FROM r2 y) t;

@@ -1,0 +1,16 @@
+-- name: extension/intersect-via-exists
+-- source: extension
+-- dialect: extended
+-- ext-feature: intersect
+-- categories: ucq
+-- expect: proved
+-- cosette: inexpressible
+-- note: Projection INTERSECT is a DISTINCT semijoin.
+schema s(k:int, a:int);
+table r(s);
+table r2(s);
+verify
+SELECT x.k AS k FROM r x INTERSECT SELECT y.k AS k FROM r2 y
+==
+SELECT DISTINCT x.k AS k FROM r x
+WHERE EXISTS (SELECT * FROM r2 y WHERE y.k = x.k);

@@ -1,0 +1,12 @@
+-- name: extension/values-commute
+-- source: extension
+-- dialect: extended
+-- ext-feature: values
+-- categories: ucq
+-- expect: proved
+-- cosette: inexpressible
+-- note: VALUES rows commute (sum of tuple-equality terms).
+verify
+SELECT * FROM (VALUES (1, 2), (3, 4)) v
+==
+SELECT * FROM (VALUES (3, 4), (1, 2)) w;

@@ -1,0 +1,12 @@
+-- name: extension/values-dedup
+-- source: extension
+-- dialect: extended
+-- ext-feature: values
+-- categories: ucq
+-- expect: proved
+-- cosette: inexpressible
+-- note: A constant filter over a VALUES relation folds away the dead rows, deduplicating the literal relation.
+verify
+SELECT * FROM (VALUES (1), (2)) v WHERE v.c0 = 1
+==
+SELECT * FROM (VALUES (1)) w;

@@ -1,0 +1,14 @@
+-- name: extension/case-fold
+-- source: extension
+-- dialect: extended
+-- ext-feature: case
+-- categories: ucq
+-- expect: proved
+-- cosette: inexpressible
+-- note: CASE compared to a constant folds to its live branch.
+schema s(k:int, a:int);
+table r(s);
+verify
+SELECT * FROM r x WHERE CASE WHEN x.a = 1 THEN 1 ELSE 0 END = 1
+==
+SELECT * FROM r x WHERE x.a = 1;

@@ -1,0 +1,14 @@
+-- name: extension/case-branch-swap
+-- source: extension
+-- dialect: extended
+-- ext-feature: case
+-- categories: ucq
+-- expect: proved
+-- cosette: inexpressible
+-- note: Swapping CASE branches under a negated guard.
+schema s(k:int, a:int);
+table r(s);
+verify
+SELECT * FROM r x WHERE CASE WHEN x.a = 1 THEN 1 ELSE 0 END = 1
+==
+SELECT * FROM r x WHERE CASE WHEN NOT (x.a = 1) THEN 0 ELSE 1 END = 1;

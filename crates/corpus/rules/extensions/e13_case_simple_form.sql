@@ -1,0 +1,14 @@
+-- name: extension/case-simple-form
+-- source: extension
+-- dialect: extended
+-- ext-feature: case
+-- categories: ucq
+-- expect: proved
+-- cosette: inexpressible
+-- note: Simple CASE desugars to searched CASE.
+schema s(k:int, a:int);
+table r(s);
+verify
+SELECT * FROM r x WHERE CASE x.k WHEN 0 THEN 1 ELSE 0 END = 1
+==
+SELECT * FROM r x WHERE CASE WHEN x.k = 0 THEN 1 ELSE 0 END = 1;

@@ -1,0 +1,14 @@
+-- name: extension/case-projection
+-- source: extension
+-- dialect: extended
+-- ext-feature: case
+-- categories: ucq
+-- expect: proved
+-- cosette: inexpressible
+-- note: CASE in the projection is stable under alias renaming.
+schema s(k:int, a:int);
+table r(s);
+verify
+SELECT CASE WHEN x.k = 1 THEN 1 ELSE 0 END AS c FROM r x
+==
+SELECT CASE WHEN y.k = 1 THEN 1 ELSE 0 END AS c FROM r y;

@@ -1,0 +1,16 @@
+-- name: extension/natural-join-equijoin
+-- source: extension
+-- dialect: extended
+-- ext-feature: natural-join
+-- categories: ucq
+-- expect: proved
+-- cosette: inexpressible
+-- note: NATURAL JOIN desugars to the equijoin on shared columns.
+schema rs(k:int, a:int);
+schema ss(k:int, b:int);
+table r(rs);
+table r2(ss);
+verify
+SELECT x.a AS a, y.b AS b FROM r x NATURAL JOIN r2 y
+==
+SELECT x.a AS a, y.b AS b FROM r x, r2 y WHERE x.k = y.k;

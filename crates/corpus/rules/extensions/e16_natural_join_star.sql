@@ -1,0 +1,16 @@
+-- name: extension/natural-join-star
+-- source: extension
+-- dialect: extended
+-- ext-feature: natural-join
+-- categories: ucq
+-- expect: proved
+-- cosette: inexpressible
+-- note: NATURAL JOIN star projection emits each shared column once.
+schema rs(k:int, a:int);
+schema ss(k:int, b:int);
+table r(rs);
+table r2(ss);
+verify
+SELECT * FROM r x NATURAL JOIN r2 y
+==
+SELECT x.k AS k, x.a AS a, y.b AS b FROM r x, r2 y WHERE x.k = y.k;

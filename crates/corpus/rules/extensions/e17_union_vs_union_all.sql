@@ -1,0 +1,14 @@
+-- name: extension/union-vs-union-all
+-- source: extension
+-- dialect: extended
+-- ext-feature: set-union
+-- categories: ucq
+-- expect: not-proved
+-- cosette: inexpressible
+-- note: Deliberately wrong: set UNION is not bag UNION ALL; the model checker refutes it.
+schema s(k:int, a:int);
+table r(s);
+verify
+SELECT * FROM r x UNION SELECT * FROM r y
+==
+SELECT * FROM r x UNION ALL SELECT * FROM r y;

@@ -1,0 +1,14 @@
+-- name: literature/fig1-index-selection
+-- source: literature
+-- categories: cond
+-- expect: proved
+-- cosette: inexpressible
+-- note: Fig 1 / Ex 4.7 — index-lookup plan equals the table scan, given key r(k) (GMAP index view).
+schema rs(k:int, a:int);
+table r(rs);
+key r(k);
+index i on r(a);
+verify
+SELECT * FROM r t WHERE t.a >= 12
+==
+SELECT t2.* FROM i t1, r t2 WHERE t1.k = t2.k AND t1.a >= 12;

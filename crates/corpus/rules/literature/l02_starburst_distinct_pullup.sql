@@ -1,0 +1,20 @@
+-- name: literature/starburst-distinct-pullup
+-- source: literature
+-- categories: cond, distinct
+-- expect: proved
+-- cosette: manual
+-- note: Sec 5.4 Starburst rewrite mixing set and bag semantics; needs key itm(itemno).
+schema price_s(itemno:int, np:int);
+schema itm_s(itemno:int, type:string);
+table price(price_s);
+table itm(itm_s);
+key itm(itemno);
+verify
+SELECT ip.np AS np, i2.type AS type, i2.itemno AS itemno
+FROM (SELECT DISTINCT itp.itemno AS itn, itp.np AS np
+      FROM price itp WHERE itp.np > 1000) ip, itm i2
+WHERE ip.itn = i2.itemno
+==
+SELECT DISTINCT p.np AS np, i2.type AS type, i2.itemno AS itemno
+FROM price p, itm i2
+WHERE p.np > 1000 AND p.itemno = i2.itemno;

@@ -1,0 +1,12 @@
+-- name: literature/distinct-pullup
+-- source: literature
+-- categories: distinct
+-- expect: proved
+-- cosette: expressible
+-- note: DISTINCT commutes with a filtering projection subquery.
+schema rs(k:int, a:int, b:int);
+table r(rs);
+verify
+SELECT DISTINCT t.a AS a FROM (SELECT x.a AS a FROM r x WHERE x.b = 1) t
+==
+SELECT DISTINCT x.a AS a FROM r x WHERE x.b = 1;

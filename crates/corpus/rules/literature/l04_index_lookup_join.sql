@@ -1,0 +1,16 @@
+-- name: literature/index-lookup-join
+-- source: literature
+-- categories: cond
+-- expect: proved
+-- cosette: inexpressible
+-- note: Selection via the GMAP index view joined back on the key, under an extra join.
+schema rs(k:int, a:int);
+schema ss(id:int, c:int);
+table r(rs);
+table s(ss);
+key r(k);
+index i on r(a);
+verify
+SELECT y.c AS c FROM r t, s y WHERE t.a = 5 AND t.k = y.id
+==
+SELECT y.c AS c FROM i t1, r t2, s y WHERE t1.k = t2.k AND t1.a = 5 AND t2.k = y.id;

@@ -1,0 +1,13 @@
+-- name: literature/self-join-key-elim
+-- source: literature
+-- categories: cond
+-- expect: proved
+-- cosette: inexpressible
+-- note: Self-join on a key collapses to the base table (Ex 4.5).
+schema rs(k:int, a:int);
+table r(rs);
+key r(k);
+verify
+SELECT x.* FROM r x, r y WHERE x.k = y.k
+==
+SELECT * FROM r z;

@@ -1,0 +1,16 @@
+-- name: literature/fk-join-elim
+-- source: literature
+-- categories: cond
+-- expect: proved
+-- cosette: inexpressible
+-- note: Join to the parent along a foreign key is a no-op when nothing of the parent is kept (Sec 4.2).
+schema rs(fk:int, a:int);
+schema ss(id:int, c:int);
+table r(rs);
+table s(ss);
+key s(id);
+foreign key r(fk) references s(id);
+verify
+SELECT x.a AS a FROM r x, s y WHERE x.fk = y.id
+==
+SELECT x.a AS a FROM r x;

@@ -1,0 +1,13 @@
+-- name: literature/distinct-star-key
+-- source: literature
+-- categories: cond, distinct
+-- expect: proved
+-- cosette: inexpressible
+-- note: DISTINCT * is a no-op on a keyed table (rows are duplicate-free).
+schema rs(k:int, a:int, b:int);
+table r(rs);
+key r(k);
+verify
+SELECT DISTINCT * FROM r x
+==
+SELECT * FROM r x;

@@ -1,0 +1,13 @@
+-- name: literature/key-lookup-dedup
+-- source: literature
+-- categories: cond, distinct
+-- expect: proved
+-- cosette: inexpressible
+-- note: Selecting on the whole key yields at most one row, so DISTINCT is redundant.
+schema rs(k:int, a:int);
+table r(rs);
+key r(k);
+verify
+SELECT DISTINCT x.a AS a FROM r x WHERE x.k = 5
+==
+SELECT x.a AS a FROM r x WHERE x.k = 5;

@@ -1,0 +1,15 @@
+-- name: literature/fk-exists-elim
+-- source: literature
+-- categories: cond
+-- expect: proved
+-- cosette: inexpressible
+-- note: EXISTS against the FK parent is always true (referential integrity).
+schema as_(id:int, pb:int);
+schema bs(id:int);
+table a(as_);
+table b(bs);
+foreign key a(pb) references b(id);
+verify
+SELECT x.id AS id FROM a x
+==
+SELECT x.id AS id FROM a x WHERE EXISTS (SELECT * FROM b y WHERE y.id = x.pb);

@@ -1,0 +1,13 @@
+-- name: literature/distinct-proj-key
+-- source: literature
+-- categories: cond, distinct
+-- expect: proved
+-- cosette: inexpressible
+-- note: Projection including the key stays duplicate-free; DISTINCT removable.
+schema rs(k:int, a:int, b:int);
+table r(rs);
+key r(k);
+verify
+SELECT DISTINCT x.k AS k, x.a AS a FROM r x
+==
+SELECT x.k AS k, x.a AS a FROM r x;

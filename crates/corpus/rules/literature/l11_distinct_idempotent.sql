@@ -1,0 +1,12 @@
+-- name: literature/distinct-idempotent
+-- source: literature
+-- categories: distinct
+-- expect: proved
+-- cosette: manual
+-- note: DISTINCT of DISTINCT is DISTINCT (squash idempotence, axiom (2)).
+schema rs(k:int, a:int);
+table r(rs);
+verify
+SELECT DISTINCT t.a AS a FROM (SELECT DISTINCT x.a AS a FROM r x) t
+==
+SELECT DISTINCT x.a AS a FROM r x;

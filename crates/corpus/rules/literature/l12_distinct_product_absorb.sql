@@ -1,0 +1,14 @@
+-- name: literature/distinct-product-absorb
+-- source: literature
+-- categories: distinct
+-- expect: proved
+-- cosette: manual
+-- note: Under DISTINCT a semijoin and a join agree (Theorem 4.3 squash introduction).
+schema rs(k:int, a:int, b:int);
+schema ss(k2:int, c:int);
+table r(rs);
+table s(ss);
+verify
+SELECT DISTINCT x.a AS a FROM r x WHERE EXISTS (SELECT * FROM s y WHERE y.k2 = x.k)
+==
+SELECT DISTINCT x.a AS a FROM r x, s y WHERE y.k2 = x.k;

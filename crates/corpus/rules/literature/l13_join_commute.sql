@@ -1,0 +1,14 @@
+-- name: literature/join-commute
+-- source: literature
+-- categories: ucq
+-- expect: proved
+-- cosette: manual
+-- note: Join operands commute under bag semantics (x is commutative).
+schema rs(k:int, a:int);
+schema ss(k2:int, c:int);
+table r(rs);
+table s(ss);
+verify
+SELECT x.a AS a, y.c AS c FROM r x, s y WHERE x.k = y.k2
+==
+SELECT x.a AS a, y.c AS c FROM s y, r x WHERE x.k = y.k2;

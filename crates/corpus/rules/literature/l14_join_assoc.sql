@@ -1,0 +1,20 @@
+-- name: literature/join-assoc
+-- source: literature
+-- categories: ucq
+-- expect: proved
+-- cosette: manual
+-- note: Join trees reassociate: (r join s) join t = r join (s join t).
+schema rs(k:int, a:int);
+schema ss(k2:int, c:int);
+schema ts(id:int, e:int);
+table r(rs);
+table s(ss);
+table t(ts);
+verify
+SELECT u.a AS a, z.e AS e
+FROM (SELECT x.a AS a, y.k2 AS k2 FROM r x, s y WHERE x.k = y.k2) u, t z
+WHERE u.k2 = z.id
+==
+SELECT x.a AS a, v.e AS e
+FROM r x, (SELECT y.k2 AS k2, z.e AS e, z.id AS id FROM s y, t z WHERE y.k2 = z.id) v
+WHERE x.k = v.k2;

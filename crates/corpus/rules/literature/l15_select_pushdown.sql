@@ -1,0 +1,14 @@
+-- name: literature/select-pushdown
+-- source: literature
+-- categories: ucq
+-- expect: proved
+-- cosette: manual
+-- note: A filter on one side of a join pushes below the join.
+schema rs(k:int, a:int);
+schema ss(k2:int, c:int);
+table r(rs);
+table s(ss);
+verify
+SELECT x.a AS a, y.c AS c FROM r x, s y WHERE x.k = y.k2 AND x.a = 1
+==
+SELECT x.a AS a, y.c AS c FROM (SELECT * FROM r x2 WHERE x2.a = 1) x, s y WHERE x.k = y.k2;

@@ -1,0 +1,12 @@
+-- name: literature/select-merge
+-- source: literature
+-- categories: ucq
+-- expect: proved
+-- cosette: manual
+-- note: Stacked filters merge into their conjunction.
+schema rs(k:int, a:int, b:int);
+table r(rs);
+verify
+SELECT * FROM (SELECT * FROM r x WHERE x.a > 1) y WHERE y.b > 2
+==
+SELECT * FROM r x WHERE x.a > 1 AND x.b > 2;

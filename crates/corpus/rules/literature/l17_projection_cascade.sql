@@ -1,0 +1,12 @@
+-- name: literature/projection-cascade
+-- source: literature
+-- categories: ucq
+-- expect: proved
+-- cosette: manual
+-- note: Nested projections collapse to the outermost one.
+schema rs(k:int, a:int, b:int);
+table r(rs);
+verify
+SELECT t.a AS a FROM (SELECT x.a AS a, x.b AS b FROM r x) t
+==
+SELECT x.a AS a FROM r x;

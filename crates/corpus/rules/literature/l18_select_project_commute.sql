@@ -1,0 +1,12 @@
+-- name: literature/select-project-commute
+-- source: literature
+-- categories: ucq
+-- expect: proved
+-- cosette: manual
+-- note: A filter on kept columns commutes with the projection.
+schema rs(k:int, a:int);
+table r(rs);
+verify
+SELECT t.a AS a FROM (SELECT x.a AS a, x.k AS k FROM r x) t WHERE t.k = 1
+==
+SELECT t.a AS a FROM (SELECT x.a AS a, x.k AS k FROM r x WHERE x.k = 1) t;

@@ -1,0 +1,14 @@
+-- name: literature/union-all-commute
+-- source: literature
+-- categories: ucq
+-- expect: proved
+-- cosette: manual
+-- note: UNION ALL branches commute (+ is commutative).
+schema rs(k:int, a:int, b:int);
+schema ss(k2:int, c:int);
+table r(rs);
+table s(ss);
+verify
+SELECT x.a AS v FROM r x UNION ALL SELECT y.c AS v FROM s y
+==
+SELECT y.c AS v FROM s y UNION ALL SELECT x.a AS v FROM r x;

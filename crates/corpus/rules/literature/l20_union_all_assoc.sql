@@ -1,0 +1,14 @@
+-- name: literature/union-all-assoc
+-- source: literature
+-- categories: ucq
+-- expect: proved
+-- cosette: manual
+-- note: UNION ALL reassociates (+ is associative).
+schema rs(k:int, a:int);
+table r(rs);
+table r2(rs);
+table r3(rs);
+verify
+SELECT x.a AS v FROM r x UNION ALL (SELECT y.a AS v FROM r2 y UNION ALL SELECT z.a AS v FROM r3 z)
+==
+(SELECT x.a AS v FROM r x UNION ALL SELECT y.a AS v FROM r2 y) UNION ALL SELECT z.a AS v FROM r3 z;

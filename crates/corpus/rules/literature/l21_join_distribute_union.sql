@@ -1,0 +1,19 @@
+-- name: literature/join-distribute-union
+-- source: literature
+-- categories: ucq
+-- expect: proved
+-- cosette: manual
+-- note: Join distributes over UNION ALL (distributivity of x over +).
+schema rs(k:int, a:int);
+schema ss(k2:int, c:int);
+table r(rs);
+table r2(rs);
+table s(ss);
+verify
+SELECT u.v AS v, y.c AS c
+FROM (SELECT x.a AS v FROM r x UNION ALL SELECT z.a AS v FROM r2 z) u, s y
+WHERE u.v = y.k2
+==
+SELECT x.a AS v, y.c AS c FROM r x, s y WHERE x.a = y.k2
+UNION ALL
+SELECT z.a AS v, y.c AS c FROM r2 z, s y WHERE z.a = y.k2;

@@ -1,0 +1,13 @@
+-- name: literature/select-distribute-union
+-- source: literature
+-- categories: ucq
+-- expect: proved
+-- cosette: manual
+-- note: A filter distributes over UNION ALL.
+schema rs(k:int, a:int);
+table r(rs);
+table r2(rs);
+verify
+SELECT u.v AS v FROM (SELECT x.a AS v FROM r x UNION ALL SELECT z.a AS v FROM r2 z) u WHERE u.v = 1
+==
+SELECT x.a AS v FROM r x WHERE x.a = 1 UNION ALL SELECT z.a AS v FROM r2 z WHERE z.a = 1;

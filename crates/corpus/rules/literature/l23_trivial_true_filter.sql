@@ -1,0 +1,12 @@
+-- name: literature/trivial-true-filter
+-- source: literature
+-- categories: ucq
+-- expect: proved
+-- cosette: expressible
+-- note: A tautological conjunct drops ([b] with b trivially true is 1).
+schema g(a:int, ??);
+table r(g);
+verify
+SELECT x.a AS a FROM r x WHERE TRUE AND x.a = 10
+==
+SELECT x.a AS a FROM r x WHERE x.a = 10;

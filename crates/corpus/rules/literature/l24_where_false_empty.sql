@@ -1,0 +1,12 @@
+-- name: literature/where-false-empty
+-- source: literature
+-- categories: ucq
+-- expect: proved
+-- cosette: expressible
+-- note: Trivially false filters make both sides the empty bag.
+schema rs(k:int, a:int);
+table r(rs);
+verify
+SELECT x.a AS a FROM r x WHERE 1 = 2
+==
+SELECT y.a AS a FROM r y, r z WHERE 2 = 3;

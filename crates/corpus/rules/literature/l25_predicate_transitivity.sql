@@ -1,0 +1,14 @@
+-- name: literature/predicate-transitivity
+-- source: literature
+-- categories: ucq
+-- expect: proved
+-- cosette: manual
+-- note: Equalities propagate through the congruence closure: k = k2 and k2 = 1 gives k = 1.
+schema rs(k:int, a:int);
+schema ss(k2:int, c:int);
+table r(rs);
+table s(ss);
+verify
+SELECT x.a AS a FROM r x, s y WHERE x.k = y.k2 AND y.k2 = 1
+==
+SELECT x.a AS a FROM r x, s y WHERE x.k = 1 AND x.k = y.k2;

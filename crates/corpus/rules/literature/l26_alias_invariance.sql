@@ -1,0 +1,14 @@
+-- name: literature/alias-invariance
+-- source: literature
+-- categories: ucq
+-- expect: proved
+-- cosette: manual
+-- note: Table aliases are bound variables; renaming them changes nothing.
+schema rs(k:int, a:int);
+schema ss(k2:int, c:int);
+table r(rs);
+table s(ss);
+verify
+SELECT x.a AS a FROM r x, s y WHERE x.k = y.k2 AND x.a > 3
+==
+SELECT emp.a AS a FROM r emp, s dept WHERE emp.k = dept.k2 AND emp.a > 3;

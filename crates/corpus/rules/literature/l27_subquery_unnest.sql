@@ -1,0 +1,12 @@
+-- name: literature/subquery-unnest
+-- source: literature
+-- categories: ucq
+-- expect: proved
+-- cosette: manual
+-- note: A filtering FROM-subquery flattens into the outer query.
+schema rs(k:int, a:int);
+table r(rs);
+verify
+SELECT t.a AS a FROM (SELECT x.a AS a, x.k AS k FROM r x WHERE x.k = 1) t WHERE t.a = 2
+==
+SELECT x.a AS a FROM r x WHERE x.k = 1 AND x.a = 2;

@@ -1,0 +1,12 @@
+-- name: literature/group-by-commute
+-- source: literature
+-- categories: agg
+-- expect: proved
+-- cosette: expressible
+-- note: GROUP BY key order is irrelevant.
+schema rs(k:int, a:int, b:int);
+table r(rs);
+verify
+SELECT x.k AS k, x.b AS b, SUM(x.a) AS t FROM r x GROUP BY x.k, x.b
+==
+SELECT x.k AS k, x.b AS b, SUM(x.a) AS t FROM r x GROUP BY x.b, x.k;

@@ -1,0 +1,14 @@
+-- name: literature/agg-join-commute
+-- source: literature
+-- categories: agg
+-- expect: proved
+-- cosette: expressible
+-- note: Commuting the join below a grouped aggregate preserves the result.
+schema rs(k:int, a:int);
+schema ss(k2:int, c:int);
+table r(rs);
+table s(ss);
+verify
+SELECT x.k AS k, SUM(x.a) AS t FROM r x, s y WHERE x.k = y.k2 GROUP BY x.k
+==
+SELECT x.k AS k, SUM(x.a) AS t FROM s y, r x WHERE x.k = y.k2 GROUP BY x.k;

@@ -85,8 +85,12 @@ pub enum Category {
 
 impl Category {
     /// Every Fig 6 category, in display order.
-    pub const ALL: [Category; 4] =
-        [Category::Ucq, Category::Cond, Category::Agg, Category::DistinctSubquery];
+    pub const ALL: [Category; 4] = [
+        Category::Ucq,
+        Category::Cond,
+        Category::Agg,
+        Category::DistinctSubquery,
+    ];
 }
 
 impl fmt::Display for Category {
@@ -188,7 +192,10 @@ impl std::error::Error for RuleParseError {}
 
 /// Parse a rule file (header comments + program text).
 pub fn parse_rule(file: &str, text: &str) -> Result<Rule, RuleParseError> {
-    let err = |message: String| RuleParseError { file: file.to_string(), message };
+    let err = |message: String| RuleParseError {
+        file: file.to_string(),
+        message,
+    };
     let mut name = None;
     let mut source = None;
     let mut categories = BTreeSet::new();
@@ -355,7 +362,11 @@ mod tests {
     #[test]
     fn registry_loads_every_rule() {
         let rules = all_rules();
-        assert!(rules.len() >= 80, "expected a full corpus, got {}", rules.len());
+        assert!(
+            rules.len() >= 80,
+            "expected a full corpus, got {}",
+            rules.len()
+        );
         let mut names: Vec<&str> = rules.iter().map(|r| r.name.as_str()).collect();
         names.sort();
         names.dedup();
@@ -365,17 +376,34 @@ mod tests {
     #[test]
     fn corpus_counts_match_fig5_structure() {
         let rules = all_rules();
-        let lit: Vec<_> = rules.iter().filter(|r| r.source == Source::Literature).collect();
-        let cal: Vec<_> = rules.iter().filter(|r| r.source == Source::Calcite).collect();
+        let lit: Vec<_> = rules
+            .iter()
+            .filter(|r| r.source == Source::Literature)
+            .collect();
+        let cal: Vec<_> = rules
+            .iter()
+            .filter(|r| r.source == Source::Calcite)
+            .collect();
         let bugs: Vec<_> = rules.iter().filter(|r| r.source == Source::Bugs).collect();
         assert_eq!(lit.len(), 29, "29 literature rules (Fig 5)");
         assert_eq!(bugs.len(), 3, "3 documented bugs (Fig 5)");
-        let cal_supported =
-            cal.iter().filter(|r| r.expect != Expectation::Unsupported).count();
-        assert_eq!(cal_supported, CALCITE_SUPPORTED_RULES, "39 supported Calcite rules (Fig 5)");
-        let cal_proved = cal.iter().filter(|r| r.expect == Expectation::Proved).count();
+        let cal_supported = cal
+            .iter()
+            .filter(|r| r.expect != Expectation::Unsupported)
+            .count();
+        assert_eq!(
+            cal_supported, CALCITE_SUPPORTED_RULES,
+            "39 supported Calcite rules (Fig 5)"
+        );
+        let cal_proved = cal
+            .iter()
+            .filter(|r| r.expect == Expectation::Proved)
+            .count();
         assert_eq!(cal_proved, 33, "33 proved Calcite rules (Fig 5)");
-        let lit_proved = lit.iter().filter(|r| r.expect == Expectation::Proved).count();
+        let lit_proved = lit
+            .iter()
+            .filter(|r| r.expect == Expectation::Proved)
+            .count();
         assert_eq!(lit_proved, 29, "all literature rules proved (Fig 5)");
     }
 }

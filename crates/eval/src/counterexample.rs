@@ -112,7 +112,13 @@ pub fn check_program_in(
     let program = udp_sql::parse_program_with(text, dialect).map_err(|e| e.to_string())?;
     let fe = udp_sql::build_frontend(&program).map_err(|e| e.to_string())?;
     let (q1, q2) = fe.goals.first().cloned().ok_or("no verify goal")?;
-    Ok(find_counterexample(&fe, &q1, &q2, trials, &GenConfig::default()))
+    Ok(find_counterexample(
+        &fe,
+        &q1,
+        &q2,
+        trials,
+        &GenConfig::default(),
+    ))
 }
 
 #[cfg(test)]

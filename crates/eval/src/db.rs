@@ -129,7 +129,10 @@ mod tests {
             rows: vec![vec![Value::Int(2)], vec![Value::Int(1)]],
         };
         assert!(a.same_bag(&b));
-        let c = ResultBag { columns: vec!["x".into()], rows: vec![vec![Value::Int(1)]] };
+        let c = ResultBag {
+            columns: vec!["x".into()],
+            rows: vec![vec![Value::Int(1)]],
+        };
         assert!(!a.same_bag(&c));
     }
 

@@ -73,7 +73,10 @@ struct Env<'a> {
 
 impl<'a> Env<'a> {
     fn child(&'a self) -> Env<'a> {
-        Env { parent: Some(self), frames: Vec::new() }
+        Env {
+            parent: Some(self),
+            frames: Vec::new(),
+        }
     }
 
     fn lookup_qualified(&self, alias: &str, col: &str) -> Option<Value> {
@@ -89,9 +92,7 @@ impl<'a> Env<'a> {
         let hits: Vec<Value> = self
             .frames
             .iter()
-            .filter_map(|(_, cols, row)| {
-                cols.iter().position(|c| c == col).map(|i| row[i].clone())
-            })
+            .filter_map(|(_, cols, row)| cols.iter().position(|c| c == col).map(|i| row[i].clone()))
             .collect();
         match hits.len() {
             1 => Ok(Some(hits.into_iter().next().unwrap())),
@@ -126,7 +127,10 @@ fn eval_query_env(
             }
             let mut rows = ra.rows;
             rows.extend(rb.rows);
-            Ok(ResultBag { columns: ra.columns, rows })
+            Ok(ResultBag {
+                columns: ra.columns,
+                rows,
+            })
         }
         Query::Except(a, b) => {
             let ra = eval_query_env(fe, db, a, env)?;
@@ -135,9 +139,15 @@ fn eval_query_env(
                 return Err(EvalError::ArityMismatch);
             }
             // Paper IR semantics: keep q1 rows whose tuple is absent from q2.
-            let rows =
-                ra.rows.into_iter().filter(|r| !rb.rows.contains(r)).collect();
-            Ok(ResultBag { columns: ra.columns, rows })
+            let rows = ra
+                .rows
+                .into_iter()
+                .filter(|r| !rb.rows.contains(r))
+                .collect();
+            Ok(ResultBag {
+                columns: ra.columns,
+                rows,
+            })
         }
         // Extended dialect: set-semantics UNION = dedup(q1 ++ q2).
         Query::Union(a, b) => {
@@ -149,7 +159,10 @@ fn eval_query_env(
             let mut rows = ra.rows;
             rows.extend(rb.rows);
             dedup_rows(&mut rows);
-            Ok(ResultBag { columns: ra.columns, rows })
+            Ok(ResultBag {
+                columns: ra.columns,
+                rows,
+            })
         }
         // Extended dialect: set-semantics INTERSECT = dedup(q1 ∩ q2).
         Query::Intersect(a, b) => {
@@ -158,10 +171,16 @@ fn eval_query_env(
             if ra.columns.len() != rb.columns.len() {
                 return Err(EvalError::ArityMismatch);
             }
-            let mut rows: Vec<Row> =
-                ra.rows.into_iter().filter(|r| rb.rows.contains(r)).collect();
+            let mut rows: Vec<Row> = ra
+                .rows
+                .into_iter()
+                .filter(|r| rb.rows.contains(r))
+                .collect();
             dedup_rows(&mut rows);
-            Ok(ResultBag { columns: ra.columns, rows })
+            Ok(ResultBag {
+                columns: ra.columns,
+                rows,
+            })
         }
         // Extended dialect: VALUES — one row per tuple of constants.
         Query::Values(value_rows) => {
@@ -239,7 +258,10 @@ fn eval_select(
     if s.distinct {
         dedup_rows(&mut out_rows);
     }
-    Ok(ResultBag { columns, rows: out_rows })
+    Ok(ResultBag {
+        columns,
+        rows: out_rows,
+    })
 }
 
 /// Execution plan for the extended dialect's `NATURAL JOIN`: which column
@@ -305,20 +327,42 @@ fn cross_product(
         }
         let mut scope = env.child();
         for ((alias, cols, _), row) in sources.iter().zip(picked.iter()) {
-            scope.frames.push((alias.clone(), cols.clone(), row.clone()));
+            scope
+                .frames
+                .push((alias.clone(), cols.clone(), row.clone()));
         }
         if let Some(w) = &s.where_clause {
             if !eval_pred(fe, db, w, &scope)? {
                 return Ok(());
             }
         }
-        out.push(project_row(fe, db, s, &scope, sources, picked, columns, &natural.skip)?);
+        out.push(project_row(
+            fe,
+            db,
+            s,
+            &scope,
+            sources,
+            picked,
+            columns,
+            &natural.skip,
+        )?);
         return Ok(());
     }
     let rows = sources[idx].2.clone();
     for row in rows {
         picked.push(row);
-        cross_product(fe, db, s, env, sources, idx + 1, picked, columns, natural, out)?;
+        cross_product(
+            fe,
+            db,
+            s,
+            env,
+            sources,
+            idx + 1,
+            picked,
+            columns,
+            natural,
+            out,
+        )?;
         picked.pop();
     }
     Ok(())
@@ -444,10 +488,16 @@ fn eval_aggregate_only(
     }
     if let Some(h) = &s.having {
         if !eval_agg_pred(fe, db, h, s, env)? {
-            return Ok(ResultBag { columns, rows: vec![] });
+            return Ok(ResultBag {
+                columns,
+                rows: vec![],
+            });
         }
     }
-    Ok(ResultBag { columns, rows: vec![row] })
+    Ok(ResultBag {
+        columns,
+        rows: vec![row],
+    })
 }
 
 fn eval_agg_scalar(
@@ -458,7 +508,11 @@ fn eval_agg_scalar(
     env: &Env<'_>,
 ) -> Result<Value, EvalError> {
     match e {
-        ScalarExpr::Agg { func, arg, distinct } => {
+        ScalarExpr::Agg {
+            func,
+            arg,
+            distinct,
+        } => {
             let values: Vec<Value> = if let AggArg::Expr(inner) = arg {
                 if let ScalarExpr::Subquery(q) = &**inner {
                     let r = eval_query_env(fe, db, q, env)?;
@@ -478,13 +532,17 @@ fn eval_agg_scalar(
             compute_aggregate(func, values, *distinct)
         }
         ScalarExpr::App(f, args) => {
-            let vals: Result<Vec<Value>, _> =
-                args.iter().map(|a| eval_agg_scalar(fe, db, a, s, env)).collect();
+            let vals: Result<Vec<Value>, _> = args
+                .iter()
+                .map(|a| eval_agg_scalar(fe, db, a, s, env))
+                .collect();
             apply_function(f, &vals?)
         }
         ScalarExpr::Int(i) => Ok(Value::Int(*i)),
         ScalarExpr::Str(v) => Ok(Value::Str(v.clone())),
-        other => Err(EvalError::Unsupported(format!("{other:?} in aggregate-only SELECT"))),
+        other => Err(EvalError::Unsupported(format!(
+            "{other:?} in aggregate-only SELECT"
+        ))),
     }
 }
 
@@ -510,12 +568,18 @@ fn eval_agg_pred(
         PredExpr::Not(a) => Ok(!eval_agg_pred(fe, db, a, s, env)?),
         PredExpr::True => Ok(true),
         PredExpr::False => Ok(false),
-        other => Err(EvalError::Unsupported(format!("{other:?} in HAVING without GROUP BY"))),
+        other => Err(EvalError::Unsupported(format!(
+            "{other:?} in HAVING without GROUP BY"
+        ))),
     }
 }
 
 /// Compute a concrete aggregate.
-pub fn compute_aggregate(func: &str, mut values: Vec<Value>, distinct: bool) -> Result<Value, EvalError> {
+pub fn compute_aggregate(
+    func: &str,
+    mut values: Vec<Value>,
+    distinct: bool,
+) -> Result<Value, EvalError> {
     if distinct {
         let mut seen: Vec<Value> = Vec::new();
         values.retain(|v| {
@@ -568,10 +632,16 @@ fn eval_scalar(
     env: &Env<'_>,
 ) -> Result<Value, EvalError> {
     match e {
-        ScalarExpr::Column { table: Some(t), column } => env
+        ScalarExpr::Column {
+            table: Some(t),
+            column,
+        } => env
             .lookup_qualified(t, column)
             .ok_or_else(|| EvalError::UnknownColumn(format!("{t}.{column}"))),
-        ScalarExpr::Column { table: None, column } => env
+        ScalarExpr::Column {
+            table: None,
+            column,
+        } => env
             .lookup_unqualified(column)?
             .ok_or_else(|| EvalError::UnknownColumn(column.clone())),
         ScalarExpr::Int(i) => Ok(Value::Int(*i)),
@@ -581,19 +651,25 @@ fn eval_scalar(
                 args.iter().map(|a| eval_scalar(fe, db, a, env)).collect();
             apply_function(f, &vals?)
         }
-        ScalarExpr::Agg { func, arg: AggArg::Expr(inner), distinct } => {
+        ScalarExpr::Agg {
+            func,
+            arg: AggArg::Expr(inner),
+            distinct,
+        } => {
             // Desugared aggregate: argument is a correlated subquery.
             if let ScalarExpr::Subquery(q) = &**inner {
                 let r = eval_query_env(fe, db, q, env)?;
                 let values = r.rows.into_iter().map(|mut row| row.remove(0)).collect();
                 compute_aggregate(func, values, *distinct)
             } else {
-                Err(EvalError::Unsupported("raw aggregate outside GROUP BY".into()))
+                Err(EvalError::Unsupported(
+                    "raw aggregate outside GROUP BY".into(),
+                ))
             }
         }
-        ScalarExpr::Agg { .. } => {
-            Err(EvalError::Unsupported("raw aggregate outside GROUP BY".into()))
-        }
+        ScalarExpr::Agg { .. } => Err(EvalError::Unsupported(
+            "raw aggregate outside GROUP BY".into(),
+        )),
         ScalarExpr::Subquery(q) => {
             let r = eval_query_env(fe, db, q, env)?;
             if r.rows.len() != 1 || r.rows[0].len() != 1 {
@@ -646,12 +722,7 @@ fn apply_function(f: &str, args: &[Value]) -> Result<Value, EvalError> {
     }
 }
 
-fn eval_pred(
-    fe: &Frontend,
-    db: &Database,
-    p: &PredExpr,
-    env: &Env<'_>,
-) -> Result<bool, EvalError> {
+fn eval_pred(fe: &Frontend, db: &Database, p: &PredExpr, env: &Env<'_>) -> Result<bool, EvalError> {
     match p {
         PredExpr::Cmp(op, a, b) => {
             let va = eval_scalar(fe, db, a, env)?;
@@ -706,10 +777,7 @@ mod tests {
     use udp_sql::{build_frontend, parse_program, parse_query};
 
     fn setup() -> (Frontend, Database) {
-        let p = parse_program(
-            "schema rs(k:int, a:int);\ntable r(rs);\ntable s(rs);",
-        )
-        .unwrap();
+        let p = parse_program("schema rs(k:int, a:int);\ntable r(rs);\ntable s(rs);").unwrap();
         let fe = build_frontend(&p).unwrap();
         let mut db = Database::new();
         let r = fe.catalog.relation_id("r").unwrap();
@@ -748,7 +816,11 @@ mod tests {
     #[test]
     fn join_multiplicities() {
         let (fe, db) = setup();
-        let r = run(&fe, &db, "SELECT x.a AS a, y.a AS b FROM r x, s y WHERE x.k = y.k");
+        let r = run(
+            &fe,
+            &db,
+            "SELECT x.a AS a, y.a AS b FROM r x, s y WHERE x.k = y.k",
+        );
         // two copies of (2,20) in r join the single s row
         assert_eq!(r.rows.len(), 2);
     }
@@ -756,9 +828,17 @@ mod tests {
     #[test]
     fn union_all_and_except() {
         let (fe, db) = setup();
-        let r = run(&fe, &db, "SELECT x.k AS k FROM r x UNION ALL SELECT y.k AS k FROM s y");
+        let r = run(
+            &fe,
+            &db,
+            "SELECT x.k AS k FROM r x UNION ALL SELECT y.k AS k FROM s y",
+        );
         assert_eq!(r.rows.len(), 4);
-        let r = run(&fe, &db, "SELECT x.k AS k FROM r x EXCEPT SELECT y.k AS k FROM s y");
+        let r = run(
+            &fe,
+            &db,
+            "SELECT x.k AS k FROM r x EXCEPT SELECT y.k AS k FROM s y",
+        );
         // k=2 rows are eliminated entirely (paper IR semantics)
         assert_eq!(r.rows, vec![vec![Value::Int(1)]]);
     }
@@ -772,14 +852,22 @@ mod tests {
             "SELECT x.k AS k FROM r x WHERE EXISTS (SELECT * FROM s y WHERE y.k = x.k)",
         );
         assert_eq!(r.rows.len(), 2);
-        let r = run(&fe, &db, "SELECT x.k AS k FROM r x WHERE x.k IN (SELECT y.k AS k FROM s y)");
+        let r = run(
+            &fe,
+            &db,
+            "SELECT x.k AS k FROM r x WHERE x.k IN (SELECT y.k AS k FROM s y)",
+        );
         assert_eq!(r.rows.len(), 2);
     }
 
     #[test]
     fn group_by_aggregates() {
         let (fe, db) = setup();
-        let r = run(&fe, &db, "SELECT x.k AS k, SUM(x.a) AS s FROM r x GROUP BY x.k");
+        let r = run(
+            &fe,
+            &db,
+            "SELECT x.k AS k, SUM(x.a) AS s FROM r x GROUP BY x.k",
+        );
         let mut rows = r.rows;
         rows.sort();
         assert_eq!(
@@ -811,7 +899,11 @@ mod tests {
     #[test]
     fn scalar_subquery_cardinality() {
         let (fe, db) = setup();
-        let r = run(&fe, &db, "SELECT (SELECT COUNT(*) AS n FROM s y) AS c FROM r x WHERE x.k = 1");
+        let r = run(
+            &fe,
+            &db,
+            "SELECT (SELECT COUNT(*) AS n FROM s y) AS c FROM r x WHERE x.k = 1",
+        );
         assert_eq!(r.rows, vec![vec![Value::Int(1)]]);
     }
 
@@ -826,7 +918,10 @@ mod tests {
         let r = fe.catalog.relation_id("r").unwrap();
         db.insert(
             r,
-            Table::new(vec![vec![Value::Int(1), Value::Int(10)], vec![Value::Int(2), Value::Int(20)]]),
+            Table::new(vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(20)],
+            ]),
         );
         let out = run(&fe, &db, "SELECT * FROM v t");
         assert_eq!(out.rows, vec![vec![Value::Int(20)]]);
@@ -912,6 +1007,9 @@ mod tests {
         db.insert(t2, Table::new(vec![vec![Value::Int(2), Value::Int(99)]]));
         let out = run_ext(&fe, &db, "SELECT * FROM r x NATURAL JOIN t2 y");
         assert_eq!(out.columns, vec!["k", "a", "b"]);
-        assert_eq!(out.rows, vec![vec![Value::Int(2), Value::Int(20), Value::Int(99)]]);
+        assert_eq!(
+            out.rows,
+            vec![vec![Value::Int(2), Value::Int(20), Value::Int(99)]]
+        );
     }
 }

@@ -22,7 +22,10 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { max_rows: 4, domain: 4 }
+        GenConfig {
+            max_rows: 4,
+            domain: 4,
+        }
     }
 }
 
@@ -72,8 +75,7 @@ pub fn random_database(
                 if *r != rel {
                     continue;
                 }
-                let idxs: Vec<usize> =
-                    attrs.iter().filter_map(|a| schema.attr_index(a)).collect();
+                let idxs: Vec<usize> = attrs.iter().filter_map(|a| schema.attr_index(a)).collect();
                 if idxs.len() != attrs.len() {
                     continue;
                 }

@@ -1,0 +1,188 @@
+//! A plain LRU map for memoized verdicts.
+//!
+//! Intrusive doubly-linked list over a slot vector + a `HashMap` from key to
+//! slot: O(1) lookup, insert, touch, and eviction. No external dependencies
+//! (the workspace builds offline), no unsafe.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Capacity-bounded LRU map. Capacity 0 disables storage entirely (every
+/// `get` misses, every `insert` is dropped).
+pub struct Lru<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+}
+
+impl<K: Clone + Eq + Hash, V: Clone> Lru<K, V> {
+    /// Create an LRU holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Lru {
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up `key`, marking it most recently used. Hit/miss accounting
+    /// lives in [`crate::ServiceStats`], the single source of truth.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.unlink(idx);
+                self.push_front(idx);
+                Some(self.slots[idx].value.clone())
+            }
+            None => None,
+        }
+    }
+
+    /// Insert `key -> value`, evicting the least recently used entry when
+    /// full. Replaces the value if the key is already present.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slots[idx].value = value;
+            self.unlink(idx);
+            self.push_front(idx);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].key.clone());
+            self.free.push(victim);
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = Lru::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert_eq!(lru.get(&"a"), Some(1)); // a is now MRU
+        lru.insert("c", 3); // evicts b
+        assert_eq!(lru.get(&"b"), None);
+        assert_eq!(lru.get(&"a"), Some(1));
+        assert_eq!(lru.get(&"c"), Some(3));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn replace_updates_value() {
+        let mut lru = Lru::new(2);
+        lru.insert("a", 1);
+        lru.insert("a", 9);
+        assert_eq!(lru.get(&"a"), Some(9));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut lru = Lru::new(0);
+        lru.insert("a", 1);
+        assert_eq!(lru.get(&"a"), None);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn heavy_churn_is_consistent() {
+        let mut lru = Lru::new(8);
+        for i in 0..1000usize {
+            lru.insert(i % 16, i);
+            assert!(lru.len() <= 8);
+        }
+        // The 8 most recently inserted distinct keys must be present.
+        let mut present = 0;
+        for k in 0..16usize {
+            if lru.get(&k).is_some() {
+                present += 1;
+            }
+        }
+        assert_eq!(present, 8);
+    }
+}

@@ -1,0 +1,325 @@
+//! # udp-service
+//!
+//! A high-throughput batch verification engine layered on `udp-core` and
+//! `udp-sql`, built for serving many `verify` goals against one schema:
+//!
+//! * a [`Session`] parses the schema/constraint declarations **once** and
+//!   verifies any number of goal pairs against the shared catalog;
+//! * a **canonical-fingerprint cache** memoizes verdicts: each side of a goal
+//!   is reduced to its canonical SPNF form
+//!   ([`udp_core::fingerprint::canonical_form`] — invariant under alias
+//!   renaming, conjunct reordering, and join-operand order), and a bounded
+//!   LRU keyed on the form pair short-circuits syntactically distinct but
+//!   canonically identical goals without re-running `decide`;
+//! * a **parallel scheduler** ([`scheduler`]) fans a batch out over a fixed
+//!   pool of OS threads (no external dependencies), preserves input order in
+//!   the results, and enforces the per-goal budget;
+//! * [`ServiceStats`] aggregates throughput, cache hit rate, and a per-goal
+//!   latency histogram.
+//!
+//! ```
+//! use udp_service::{Session, SessionConfig};
+//!
+//! let program = "
+//!     schema s(k:int, a:int);
+//!     table r(s);
+//!     verify SELECT * FROM r x == SELECT * FROM r y;
+//!     verify SELECT * FROM r u == SELECT * FROM r w;
+//! ";
+//! let session = Session::new(program, SessionConfig::default()).unwrap();
+//! let reports = session.verify_program_goals();
+//! assert!(reports.iter().all(|r| r.verdict().unwrap().decision.is_proved()));
+//! // The second goal is an alias-renaming of the first: served from cache.
+//! assert!(reports[1].cached);
+//! ```
+//!
+//! The cache is sound because a canonical form determines the `decide`
+//! outcome given the session's fixed catalog, constraints, and options; keys
+//! are the *full* form pair (not just the 128-bit fingerprint), so hash
+//! collisions cannot produce a wrong verdict.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod scheduler;
+pub mod stats;
+
+pub use stats::ServiceStats;
+
+use cache::Lru;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use udp_core::budget::Budget;
+use udp_core::ctx::Options;
+use udp_core::expr::{Expr, VarGen};
+use udp_core::fingerprint::{canonical_form_nf, fingerprint_form, Fingerprint};
+use udp_core::spnf::normalize_with;
+use udp_core::{DecideConfig, Verdict};
+use udp_sql::ast::Query;
+use udp_sql::{Dialect, Frontend, ParseError, VerifyError};
+
+/// Configuration for a verification session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Worker threads for batch verification (`0` and `1` both mean
+    /// in-thread sequential execution).
+    pub workers: usize,
+    /// Verdict-cache capacity in entries (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Per-goal step budget (`None` = unlimited on that axis).
+    pub steps: Option<u64>,
+    /// Per-goal wall-clock budget (`None` = unlimited on that axis).
+    pub wall: Option<Duration>,
+    /// Prover feature switches.
+    pub options: Options,
+    /// Parser dialect for the program and goal lines.
+    pub dialect: Dialect,
+    /// Record proof traces (cache hits replay the memoized trace).
+    pub record_trace: bool,
+    /// Compute canonical fingerprints for every goal report even when the
+    /// cache is disabled (canonicalization is otherwise skipped for
+    /// `cache_capacity == 0`, since it costs a full SPNF normalization).
+    pub fingerprints: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            workers: 1,
+            cache_capacity: 4096,
+            steps: Some(20_000_000),
+            wall: Some(Duration::from_secs(30)),
+            options: Options::default(),
+            dialect: Dialect::Paper,
+            record_trace: false,
+            fingerprints: false,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Set the worker count.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Set the parser dialect.
+    pub fn with_dialect(mut self, dialect: Dialect) -> Self {
+        self.dialect = dialect;
+        self
+    }
+}
+
+/// Result of one goal processed by a session.
+#[derive(Debug, Clone)]
+pub struct GoalReport {
+    /// Position of the goal in its batch.
+    pub index: usize,
+    /// The verdict, or the front-end error message (parse/lower failure).
+    pub outcome: Result<Verdict, String>,
+    /// Was the verdict served from the fingerprint cache?
+    pub cached: bool,
+    /// Canonical fingerprints of (lhs, rhs), when lowering succeeded.
+    pub fingerprints: Option<(Fingerprint, Fingerprint)>,
+    /// End-to-end wall time for this goal (lowering + cache probe + decide).
+    pub wall: Duration,
+}
+
+impl GoalReport {
+    /// The verdict, if the front end accepted the goal.
+    pub fn verdict(&self) -> Option<&Verdict> {
+        self.outcome.as_ref().ok()
+    }
+
+    /// One-line, timing-free description (stable across runs and worker
+    /// counts — the `udp-serve` protocol output).
+    pub fn render_verdict(&self) -> String {
+        match &self.outcome {
+            Ok(v) => format!("{:?}", v.decision),
+            Err(e) => format!("error: {e}"),
+        }
+    }
+}
+
+type CacheKey = (String, String);
+
+/// A verification session: one parsed schema, many goals.
+pub struct Session {
+    base: Frontend,
+    config: SessionConfig,
+    cache: Mutex<Lru<CacheKey, Verdict>>,
+    stats: Mutex<ServiceStats>,
+}
+
+impl Session {
+    /// Parse `program` (DDL plus optional `verify` goals) and build the
+    /// shared catalog once.
+    pub fn new(program: &str, config: SessionConfig) -> Result<Session, VerifyError> {
+        let base = udp_sql::prepare_program_in(program, config.dialect)?;
+        Ok(Session::from_frontend(base, config))
+    }
+
+    /// Wrap an already-prepared frontend.
+    pub fn from_frontend(base: Frontend, config: SessionConfig) -> Session {
+        let capacity = config.cache_capacity;
+        Session {
+            base,
+            config,
+            cache: Mutex::new(Lru::new(capacity)),
+            stats: Mutex::new(ServiceStats::default()),
+        }
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The `verify` goals declared in the session program, in order.
+    pub fn program_goals(&self) -> Vec<(Query, Query)> {
+        self.base.goals.clone()
+    }
+
+    /// Parse a standalone goal line (`q1 == q2`, optionally wrapped as
+    /// `verify … ;`) under the session dialect.
+    pub fn parse_goal(&self, line: &str) -> Result<(Query, Query), ParseError> {
+        udp_sql::parse_goal_in(line, self.config.dialect)
+    }
+
+    /// Verify every goal declared in the session program.
+    pub fn verify_program_goals(&self) -> Vec<GoalReport> {
+        self.verify_batch(&self.program_goals())
+    }
+
+    /// Verify a batch of goals, fanning out over the configured worker pool.
+    /// Results come back in input order.
+    pub fn verify_batch(&self, goals: &[(Query, Query)]) -> Vec<GoalReport> {
+        let started = Instant::now();
+        let reports = scheduler::run_batch(self, goals);
+        self.stats.lock().unwrap().batch_wall += started.elapsed();
+        reports
+    }
+
+    /// Snapshot of the session statistics.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats.lock().unwrap().clone()
+    }
+
+    /// Live entries in the verdict cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// Per-goal decide configuration (fresh budget each goal; the budget's
+    /// wall clock starts at its first tick, so pre-building it here is safe).
+    fn decide_config(&self) -> DecideConfig {
+        DecideConfig {
+            budget: Some(Budget::new(self.config.steps, self.config.wall)),
+            options: self.config.options.clone(),
+            record_trace: self.config.record_trace,
+        }
+    }
+
+    /// Process one goal on a worker's private frontend clone. Shared state
+    /// touched: the verdict cache and the stats aggregate (both mutexed).
+    pub(crate) fn process_goal(
+        &self,
+        fe: &mut Frontend,
+        index: usize,
+        goal: &(Query, Query),
+    ) -> GoalReport {
+        let started = Instant::now();
+        let (q1, q2) = match udp_sql::lower_goal(fe, goal) {
+            Ok(pair) => pair,
+            Err(e) => {
+                let wall = started.elapsed();
+                self.stats.lock().unwrap().record(wall, false, false, true);
+                return GoalReport {
+                    index,
+                    outcome: Err(e.to_string()),
+                    cached: false,
+                    fingerprints: None,
+                    wall,
+                };
+            }
+        };
+        // Normalize each side exactly once: the SPNF forms feed both the
+        // canonical cache key and (on a miss) the decision procedure via
+        // `decide_normalized_with`. The right side's output variable is
+        // aligned onto the left's first, as `decide` would do internally.
+        let body2 = if q2.out == q1.out {
+            q2.body.clone()
+        } else {
+            q2.body.subst(q2.out, &Expr::Var(q1.out))
+        };
+        let mut gen = VarGen::above(q1.body.max_var().max(body2.max_var()).max(q1.out.0) + 1);
+        let nf1 = normalize_with(&q1.body, &mut gen);
+        let nf2 = normalize_with(&body2, &mut gen);
+
+        // Canonical forms resolve schemas by content and relations by name,
+        // so keys agree across worker frontends (whose anonymous-schema ids
+        // diverge as they lower different goals). Canonical rendering is
+        // skipped entirely when nothing consumes it.
+        let caching = self.config.cache_capacity > 0;
+        let key = if caching || self.config.fingerprints {
+            Some((
+                canonical_form_nf(&fe.catalog, &nf1, q1.out, q1.schema),
+                canonical_form_nf(&fe.catalog, &nf2, q1.out, q2.schema),
+            ))
+        } else {
+            None
+        };
+        let fingerprints = key
+            .as_ref()
+            .map(|(a, b)| (fingerprint_form(a), fingerprint_form(b)));
+
+        if caching {
+            let hit = self.cache.lock().unwrap().get(key.as_ref().unwrap());
+            if let Some(verdict) = hit {
+                let wall = started.elapsed();
+                let proved = verdict.decision.is_proved();
+                self.stats.lock().unwrap().record(wall, true, proved, false);
+                return GoalReport {
+                    index,
+                    outcome: Ok(verdict),
+                    cached: true,
+                    fingerprints,
+                    wall,
+                };
+            }
+        }
+
+        let verdict = udp_core::decide::decide_normalized_with(
+            &fe.catalog,
+            &fe.constraints,
+            q1.out,
+            q1.schema,
+            q2.schema,
+            &nf1,
+            &nf2,
+            self.decide_config(),
+        );
+        // A Timeout is budget exhaustion, not a fact about the goal: caching
+        // it would pin a transient, scheduling-dependent answer for every
+        // canonically equal goal in the session. Let those re-run.
+        if caching && verdict.decision != udp_core::Decision::Timeout {
+            self.cache
+                .lock()
+                .unwrap()
+                .insert(key.unwrap(), verdict.clone());
+        }
+        let wall = started.elapsed();
+        self.stats
+            .lock()
+            .unwrap()
+            .record(wall, false, verdict.decision.is_proved(), false);
+        GoalReport {
+            index,
+            outcome: Ok(verdict),
+            cached: false,
+            fingerprints,
+            wall,
+        }
+    }
+}

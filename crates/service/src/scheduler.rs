@@ -1,0 +1,63 @@
+//! Fixed worker-pool scheduler for goal batches.
+//!
+//! Plain `std::thread::scope` workers pulling goal indices from a shared
+//! atomic counter and reporting `(index, report)` pairs over an mpsc channel;
+//! the collector reassembles results in input order. Each worker owns a
+//! private clone of the session's prepared [`udp_sql::Frontend`], so lowering
+//! (which grows the catalog with anonymous subquery schemas) never contends.
+
+use crate::{GoalReport, Session};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use udp_sql::ast::Query;
+
+/// Run `goals` through the session's worker pool, preserving input order.
+pub(crate) fn run_batch(session: &Session, goals: &[(Query, Query)]) -> Vec<GoalReport> {
+    let workers = session.config().workers.max(1).min(goals.len().max(1));
+    if workers <= 1 {
+        let mut fe = session.base_clone();
+        return goals
+            .iter()
+            .enumerate()
+            .map(|(i, g)| session.process_goal(&mut fe, i, g))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, GoalReport)>();
+    let mut slots: Vec<Option<GoalReport>> = (0..goals.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || {
+                let mut fe = session.base_clone();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= goals.len() {
+                        break;
+                    }
+                    let report = session.process_goal(&mut fe, i, &goals[i]);
+                    if tx.send((i, report)).is_err() {
+                        break; // collector gone; nothing useful left to do
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (i, report) in rx {
+            slots[i] = Some(report);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every goal reports exactly once"))
+        .collect()
+}
+
+impl Session {
+    /// A fresh private frontend for one worker.
+    pub(crate) fn base_clone(&self) -> udp_sql::Frontend {
+        self.base.clone()
+    }
+}

@@ -1,0 +1,147 @@
+//! Aggregate measurements for a verification session.
+
+use std::time::Duration;
+
+/// Number of log₂ latency buckets (bucket `i` covers `[2^i, 2^(i+1))` µs;
+/// the last bucket absorbs everything slower).
+pub const LATENCY_BUCKETS: usize = 24;
+
+/// Running aggregate over every goal a [`crate::Session`] has processed.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Goals processed (including cache hits and front-end errors).
+    pub goals: u64,
+    /// Goals answered from the fingerprint cache.
+    pub cache_hits: u64,
+    /// Goals that ran the full decision procedure.
+    pub cache_misses: u64,
+    /// Goals rejected by the front end (parse/lower errors).
+    pub errors: u64,
+    /// Goals whose verdict was `Proved`.
+    pub proved: u64,
+    /// Sum of per-goal wall time (lower + cache probe + decide).
+    pub goal_wall: Duration,
+    /// Wall time of the batches as observed by the caller (parallel time,
+    /// not the per-goal sum).
+    pub batch_wall: Duration,
+    /// Log₂ histogram of per-goal latency in microseconds.
+    pub latency_us: [u64; LATENCY_BUCKETS],
+}
+
+impl ServiceStats {
+    /// Record one finished goal.
+    pub(crate) fn record(&mut self, wall: Duration, cached: bool, proved: bool, error: bool) {
+        self.goals += 1;
+        if error {
+            self.errors += 1;
+        } else if cached {
+            self.cache_hits += 1;
+        } else {
+            self.cache_misses += 1;
+        }
+        if proved {
+            self.proved += 1;
+        }
+        self.goal_wall += wall;
+        let us = wall.as_micros().max(1) as u64;
+        let bucket = (63 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.latency_us[bucket] += 1;
+    }
+
+    /// Cache hit rate over goals that reached the cache (0.0 when none did).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Goals per second of batch wall time (0.0 before any batch ran).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.batch_wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.goals as f64 / secs
+        }
+    }
+
+    /// Latency percentile estimate from the histogram (`q` in `0.0..=1.0`),
+    /// as the upper bound of the bucket containing the q-quantile.
+    pub fn latency_percentile_us(&self, q: f64) -> u64 {
+        let total: u64 = self.latency_us.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.latency_us.iter().enumerate() {
+            seen += n;
+            if seen >= rank.max(1) {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << LATENCY_BUCKETS
+    }
+
+    /// Human-readable one-stop report.
+    pub fn render(&self) -> String {
+        format!(
+            "{} goals in {:.3} s ({:.1} goals/s) | {} proved, {} errors | \
+             cache: {} hits / {} misses ({:.1}% hit rate) | \
+             latency p50 < {} µs, p99 < {} µs",
+            self.goals,
+            self.batch_wall.as_secs_f64(),
+            self.throughput(),
+            self.proved,
+            self.errors,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate() * 100.0,
+            self.latency_percentile_us(0.5),
+            self.latency_percentile_us(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_classifies_outcomes() {
+        let mut s = ServiceStats::default();
+        s.record(Duration::from_micros(3), false, true, false);
+        s.record(Duration::from_micros(300), true, true, false);
+        s.record(Duration::from_micros(30), false, false, true);
+        assert_eq!(s.goals, 3);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.proved, 2);
+        assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn percentiles_come_from_the_histogram() {
+        let mut s = ServiceStats::default();
+        for _ in 0..99 {
+            s.record(Duration::from_micros(10), false, true, false);
+        }
+        s.record(Duration::from_millis(100), false, true, false);
+        assert!(s.latency_percentile_us(0.5) <= 16);
+        assert!(s.latency_percentile_us(0.999) > 50_000);
+    }
+
+    #[test]
+    fn render_mentions_the_essentials() {
+        let mut s = ServiceStats::default();
+        s.record(Duration::from_micros(5), false, true, false);
+        s.batch_wall = Duration::from_millis(1);
+        let r = s.render();
+        assert!(r.contains("goals/s"), "{r}");
+        assert!(r.contains("hit rate"), "{r}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the slice of the criterion API its benches use: [`Criterion`],
+//! [`Criterion::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark runs a
+//! short warmup followed by `sample_size` timed samples and prints
+//! `name  mean/sample  min/sample  iters/sample`. There is no outlier
+//! analysis, plotting, or baseline comparison. Passing `--test` (as
+//! `cargo test --benches` does) runs each benchmark once, untimed.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver. Collects settings; [`bench_function`] runs immediately.
+///
+/// [`bench_function`]: Criterion::bench_function
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark and print its timing line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        if self.test_mode {
+            f(&mut b);
+            println!("{name}: ok (test mode)");
+            return self;
+        }
+
+        // Warmup: find an iteration count giving samples of ≥ ~1ms each,
+        // bounded so a single slow benchmark still terminates promptly.
+        let mut iters: u64 = 1;
+        loop {
+            b.iters = iters;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        let per_sample_budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        if b.elapsed.as_secs_f64() > 0.0 && b.elapsed.as_secs_f64() < per_sample_budget {
+            let scale = (per_sample_budget / b.elapsed.as_secs_f64()).min(64.0);
+            iters = ((iters as f64) * scale).max(1.0) as u64;
+        }
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        println!(
+            "{name}: mean {}  min {}  ({iters} iters × {} samples)",
+            format_time(mean),
+            format_time(min),
+            samples.len(),
+        );
+        self
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Passed to the benchmark closure; times the routine under [`iter`].
+///
+/// [`iter`]: Bencher::iter
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it the sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a benchmark group: a config expression plus target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                let mut c: $crate::Criterion = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -135,7 +135,10 @@ impl Select {
         self.projection.iter().any(|item| match item {
             SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
             _ => false,
-        }) || self.having.as_ref().is_some_and(PredExpr::contains_aggregate)
+        }) || self
+            .having
+            .as_ref()
+            .is_some_and(PredExpr::contains_aggregate)
     }
 }
 
@@ -226,7 +229,10 @@ pub enum AggArg {
 impl ScalarExpr {
     /// The qualified column `table.column`.
     pub fn col(table: impl Into<String>, column: impl Into<String>) -> Self {
-        ScalarExpr::Column { table: Some(table.into()), column: column.into() }
+        ScalarExpr::Column {
+            table: Some(table.into()),
+            column: column.into(),
+        }
     }
 
     /// Does the expression contain an aggregate call anywhere?
@@ -235,7 +241,9 @@ impl ScalarExpr {
             ScalarExpr::Agg { .. } => true,
             ScalarExpr::App(_, args) => args.iter().any(ScalarExpr::contains_aggregate),
             ScalarExpr::Case { whens, else_ } => {
-                whens.iter().any(|(b, e)| b.contains_aggregate() || e.contains_aggregate())
+                whens
+                    .iter()
+                    .any(|(b, e)| b.contains_aggregate() || e.contains_aggregate())
                     || else_.contains_aggregate()
             }
             _ => false,
@@ -354,7 +362,14 @@ mod tests {
 
     #[test]
     fn cmp_negation_is_involutive() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negate().negate(), op);
         }
     }
@@ -386,8 +401,14 @@ mod tests {
         });
         let p = Program {
             statements: vec![
-                Statement::Table { name: "r".into(), schema: "s".into() },
-                Statement::Verify { q1: q.clone(), q2: q.clone() },
+                Statement::Table {
+                    name: "r".into(),
+                    schema: "s".into(),
+                },
+                Statement::Verify {
+                    q1: q.clone(),
+                    q2: q.clone(),
+                },
             ],
         };
         assert_eq!(p.goals().count(), 1);

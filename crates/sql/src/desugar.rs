@@ -72,10 +72,14 @@ fn group_keys(s: &Select) -> Result<Vec<(String, String)>, LowerError> {
     s.group_by
         .iter()
         .map(|g| match g {
-            ScalarExpr::Column { table: Some(t), column } => Ok((t.clone(), column.clone())),
-            ScalarExpr::Column { table: None, column } if s.from.len() == 1 => {
-                Ok((s.from[0].alias.clone(), column.clone()))
-            }
+            ScalarExpr::Column {
+                table: Some(t),
+                column,
+            } => Ok((t.clone(), column.clone())),
+            ScalarExpr::Column {
+                table: None,
+                column,
+            } if s.from.len() == 1 => Ok((s.from[0].alias.clone(), column.clone())),
             other => Err(LowerError::GroupByUnsupported(format!(
                 "group key must be a qualified column, got {other:?}"
             ))),
@@ -97,7 +101,10 @@ pub fn aggregate_argument_query(
     };
     let skeleton = Select {
         distinct: false,
-        projection: vec![SelectItem::Expr { expr: proj_expr, alias: Some("agg_arg".into()) }],
+        projection: vec![SelectItem::Expr {
+            expr: proj_expr,
+            alias: Some("agg_arg".into()),
+        }],
         from: s.from.clone(),
         where_clause: s.where_clause.clone(),
         group_by: vec![],
@@ -131,7 +138,11 @@ fn replace_aggs(
     keys: &[(String, String)],
 ) -> Result<ScalarExpr, LowerError> {
     match e {
-        ScalarExpr::Agg { func, arg, distinct } => {
+        ScalarExpr::Agg {
+            func,
+            arg,
+            distinct,
+        } => {
             if is_desugared(arg) {
                 return Ok(e.clone());
             }
@@ -238,7 +249,9 @@ pub fn rename_query(q: &Query, map: &HashMap<String, String>) -> Query {
             Box::new(rename_query(b, map)),
         ),
         Query::Values(rows) => Query::Values(
-            rows.iter().map(|row| row.iter().map(|e| rename_scalar(e, map)).collect()).collect(),
+            rows.iter()
+                .map(|row| row.iter().map(|e| rename_scalar(e, map)).collect())
+                .collect(),
         ),
     }
 }
@@ -261,7 +274,10 @@ fn rename_select(s: &Select, map: &HashMap<String, String>, rename_own_aliases: 
                 TableRef::Subquery(q) => TableRef::Subquery(Box::new(rename_query(q, &body_map))),
             },
             alias: if rename_own_aliases {
-                body_map.get(&fi.alias).cloned().unwrap_or_else(|| fi.alias.clone())
+                body_map
+                    .get(&fi.alias)
+                    .cloned()
+                    .unwrap_or_else(|| fi.alias.clone())
             } else {
                 fi.alias.clone()
             },
@@ -274,9 +290,9 @@ fn rename_select(s: &Select, map: &HashMap<String, String>, rename_own_aliases: 
             .iter()
             .map(|item| match item {
                 SelectItem::Star => SelectItem::Star,
-                SelectItem::QualifiedStar(a) => SelectItem::QualifiedStar(
-                    body_map.get(a).cloned().unwrap_or_else(|| a.clone()),
-                ),
+                SelectItem::QualifiedStar(a) => {
+                    SelectItem::QualifiedStar(body_map.get(a).cloned().unwrap_or_else(|| a.clone()))
+                }
                 SelectItem::Expr { expr, alias } => SelectItem::Expr {
                     expr: rename_scalar(expr, &body_map),
                     alias: alias.clone(),
@@ -285,7 +301,11 @@ fn rename_select(s: &Select, map: &HashMap<String, String>, rename_own_aliases: 
             .collect(),
         from,
         where_clause: s.where_clause.as_ref().map(|p| rename_pred(p, &body_map)),
-        group_by: s.group_by.iter().map(|g| rename_scalar(g, &body_map)).collect(),
+        group_by: s
+            .group_by
+            .iter()
+            .map(|g| rename_scalar(g, &body_map))
+            .collect(),
         having: s.having.as_ref().map(|p| rename_pred(p, &body_map)),
         natural: s
             .natural
@@ -306,17 +326,25 @@ fn rename_select(s: &Select, map: &HashMap<String, String>, rename_own_aliases: 
 
 fn rename_scalar(e: &ScalarExpr, map: &HashMap<String, String>) -> ScalarExpr {
     match e {
-        ScalarExpr::Column { table: Some(t), column } => ScalarExpr::Column {
+        ScalarExpr::Column {
+            table: Some(t),
+            column,
+        } => ScalarExpr::Column {
             table: Some(map.get(t).cloned().unwrap_or_else(|| t.clone())),
             column: column.clone(),
         },
         ScalarExpr::Column { table: None, .. } | ScalarExpr::Int(_) | ScalarExpr::Str(_) => {
             e.clone()
         }
-        ScalarExpr::App(f, args) => {
-            ScalarExpr::App(f.clone(), args.iter().map(|a| rename_scalar(a, map)).collect())
-        }
-        ScalarExpr::Agg { func, arg, distinct } => ScalarExpr::Agg {
+        ScalarExpr::App(f, args) => ScalarExpr::App(
+            f.clone(),
+            args.iter().map(|a| rename_scalar(a, map)).collect(),
+        ),
+        ScalarExpr::Agg {
+            func,
+            arg,
+            distinct,
+        } => ScalarExpr::Agg {
             func: func.clone(),
             arg: match arg {
                 AggArg::Star => AggArg::Star,
@@ -373,7 +401,10 @@ mod tests {
         assert!(d.distinct, "corrected desugaring adds DISTINCT");
         assert!(d.group_by.is_empty());
         match &d.projection[1] {
-            SelectItem::Expr { expr: ScalarExpr::Agg { arg, .. }, .. } => {
+            SelectItem::Expr {
+                expr: ScalarExpr::Agg { arg, .. },
+                ..
+            } => {
                 assert!(is_desugared(arg), "aggregate argument is a subquery");
             }
             other => panic!("unexpected {other:?}"),
@@ -406,18 +437,26 @@ mod tests {
         let s = select_of("SELECT x.k AS k, COUNT(*) AS n FROM r x GROUP BY x.k");
         let d = desugar_group_by(&s).unwrap();
         match &d.projection[1] {
-            SelectItem::Expr { expr: ScalarExpr::Agg { arg: AggArg::Expr(e), .. }, .. } => {
-                match &**e {
-                    ScalarExpr::Subquery(q) => match &**q {
-                        Query::Select(inner) => match &inner.projection[0] {
-                            SelectItem::Expr { expr: ScalarExpr::Int(1), .. } => {}
-                            other => panic!("unexpected {other:?}"),
-                        },
+            SelectItem::Expr {
+                expr:
+                    ScalarExpr::Agg {
+                        arg: AggArg::Expr(e),
+                        ..
+                    },
+                ..
+            } => match &**e {
+                ScalarExpr::Subquery(q) => match &**q {
+                    Query::Select(inner) => match &inner.projection[0] {
+                        SelectItem::Expr {
+                            expr: ScalarExpr::Int(1),
+                            ..
+                        } => {}
                         other => panic!("unexpected {other:?}"),
                     },
                     other => panic!("unexpected {other:?}"),
-                }
-            }
+                },
+                other => panic!("unexpected {other:?}"),
+            },
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -490,7 +529,11 @@ mod tests {
         )
         .unwrap();
         let map = HashMap::from([("x".to_string(), "x2".to_string())]);
-        assert_eq!(rename_query(&q, &map), q, "locally bound aliases shadow the map");
+        assert_eq!(
+            rename_query(&q, &map),
+            q,
+            "locally bound aliases shadow the map"
+        );
 
         // …while a *correlated* reference inside a UNION operand is renamed.
         let q = crate::parser::parse_query_with(
@@ -508,9 +551,7 @@ mod tests {
 
     #[test]
     fn rename_recurses_into_case_branches() {
-        let s = select_of_ext(
-            "SELECT CASE WHEN x.a = 1 THEN x.k ELSE 0 END AS v FROM r x",
-        );
+        let s = select_of_ext("SELECT CASE WHEN x.a = 1 THEN x.k ELSE 0 END AS v FROM r x");
         let map = HashMap::from([("x".to_string(), "u".to_string())]);
         let renamed = rename_select(&s, &map, true);
         let rendered = format!("{renamed:?}");
@@ -526,14 +567,16 @@ mod tests {
         );
         assert!(has_raw_aggregates(&s));
         let d = desugar_group_by(&s).unwrap();
-        assert!(!has_raw_aggregates(&d), "CASE-nested aggregates desugar too");
+        assert!(
+            !has_raw_aggregates(&d),
+            "CASE-nested aggregates desugar too"
+        );
     }
 
     #[test]
     fn natural_pairs_survive_group_by_desugaring() {
-        let s = select_of_ext(
-            "SELECT x.k AS k, SUM(y.b) AS t FROM r x NATURAL JOIN s y GROUP BY x.k",
-        );
+        let s =
+            select_of_ext("SELECT x.k AS k, SUM(y.b) AS t FROM r x NATURAL JOIN s y GROUP BY x.k");
         assert_eq!(s.natural.len(), 1);
         let d = desugar_group_by(&s).unwrap();
         assert_eq!(d.natural, s.natural, "outer query keeps its natural pairs");

@@ -57,7 +57,10 @@ impl fmt::Display for FrontendError {
                 write!(f, "table `{table}` has no attribute `{attr}`")
             }
             FrontendError::IndexedTableHasNoKey(t) => {
-                write!(f, "cannot build GMAP index view: table `{t}` has no declared key")
+                write!(
+                    f,
+                    "cannot build GMAP index view: table `{t}` has no declared key"
+                )
             }
             FrontendError::DuplicateView(v) => write!(f, "view `{v}` declared twice"),
         }
@@ -87,8 +90,12 @@ pub fn build_frontend(program: &Program) -> Result<Frontend, FrontendError> {
     for stmt in &program.statements {
         match stmt {
             Statement::Schema { name, attrs, open } => {
-                let attrs = attrs.iter().map(|(a, t)| (a.clone(), parse_ty(t))).collect();
-                fe.catalog.add_schema(Schema::new(name.clone(), attrs, *open))?;
+                let attrs = attrs
+                    .iter()
+                    .map(|(a, t)| (a.clone(), parse_ty(t)))
+                    .collect();
+                fe.catalog
+                    .add_schema(Schema::new(name.clone(), attrs, *open))?;
             }
             Statement::Table { name, schema } => {
                 let sid = fe
@@ -113,7 +120,12 @@ pub fn build_frontend(program: &Program) -> Result<Frontend, FrontendError> {
                 }
                 fe.constraints.add_key(rid, attrs.clone());
             }
-            Statement::ForeignKey { table, attrs, ref_table, ref_attrs } => {
+            Statement::ForeignKey {
+                table,
+                attrs,
+                ref_table,
+                ref_attrs,
+            } => {
                 let child = fe
                     .catalog
                     .relation_id(table)
@@ -122,12 +134,8 @@ pub fn build_frontend(program: &Program) -> Result<Frontend, FrontendError> {
                     .catalog
                     .relation_id(ref_table)
                     .ok_or_else(|| FrontendError::UnknownTable(ref_table.clone()))?;
-                fe.constraints.add_foreign_key(
-                    child,
-                    attrs.clone(),
-                    parent,
-                    ref_attrs.clone(),
-                );
+                fe.constraints
+                    .add_foreign_key(child, attrs.clone(), parent, ref_attrs.clone());
             }
             Statement::View { name, query } => {
                 if fe.views.insert(name.clone(), query.clone()).is_some() {
@@ -190,7 +198,10 @@ fn synthesize_index_view(
     Ok(Query::Select(Select {
         distinct: false,
         projection,
-        from: vec![FromItem { source: TableRef::Table(table.to_string()), alias: "x".into() }],
+        from: vec![FromItem {
+            source: TableRef::Table(table.to_string()),
+            alias: "x".into(),
+        }],
         where_clause: None,
         group_by: vec![],
         having: None,

@@ -95,7 +95,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -111,7 +115,11 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
 
     macro_rules! push {
         ($tok:expr, $len:expr) => {{
-            out.push(Spanned { tok: $tok, line, col });
+            out.push(Spanned {
+                tok: $tok,
+                line,
+                col,
+            });
             i += $len;
             col += $len as u32;
         }};
@@ -171,14 +179,22 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
                     push!(Tok::Ne, 2);
                 } else {
-                    return Err(LexError { message: "unexpected `!`".into(), line, col });
+                    return Err(LexError {
+                        message: "unexpected `!`".into(),
+                        line,
+                        col,
+                    });
                 }
             }
             '?' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'?' {
                     push!(Tok::QQ, 2);
                 } else {
-                    return Err(LexError { message: "unexpected `?`".into(), line, col });
+                    return Err(LexError {
+                        message: "unexpected `?`".into(),
+                        line,
+                        col,
+                    });
                 }
             }
             '\'' => {
@@ -203,7 +219,11 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 }
                 let s = input[start..j].to_string();
                 let len = j + 1 - i;
-                out.push(Spanned { tok: Tok::Str(s), line, col });
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line,
+                    col,
+                });
                 i = j + 1;
                 col += len as u32;
             }
@@ -220,7 +240,11 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                     col,
                 })?;
                 let len = j - i;
-                out.push(Spanned { tok: Tok::Int(value), line, col });
+                out.push(Spanned {
+                    tok: Tok::Int(value),
+                    line,
+                    col,
+                });
                 i = j;
                 col += len as u32;
             }
@@ -237,7 +261,11 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 }
                 let word = input[start..j].to_ascii_lowercase();
                 let len = j - i;
-                out.push(Spanned { tok: Tok::Ident(word), line, col });
+                out.push(Spanned {
+                    tok: Tok::Ident(word),
+                    line,
+                    col,
+                });
                 i = j;
                 col += len as u32;
             }
@@ -250,7 +278,11 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
             }
         }
     }
-    out.push(Spanned { tok: Tok::Eof, line, col });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
     Ok(out)
 }
 
@@ -317,7 +349,10 @@ mod tests {
 
     #[test]
     fn generic_schema_marker() {
-        assert_eq!(toks("a ??"), vec![Tok::Ident("a".into()), Tok::QQ, Tok::Eof]);
+        assert_eq!(
+            toks("a ??"),
+            vec![Tok::Ident("a".into()), Tok::QQ, Tok::Eof]
+        );
     }
 
     #[test]

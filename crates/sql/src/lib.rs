@@ -39,7 +39,9 @@ pub mod pretty;
 
 pub use frontend::{build_frontend, Frontend, FrontendError};
 pub use lower::{lower_query, LowerError};
-pub use parser::{parse_program, parse_program_with, parse_query, parse_query_with, Dialect, ParseError};
+pub use parser::{
+    parse_program, parse_program_with, parse_query, parse_query_with, Dialect, ParseError,
+};
 
 /// One-shot convenience: parse a program (paper dialect), build the catalog,
 /// lower each `verify` goal, and decide it. Returns one [`GoalResult`] per
@@ -76,24 +78,77 @@ pub fn verify_program_with_frontend_in(
     dialect: Dialect,
     config: udp_core::DecideConfig,
 ) -> Result<(Vec<GoalResult>, Frontend), VerifyError> {
-    let program = parse_program_with(input, dialect).map_err(VerifyError::Parse)?;
-    let mut fe = build_frontend(&program).map_err(VerifyError::Frontend)?;
+    let mut fe = prepare_program_in(input, dialect)?;
     let goals = fe.goals.clone();
     let mut results = Vec::with_capacity(goals.len());
-    for (q1, q2) in &goals {
-        let mut gen = udp_core::expr::VarGen::new();
-        let lowered1 = lower_query(&mut fe, &mut gen, q1).map_err(VerifyError::Lower)?;
-        let lowered2 = lower_query(&mut fe, &mut gen, q2).map_err(VerifyError::Lower)?;
-        let verdict = udp_core::decide_with(
-            &fe.catalog,
-            &fe.constraints,
-            &lowered1,
-            &lowered2,
-            config.clone(),
-        );
-        results.push(GoalResult { verdict });
+    for goal in &goals {
+        results.push(verify_goal(&mut fe, goal, config.clone())?);
     }
     Ok((results, fe))
+}
+
+/// Parse a program and build its catalog/constraints/views **once**, leaving
+/// the `verify` goals un-lowered in [`Frontend::goals`]. This is the reuse
+/// point for batch services: one prepared frontend serves many goals (each
+/// lowered via [`lower_goal`] or decided via [`verify_goal`]) without
+/// re-parsing the DDL.
+pub fn prepare_program_in(input: &str, dialect: Dialect) -> Result<Frontend, VerifyError> {
+    let program = parse_program_with(input, dialect).map_err(VerifyError::Parse)?;
+    build_frontend(&program).map_err(VerifyError::Frontend)
+}
+
+/// [`prepare_program_in`] under the paper dialect.
+pub fn prepare_program(input: &str) -> Result<Frontend, VerifyError> {
+    prepare_program_in(input, Dialect::Paper)
+}
+
+/// Lower one goal pair against a prepared frontend, with a fresh variable
+/// generator (goals are independent verification problems). The frontend
+/// gains any anonymous subquery schemas the goal needs.
+pub fn lower_goal(
+    fe: &mut Frontend,
+    goal: &(ast::Query, ast::Query),
+) -> Result<(udp_core::QueryU, udp_core::QueryU), VerifyError> {
+    let mut gen = udp_core::expr::VarGen::new();
+    let q1 = lower_query(fe, &mut gen, &goal.0).map_err(VerifyError::Lower)?;
+    let q2 = lower_query(fe, &mut gen, &goal.1).map_err(VerifyError::Lower)?;
+    Ok((q1, q2))
+}
+
+/// Lower and decide one goal pair against a prepared frontend.
+pub fn verify_goal(
+    fe: &mut Frontend,
+    goal: &(ast::Query, ast::Query),
+    config: udp_core::DecideConfig,
+) -> Result<GoalResult, VerifyError> {
+    let (q1, q2) = lower_goal(fe, goal)?;
+    let verdict = udp_core::decide_with(&fe.catalog, &fe.constraints, &q1, &q2, config);
+    Ok(GoalResult { verdict })
+}
+
+/// Parse a standalone goal `q1 == q2` (optionally wrapped as
+/// `verify q1 == q2;`) into a pair of queries, for line-oriented protocols
+/// where the DDL was declared once up front.
+pub fn parse_goal_in(line: &str, dialect: Dialect) -> Result<(ast::Query, ast::Query), ParseError> {
+    let trimmed = line.trim().trim_end_matches(';').trim();
+    // Strip an optional `verify` keyword the way the lexer would see it:
+    // case-insensitively, followed by any whitespace.
+    let goal = match trimmed.get(..6) {
+        Some(kw)
+            if kw.eq_ignore_ascii_case("verify")
+                && trimmed[6..].chars().next().is_some_and(char::is_whitespace) =>
+        {
+            trimmed[6..].trim()
+        }
+        _ => trimmed,
+    };
+    let program = parse_program_with(&format!("verify {goal};"), dialect)?;
+    for stmt in program.statements {
+        if let ast::Statement::Verify { q1, q2 } = stmt {
+            return Ok((q1, q2));
+        }
+    }
+    unreachable!("a `verify` statement always parses to Statement::Verify")
 }
 
 /// Result of verifying one goal.

@@ -71,10 +71,16 @@ impl fmt::Display for LowerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LowerError::UnknownTable(t) => write!(f, "unknown table or view `{t}`"),
-            LowerError::UnknownColumn { table: Some(t), column } => {
+            LowerError::UnknownColumn {
+                table: Some(t),
+                column,
+            } => {
                 write!(f, "unknown column `{t}.{column}`")
             }
-            LowerError::UnknownColumn { table: None, column } => {
+            LowerError::UnknownColumn {
+                table: None,
+                column,
+            } => {
                 write!(f, "unknown column `{column}`")
             }
             LowerError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
@@ -107,11 +113,17 @@ struct Scope<'a> {
 
 impl<'a> Scope<'a> {
     fn root() -> Scope<'static> {
-        Scope { parent: None, items: Vec::new() }
+        Scope {
+            parent: None,
+            items: Vec::new(),
+        }
     }
 
     fn child(&'a self) -> Scope<'a> {
-        Scope { parent: Some(self), items: Vec::new() }
+        Scope {
+            parent: Some(self),
+            items: Vec::new(),
+        }
     }
 
     fn lookup_alias(&self, alias: &str) -> Option<(VarId, SchemaId)> {
@@ -136,7 +148,10 @@ impl<'a> Scope<'a> {
             1 => Ok(matches[0]),
             0 => match self.parent {
                 Some(p) => p.lookup_column(catalog, col),
-                None => Err(LowerError::UnknownColumn { table: None, column: col.to_string() }),
+                None => Err(LowerError::UnknownColumn {
+                    table: None,
+                    column: col.to_string(),
+                }),
             },
             _ => Err(LowerError::AmbiguousColumn(col.to_string())),
         }
@@ -157,7 +172,11 @@ const MAX_VIEW_DEPTH: u32 = 32;
 /// Lower a query to a [`QueryU`] (`λ out. body`). The catalog inside `fe`
 /// gains anonymous schemas for subquery output rows.
 pub fn lower_query(fe: &mut Frontend, gen: &mut VarGen, q: &Query) -> Result<QueryU, LowerError> {
-    let mut lw = Lowerer { fe, gen, view_depth: 0 };
+    let mut lw = Lowerer {
+        fe,
+        gen,
+        view_depth: 0,
+    };
     let scope = Scope::root();
     let (out, schema, body) = lw.query(q, &scope, None)?;
     Ok(QueryU::new(out, schema, body))
@@ -208,12 +227,21 @@ impl<'a> Lowerer<'a> {
         expect: Option<&[String]>,
     ) -> Result<(VarId, SchemaId, UExpr, UExpr), LowerError> {
         let (t1, s1, b1) = self.query(a, scope, expect)?;
-        let names: Vec<String> =
-            self.fe.catalog.schema(s1).attrs.iter().map(|(n, _)| n.clone()).collect();
+        let names: Vec<String> = self
+            .fe
+            .catalog
+            .schema(s1)
+            .attrs
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
         let (t2, s2, b2) = self.query(b, scope, Some(&names))?;
         let n2 = self.fe.catalog.schema(s2).attrs.len();
         if names.len() != n2 {
-            return Err(LowerError::UnionArityMismatch { left: names.len(), right: n2 });
+            return Err(LowerError::UnionArityMismatch {
+                left: names.len(),
+                right: n2,
+            });
         }
         let b2 = b2.subst(t2, &Expr::Var(t1));
         Ok((t1, s1, b1, b2))
@@ -234,7 +262,10 @@ impl<'a> Lowerer<'a> {
         let names: Vec<String> = match expect {
             Some(e) => {
                 if e.len() != arity {
-                    return Err(LowerError::UnionArityMismatch { left: e.len(), right: arity });
+                    return Err(LowerError::UnionArityMismatch {
+                        left: e.len(),
+                        right: arity,
+                    });
                 }
                 e.to_vec()
             }
@@ -256,8 +287,11 @@ impl<'a> Lowerer<'a> {
             }
             terms.push(UExpr::product(factors));
         }
-        let attrs: Vec<(String, Ty)> =
-            names.iter().zip(first).map(|(n, e)| (n.clone(), self.scalar_ty(e, scope))).collect();
+        let attrs: Vec<(String, Ty)> = names
+            .iter()
+            .zip(first)
+            .map(|(n, e)| (n.clone(), self.scalar_ty(e, scope)))
+            .collect();
         let sid = self.fe.catalog.add_anon_schema(attrs, false);
         Ok((out, sid, UExpr::sum_of(terms)))
     }
@@ -409,8 +443,16 @@ impl<'a> Lowerer<'a> {
         scope: &Scope<'_>,
     ) -> Result<Expr, LowerError> {
         match e {
-            ScalarExpr::Agg { func, arg, distinct } => {
-                let name = if *distinct { format!("{func}_distinct") } else { func.clone() };
+            ScalarExpr::Agg {
+                func,
+                arg,
+                distinct,
+            } => {
+                let name = if *distinct {
+                    format!("{func}_distinct")
+                } else {
+                    func.clone()
+                };
                 if let AggArg::Expr(inner) = arg {
                     if let ScalarExpr::Subquery(q) = &**inner {
                         let (z, sid, body) = self.query(q, scope, None)?;
@@ -559,10 +601,13 @@ impl<'a> Lowerer<'a> {
         ) -> Result<String, LowerError> {
             let final_name = match expect {
                 Some(names) => {
-                    names.get(emitted).cloned().ok_or(LowerError::UnionArityMismatch {
-                        left: names.len(),
-                        right: emitted + 1,
-                    })?
+                    names
+                        .get(emitted)
+                        .cloned()
+                        .ok_or(LowerError::UnionArityMismatch {
+                            left: names.len(),
+                            right: emitted + 1,
+                        })?
                 }
                 None => name,
             };
@@ -609,8 +654,9 @@ impl<'a> Lowerer<'a> {
                     }
                 }
                 SelectItem::Expr { expr, alias } => {
-                    let name =
-                        alias.clone().unwrap_or_else(|| default_name(expr, positional));
+                    let name = alias
+                        .clone()
+                        .unwrap_or_else(|| default_name(expr, positional));
                     let ty = self.scalar_ty(expr, scope);
                     let n = finalize_name(expect, &mut seen, attrs.len(), name)?;
                     let pred = if let ScalarExpr::Case { .. } = expr {
@@ -641,9 +687,13 @@ impl<'a> Lowerer<'a> {
             ScalarExpr::Column { table, column } => {
                 let sid = match table {
                     Some(t) => scope.lookup_alias(t).map(|(_, s)| s),
-                    None => scope.lookup_column(&self.fe.catalog, column).ok().map(|(_, s)| s),
+                    None => scope
+                        .lookup_column(&self.fe.catalog, column)
+                        .ok()
+                        .map(|(_, s)| s),
                 };
-                sid.and_then(|s| self.fe.catalog.schema(s).attr_ty(column)).unwrap_or(Ty::Unknown)
+                sid.and_then(|s| self.fe.catalog.schema(s).attr_ty(column))
+                    .unwrap_or(Ty::Unknown)
             }
             ScalarExpr::Int(_) => Ty::Int,
             ScalarExpr::Str(_) => Ty::Str,
@@ -654,7 +704,10 @@ impl<'a> Lowerer<'a> {
     /// Lower a scalar expression (no aggregates allowed here).
     fn scalar(&mut self, e: &ScalarExpr, scope: &Scope<'_>) -> Result<Expr, LowerError> {
         match e {
-            ScalarExpr::Column { table: Some(t), column } => {
+            ScalarExpr::Column {
+                table: Some(t),
+                column,
+            } => {
                 let (v, sid) = scope
                     .lookup_alias(t)
                     .ok_or_else(|| LowerError::UnknownTable(t.clone()))?;
@@ -667,7 +720,10 @@ impl<'a> Lowerer<'a> {
                 }
                 Ok(Expr::var_attr(v, column))
             }
-            ScalarExpr::Column { table: None, column } => {
+            ScalarExpr::Column {
+                table: None,
+                column,
+            } => {
                 let (v, _) = scope.lookup_column(&self.fe.catalog, column)?;
                 Ok(Expr::var_attr(v, column))
             }
@@ -678,14 +734,21 @@ impl<'a> Lowerer<'a> {
                     args.iter().map(|a| self.scalar(a, scope)).collect();
                 Ok(Expr::App(f.clone(), lowered?))
             }
-            ScalarExpr::Agg { func, arg, distinct } => {
+            ScalarExpr::Agg {
+                func,
+                arg,
+                distinct,
+            } => {
                 // Desugared aggregates carry their (correlated) argument
                 // subquery; anything else is misuse.
                 if let AggArg::Expr(inner) = arg {
                     if let ScalarExpr::Subquery(q) = &**inner {
                         let (z, sid, body) = self.query(q, scope, None)?;
-                        let name =
-                            if *distinct { format!("{func}_distinct") } else { func.clone() };
+                        let name = if *distinct {
+                            format!("{func}_distinct")
+                        } else {
+                            func.clone()
+                        };
                         return Ok(Expr::Agg(name, Box::new(UExpr::sum(z, sid, body))));
                     }
                 }
@@ -695,7 +758,10 @@ impl<'a> Lowerer<'a> {
             }
             ScalarExpr::Subquery(q) => {
                 let (z, sid, body) = self.query(q, scope, None)?;
-                Ok(Expr::Agg("scalar_subquery".into(), Box::new(UExpr::sum(z, sid, body))))
+                Ok(Expr::Agg(
+                    "scalar_subquery".into(),
+                    Box::new(UExpr::sum(z, sid, body)),
+                ))
             }
             ScalarExpr::Case { .. } => Err(LowerError::CasePosition(
                 "CASE is only supported as a whole projection item or as one side \
@@ -725,7 +791,9 @@ impl<'a> Lowerer<'a> {
         positive: bool,
     ) -> Result<UExpr, LowerError> {
         let ScalarExpr::Case { whens, else_ } = case else {
-            return Err(LowerError::CasePosition("case_cmp on a non-CASE expression".into()));
+            return Err(LowerError::CasePosition(
+                "case_cmp on a non-CASE expression".into(),
+            ));
         };
         let mut terms: Vec<UExpr> = Vec::with_capacity(whens.len() + 1);
         // Guards of the branches already passed over: [¬b₁] × … × [¬bᵢ₋₁].
@@ -780,7 +848,10 @@ impl<'a> Lowerer<'a> {
             },
             PredExpr::And(a, b) => {
                 if positive {
-                    Ok(UExpr::mul(self.pred(a, scope, true)?, self.pred(b, scope, true)?))
+                    Ok(UExpr::mul(
+                        self.pred(a, scope, true)?,
+                        self.pred(b, scope, true)?,
+                    ))
                 } else {
                     // ¬(a ∧ b) = ‖¬a + ¬b‖
                     Ok(UExpr::squash(UExpr::add(
@@ -797,7 +868,10 @@ impl<'a> Lowerer<'a> {
                         self.pred(b, scope, true)?,
                     )))
                 } else {
-                    Ok(UExpr::mul(self.pred(a, scope, false)?, self.pred(b, scope, false)?))
+                    Ok(UExpr::mul(
+                        self.pred(a, scope, false)?,
+                        self.pred(b, scope, false)?,
+                    ))
                 }
             }
             PredExpr::Not(inner) => self.pred(inner, scope, !positive),
@@ -806,7 +880,11 @@ impl<'a> Lowerer<'a> {
             PredExpr::Exists(q) => {
                 let (z, sid, body) = self.query(q, scope, None)?;
                 let total = UExpr::sum(z, sid, body);
-                Ok(if positive { UExpr::squash(total) } else { UExpr::not(total) })
+                Ok(if positive {
+                    UExpr::squash(total)
+                } else {
+                    UExpr::not(total)
+                })
             }
             PredExpr::InQuery(e, q) => {
                 let le = self.scalar(e, scope)?;
@@ -817,12 +895,13 @@ impl<'a> Lowerer<'a> {
                     .first()
                     .map(|(a, _)| a.clone())
                     .ok_or_else(|| LowerError::OpenSchemaProjection("IN over no columns".into()))?;
-                let membership = UExpr::mul(
-                    UExpr::eq(Expr::var_attr(z, &first_attr), le),
-                    body,
-                );
+                let membership = UExpr::mul(UExpr::eq(Expr::var_attr(z, &first_attr), le), body);
                 let total = UExpr::sum(z, sid, membership);
-                Ok(if positive { UExpr::squash(total) } else { UExpr::not(total) })
+                Ok(if positive {
+                    UExpr::squash(total)
+                } else {
+                    UExpr::not(total)
+                })
             }
         }
     }
@@ -935,17 +1014,28 @@ mod tests {
     #[test]
     fn union_all_adds_bodies_with_positional_rename() {
         let mut fe = setup(DDL);
-        let q = lower(&mut fe, "SELECT x.a AS v FROM r x UNION ALL SELECT y.b AS w FROM r2 y");
+        let q = lower(
+            &mut fe,
+            "SELECT x.a AS v FROM r x UNION ALL SELECT y.b AS w FROM r2 y",
+        );
         assert!(matches!(q.body, UExpr::Add(_, _)));
-        let names: Vec<&str> =
-            fe.catalog.schema(q.schema).attrs.iter().map(|(n, _)| n.as_str()).collect();
+        let names: Vec<&str> = fe
+            .catalog
+            .schema(q.schema)
+            .attrs
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
         assert_eq!(names, vec!["v"]);
     }
 
     #[test]
     fn union_arity_mismatch_rejected() {
         let mut fe = setup(DDL);
-        let err = lower_err(&mut fe, "SELECT x.a FROM r x UNION ALL SELECT y.a, y.b FROM r2 y");
+        let err = lower_err(
+            &mut fe,
+            "SELECT x.a FROM r x UNION ALL SELECT y.a, y.b FROM r2 y",
+        );
         assert!(matches!(err, LowerError::UnionArityMismatch { .. }));
     }
 
@@ -968,8 +1058,10 @@ mod tests {
         );
         let s = format!("{}", q.body);
         assert!(s.contains('‖'), "{s}");
-        let q =
-            lower(&mut fe, "SELECT x.a FROM r x WHERE NOT EXISTS (SELECT * FROM r2 y WHERE y.k = x.k)");
+        let q = lower(
+            &mut fe,
+            "SELECT x.a FROM r x WHERE NOT EXISTS (SELECT * FROM r2 y WHERE y.k = x.k)",
+        );
         let s = format!("{}", q.body);
         assert!(s.contains("not("), "{s}");
     }
@@ -977,7 +1069,10 @@ mod tests {
     #[test]
     fn in_subquery_desugars_to_membership() {
         let mut fe = setup(DDL);
-        let q = lower(&mut fe, "SELECT x.a FROM r x WHERE x.k IN (SELECT y.k FROM r2 y)");
+        let q = lower(
+            &mut fe,
+            "SELECT x.a FROM r x WHERE x.k IN (SELECT y.k FROM r2 y)",
+        );
         let s = format!("{}", q.body);
         assert!(s.contains('‖'), "{s}");
     }
@@ -985,7 +1080,10 @@ mod tests {
     #[test]
     fn not_pushes_to_atoms() {
         let mut fe = setup(DDL);
-        let q = lower(&mut fe, "SELECT x.a FROM r x WHERE NOT (x.a = 1 AND x.b < 2)");
+        let q = lower(
+            &mut fe,
+            "SELECT x.a FROM r x WHERE NOT (x.a = 1 AND x.b < 2)",
+        );
         let s = format!("{}", q.body);
         // ¬(p ∧ q) = ‖[a≠1] + [b ≥ 2]‖
         assert!(s.contains('≠'), "{s}");
@@ -994,7 +1092,9 @@ mod tests {
 
     #[test]
     fn view_is_inlined() {
-        let mut fe = setup(&format!("{DDL}\nview v as SELECT x.a AS a FROM r x WHERE x.a > 0;"));
+        let mut fe = setup(&format!(
+            "{DDL}\nview v as SELECT x.a AS a FROM r x WHERE x.a > 0;"
+        ));
         let q = lower(&mut fe, "SELECT t.a FROM v t");
         let s = format!("{}", q.body);
         assert!(s.contains("gt("), "view body inlined: {s}");
@@ -1031,8 +1131,14 @@ mod tests {
     #[test]
     fn group_by_desugars_to_distinct_with_agg_subquery() {
         let mut fe = setup(DDL);
-        let q = lower(&mut fe, "SELECT x.k AS k, SUM(x.a) AS total FROM r x GROUP BY x.k");
-        assert!(matches!(q.body, UExpr::Squash(_)), "desugared query is DISTINCT");
+        let q = lower(
+            &mut fe,
+            "SELECT x.k AS k, SUM(x.a) AS total FROM r x GROUP BY x.k",
+        );
+        assert!(
+            matches!(q.body, UExpr::Squash(_)),
+            "desugared query is DISTINCT"
+        );
         let s = format!("{}", q.body);
         assert!(s.contains("sum("), "{s}");
     }
@@ -1095,7 +1201,10 @@ mod tests {
     #[test]
     fn intersect_lowers_to_squashed_product() {
         let mut fe = setup(DDL);
-        let q = lower_ext(&mut fe, "SELECT x.a FROM r x INTERSECT SELECT y.a FROM r2 y");
+        let q = lower_ext(
+            &mut fe,
+            "SELECT x.a FROM r x INTERSECT SELECT y.a FROM r2 y",
+        );
         match &q.body {
             UExpr::Squash(inner) => assert!(matches!(**inner, UExpr::Mul(_, _))),
             other => panic!("unexpected {other:?}"),
@@ -1110,8 +1219,13 @@ mod tests {
         // two rows ⇒ a + of two product terms mentioning the literals
         assert!(s.contains('1') && s.contains('4'), "{s}");
         assert!(s.contains('+'), "{s}");
-        let names: Vec<&str> =
-            fe.catalog.schema(q.schema).attrs.iter().map(|(n, _)| n.as_str()).collect();
+        let names: Vec<&str> = fe
+            .catalog
+            .schema(q.schema)
+            .attrs
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
         assert_eq!(names, vec!["c0", "c1"]);
     }
 
@@ -1129,8 +1243,13 @@ mod tests {
         );
         let q = lower_ext(&mut fe, "SELECT * FROM r x NATURAL JOIN r2 y");
         // Output schema merges the shared column: k, a, b.
-        let names: Vec<&str> =
-            fe.catalog.schema(q.schema).attrs.iter().map(|(n, _)| n.as_str()).collect();
+        let names: Vec<&str> = fe
+            .catalog
+            .schema(q.schema)
+            .attrs
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
         assert_eq!(names, vec!["k", "a", "b"]);
         let s = format!("{}", q.body);
         assert!(s.contains(".k = "), "shared-column equality in {s}");

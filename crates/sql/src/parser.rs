@@ -130,10 +130,45 @@ pub fn parse_query_with(input: &str, dialect: Dialect) -> Result<Query, ParseErr
 
 /// Identifiers that terminate an implicit alias position.
 const RESERVED: &[&str] = &[
-    "select", "from", "where", "group", "having", "union", "except", "intersect", "on", "join",
-    "inner", "left", "right", "full", "cross", "order", "as", "and", "or", "not", "exists", "in",
-    "verify", "schema", "table", "key", "foreign", "references", "view", "index", "distinct",
-    "limit", "natural", "case", "when", "then", "else", "end", "values",
+    "select",
+    "from",
+    "where",
+    "group",
+    "having",
+    "union",
+    "except",
+    "intersect",
+    "on",
+    "join",
+    "inner",
+    "left",
+    "right",
+    "full",
+    "cross",
+    "order",
+    "as",
+    "and",
+    "or",
+    "not",
+    "exists",
+    "in",
+    "verify",
+    "schema",
+    "table",
+    "key",
+    "foreign",
+    "references",
+    "view",
+    "index",
+    "distinct",
+    "limit",
+    "natural",
+    "case",
+    "when",
+    "then",
+    "else",
+    "end",
+    "values",
 ];
 
 struct Parser {
@@ -190,7 +225,11 @@ impl Parser {
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
         let (line, col) = self.here();
-        Err(ParseError::Syntax { message: message.into(), line, col })
+        Err(ParseError::Syntax {
+            message: message.into(),
+            line,
+            col,
+        })
     }
 
     fn unsupported<T>(&self, feature: Feature) -> Result<T, ParseError> {
@@ -225,7 +264,11 @@ impl Parser {
             self.advance();
             Ok(())
         } else {
-            self.err(format!("expected {}, found {}", t.describe(), self.peek().describe()))
+            self.err(format!(
+                "expected {}, found {}",
+                t.describe(),
+                self.peek().describe()
+            ))
         }
     }
 
@@ -281,7 +324,12 @@ impl Parser {
             let ref_table = self.expect_ident()?;
             let ref_attrs = self.paren_ident_list()?;
             self.expect_tok(Tok::Semi)?;
-            return Ok(Statement::ForeignKey { table, attrs, ref_table, ref_attrs });
+            return Ok(Statement::ForeignKey {
+                table,
+                attrs,
+                ref_table,
+                ref_attrs,
+            });
         }
         if self.eat_kw("view") {
             let name = self.expect_ident()?;
@@ -308,7 +356,10 @@ impl Parser {
         if self.at_kw("with") {
             return self.unsupported(Feature::With);
         }
-        self.err(format!("expected a statement, found {}", self.peek().describe()))
+        self.err(format!(
+            "expected a statement, found {}",
+            self.peek().describe()
+        ))
     }
 
     fn schema_stmt(&mut self) -> Result<Statement, ParseError> {
@@ -428,10 +479,18 @@ impl Parser {
         let projection = self.projection()?;
         let join_mark = self.pending_join_preds.len();
         let natural_mark = self.pending_natural.len();
-        let from = if self.eat_kw("from") { self.from_list()? } else { Vec::new() };
+        let from = if self.eat_kw("from") {
+            self.from_list()?
+        } else {
+            Vec::new()
+        };
         let join_preds = self.pending_join_preds.split_off(join_mark);
         let natural = self.pending_natural.split_off(natural_mark);
-        let mut where_clause = if self.eat_kw("where") { Some(self.pred()?) } else { None };
+        let mut where_clause = if self.eat_kw("where") {
+            Some(self.pred()?)
+        } else {
+            None
+        };
         for jp in join_preds {
             where_clause = Some(match where_clause {
                 Some(w) => PredExpr::and(jp, w),
@@ -482,7 +541,10 @@ impl Parser {
         // `x.*`
         if let Tok::Ident(name) = self.peek().clone() {
             if matches!(self.peek2(), Tok::Dot)
-                && matches!(self.toks[(self.pos + 2).min(self.toks.len() - 1)].tok, Tok::Star)
+                && matches!(
+                    self.toks[(self.pos + 2).min(self.toks.len() - 1)].tok,
+                    Tok::Star
+                )
             {
                 self.advance();
                 self.advance();
@@ -562,7 +624,10 @@ impl Parser {
             self.expect_tok(Tok::RParen)?;
             self.eat_kw("as");
             let alias = self.expect_ident()?;
-            return Ok(FromItem { source: TableRef::Subquery(Box::new(q)), alias });
+            return Ok(FromItem {
+                source: TableRef::Subquery(Box::new(q)),
+                alias,
+            });
         }
         let table = self.expect_ident()?;
         if RESERVED.contains(&table.as_str()) {
@@ -579,7 +644,10 @@ impl Parser {
         } else {
             table.clone()
         };
-        Ok(FromItem { source: TableRef::Table(table), alias })
+        Ok(FromItem {
+            source: TableRef::Table(table),
+            alias,
+        })
     }
 
     // ---------------------------------------------------------- predicates
@@ -628,7 +696,8 @@ impl Parser {
             return Ok(PredExpr::Exists(Box::new(q)));
         }
         // `( pred )` vs `( expr ) op expr`: backtrack.
-        if matches!(self.peek(), Tok::LParen) && !matches!(self.peek2(), Tok::Ident(s) if s == "select")
+        if matches!(self.peek(), Tok::LParen)
+            && !matches!(self.peek2(), Tok::Ident(s) if s == "select")
         {
             let save = self.pos;
             self.advance();
@@ -676,7 +745,10 @@ impl Parser {
     }
 
     fn at_cmp_op(&self) -> bool {
-        matches!(self.peek(), Tok::Eq | Tok::Ne | Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge)
+        matches!(
+            self.peek(),
+            Tok::Eq | Tok::Ne | Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge
+        )
     }
 
     fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
@@ -687,7 +759,12 @@ impl Parser {
             Tok::Le => CmpOp::Le,
             Tok::Gt => CmpOp::Gt,
             Tok::Ge => CmpOp::Ge,
-            other => return self.err(format!("expected comparison operator, found {}", other.describe())),
+            other => {
+                return self.err(format!(
+                    "expected comparison operator, found {}",
+                    other.describe()
+                ))
+            }
         };
         self.advance();
         Ok(op)
@@ -783,7 +860,11 @@ impl Parser {
                         self.advance();
                         self.expect_tok(Tok::RParen)?;
                         self.check_window_suffix()?;
-                        return Ok(ScalarExpr::Agg { func: name, arg: AggArg::Star, distinct });
+                        return Ok(ScalarExpr::Agg {
+                            func: name,
+                            arg: AggArg::Star,
+                            distinct,
+                        });
                     }
                     let mut args = Vec::new();
                     if !matches!(self.peek(), Tok::RParen) {
@@ -811,9 +892,15 @@ impl Parser {
                 if matches!(self.peek(), Tok::Dot) {
                     self.advance();
                     let col = self.expect_ident()?;
-                    return Ok(ScalarExpr::Column { table: Some(name), column: col });
+                    return Ok(ScalarExpr::Column {
+                        table: Some(name),
+                        column: col,
+                    });
                 }
-                Ok(ScalarExpr::Column { table: None, column: name })
+                Ok(ScalarExpr::Column {
+                    table: None,
+                    column: name,
+                })
             }
             other => self.err(format!("expected expression, found {}", other.describe())),
         }
@@ -826,7 +913,11 @@ impl Parser {
     fn case_expr(&mut self) -> Result<ScalarExpr, ParseError> {
         self.expect_kw("case")?;
         // Simple form: an operand expression before the first WHEN.
-        let operand = if self.at_kw("when") { None } else { Some(self.expr()?) };
+        let operand = if self.at_kw("when") {
+            None
+        } else {
+            Some(self.expr()?)
+        };
         let mut whens = Vec::new();
         while self.eat_kw("when") {
             let cond = match &operand {
@@ -929,8 +1020,7 @@ mod tests {
 
     #[test]
     fn outer_join_is_unsupported() {
-        let err =
-            parse_query("SELECT * FROM r x LEFT JOIN s y ON x.a = y.a").unwrap_err();
+        let err = parse_query("SELECT * FROM r x LEFT JOIN s y ON x.a = y.a").unwrap_err();
         assert_eq!(err.unsupported_feature(), Some(Feature::OuterJoin));
     }
 
@@ -988,7 +1078,10 @@ mod tests {
         let query = q("SELECT CAST(x.a AS varchar) AS s FROM r x");
         match query {
             Query::Select(s) => match &s.projection[0] {
-                SelectItem::Expr { expr: ScalarExpr::App(name, _), .. } => {
+                SelectItem::Expr {
+                    expr: ScalarExpr::App(name, _),
+                    ..
+                } => {
                     assert_eq!(name, "cast_varchar");
                 }
                 other => panic!("unexpected {other:?}"),
@@ -1075,9 +1168,8 @@ mod tests {
     #[test]
     fn intersect_all_is_unsupported_in_both_dialects() {
         for d in [Dialect::Paper, Dialect::Extended] {
-            let err =
-                parse_query_with("SELECT * FROM r x INTERSECT ALL SELECT * FROM s y", d)
-                    .unwrap_err();
+            let err = parse_query_with("SELECT * FROM r x INTERSECT ALL SELECT * FROM s y", d)
+                .unwrap_err();
             assert_eq!(err.unsupported_feature(), Some(Feature::Intersect));
         }
     }
@@ -1108,7 +1200,10 @@ mod tests {
         let q = qx("SELECT CASE WHEN x.a = 1 THEN 2 ELSE 3 END AS v FROM r x");
         match q {
             Query::Select(s) => match &s.projection[0] {
-                SelectItem::Expr { expr: ScalarExpr::Case { whens, .. }, .. } => {
+                SelectItem::Expr {
+                    expr: ScalarExpr::Case { whens, .. },
+                    ..
+                } => {
                     assert_eq!(whens.len(), 1);
                 }
                 other => panic!("unexpected {other:?}"),
@@ -1119,7 +1214,10 @@ mod tests {
         let q = qx("SELECT CASE x.a WHEN 1 THEN 2 WHEN 5 THEN 6 ELSE 3 END AS v FROM r x");
         match q {
             Query::Select(s) => match &s.projection[0] {
-                SelectItem::Expr { expr: ScalarExpr::Case { whens, .. }, .. } => {
+                SelectItem::Expr {
+                    expr: ScalarExpr::Case { whens, .. },
+                    ..
+                } => {
                     assert_eq!(whens.len(), 2);
                     assert!(matches!(&whens[0].0, PredExpr::Cmp(CmpOp::Eq, _, _)));
                 }
@@ -1150,9 +1248,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // Nested subqueries must not leak natural pairs outward.
-        let q = qx(
-            "SELECT * FROM r x WHERE EXISTS (SELECT * FROM s y NATURAL JOIN t z)",
-        );
+        let q = qx("SELECT * FROM r x WHERE EXISTS (SELECT * FROM s y NATURAL JOIN t z)");
         match q {
             Query::Select(s) => assert!(s.natural.is_empty()),
             other => panic!("unexpected {other:?}"),
@@ -1162,10 +1258,19 @@ mod tests {
     #[test]
     fn paper_dialect_still_rejects_extensions() {
         for (sql, feature) in [
-            ("SELECT * FROM r x UNION SELECT * FROM s y", Feature::SetUnion),
-            ("SELECT * FROM r x INTERSECT SELECT * FROM s y", Feature::Intersect),
+            (
+                "SELECT * FROM r x UNION SELECT * FROM s y",
+                Feature::SetUnion,
+            ),
+            (
+                "SELECT * FROM r x INTERSECT SELECT * FROM s y",
+                Feature::Intersect,
+            ),
             ("VALUES (1)", Feature::Values),
-            ("SELECT CASE WHEN x.a = 1 THEN 2 ELSE 3 END AS v FROM r x", Feature::Case),
+            (
+                "SELECT CASE WHEN x.a = 1 THEN 2 ELSE 3 END AS v FROM r x",
+                Feature::Case,
+            ),
             ("SELECT * FROM r x NATURAL JOIN s y", Feature::NaturalJoin),
         ] {
             let err = parse_query(sql).unwrap_err();
@@ -1178,7 +1283,10 @@ mod tests {
         let query = q("SELECT (SELECT MAX(y.a) FROM s y) AS m FROM r x");
         match query {
             Query::Select(s) => match &s.projection[0] {
-                SelectItem::Expr { expr: ScalarExpr::Subquery(_), .. } => {}
+                SelectItem::Expr {
+                    expr: ScalarExpr::Subquery(_),
+                    ..
+                } => {}
                 other => panic!("unexpected {other:?}"),
             },
             other => panic!("unexpected {other:?}"),

@@ -18,8 +18,7 @@ pub fn query_to_sql(q: &Query) -> String {
 pub fn statement_to_sql(s: &Statement) -> String {
     match s {
         Statement::Schema { name, attrs, open } => {
-            let mut parts: Vec<String> =
-                attrs.iter().map(|(a, t)| format!("{a}:{t}")).collect();
+            let mut parts: Vec<String> = attrs.iter().map(|(a, t)| format!("{a}:{t}")).collect();
             if *open {
                 parts.push("??".into());
             }
@@ -27,7 +26,12 @@ pub fn statement_to_sql(s: &Statement) -> String {
         }
         Statement::Table { name, schema } => format!("table {name}({schema});"),
         Statement::Key { table, attrs } => format!("key {table}({});", attrs.join(", ")),
-        Statement::ForeignKey { table, attrs, ref_table, ref_attrs } => format!(
+        Statement::ForeignKey {
+            table,
+            attrs,
+            ref_table,
+            ref_attrs,
+        } => format!(
             "foreign key {table}({}) references {ref_table}({});",
             attrs.join(", "),
             ref_attrs.join(", ")
@@ -44,7 +48,11 @@ pub fn statement_to_sql(s: &Statement) -> String {
 
 /// Render a whole program.
 pub fn program_to_sql(p: &Program) -> String {
-    p.statements.iter().map(statement_to_sql).collect::<Vec<_>>().join("\n")
+    p.statements
+        .iter()
+        .map(statement_to_sql)
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 fn write_query(out: &mut String, q: &Query) {
@@ -157,8 +165,14 @@ fn write_select(out: &mut String, s: &Select) {
 /// Render a scalar expression.
 pub fn scalar_to_sql(e: &ScalarExpr) -> String {
     match e {
-        ScalarExpr::Column { table: Some(t), column } => format!("{t}.{column}"),
-        ScalarExpr::Column { table: None, column } => column.clone(),
+        ScalarExpr::Column {
+            table: Some(t),
+            column,
+        } => format!("{t}.{column}"),
+        ScalarExpr::Column {
+            table: None,
+            column,
+        } => column.clone(),
         ScalarExpr::Int(i) => i.to_string(),
         ScalarExpr::Str(s) => format!("'{s}'"),
         ScalarExpr::App(f, args) => {
@@ -179,7 +193,11 @@ pub fn scalar_to_sql(e: &ScalarExpr) -> String {
                 }
             }
         }
-        ScalarExpr::Agg { func, arg, distinct } => {
+        ScalarExpr::Agg {
+            func,
+            arg,
+            distinct,
+        } => {
             let inner = match arg {
                 AggArg::Star => "*".to_string(),
                 AggArg::Expr(e) => scalar_to_sql(e),
@@ -228,10 +246,12 @@ mod tests {
     fn round_trip(sql: &str) {
         let q1 = parse_query(sql).unwrap();
         let printed = query_to_sql(&q1);
-        let q2 = parse_query(&printed).unwrap_or_else(|e| {
-            panic!("printed SQL failed to parse: {printed}\n{e}")
-        });
-        assert_eq!(q1, q2, "round trip changed the AST:\n  in:  {sql}\n  out: {printed}");
+        let q2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("printed SQL failed to parse: {printed}\n{e}"));
+        assert_eq!(
+            q1, q2,
+            "round trip changed the AST:\n  in:  {sql}\n  out: {printed}"
+        );
     }
 
     #[test]
@@ -285,10 +305,12 @@ mod tests {
         use crate::parser::{parse_query_with, Dialect};
         let q1 = parse_query_with(sql, Dialect::Extended).unwrap();
         let printed = query_to_sql(&q1);
-        let q2 = parse_query_with(&printed, Dialect::Extended).unwrap_or_else(|e| {
-            panic!("printed SQL failed to parse: {printed}\n{e}")
-        });
-        assert_eq!(q1, q2, "round trip changed the AST:\n  in:  {sql}\n  out: {printed}");
+        let q2 = parse_query_with(&printed, Dialect::Extended)
+            .unwrap_or_else(|e| panic!("printed SQL failed to parse: {printed}\n{e}"));
+        assert_eq!(
+            q1, q2,
+            "round trip changed the AST:\n  in:  {sql}\n  out: {printed}"
+        );
     }
 
     #[test]
@@ -298,9 +320,7 @@ mod tests {
         round_trip_ext("VALUES (1, 2), (3, 4)");
         round_trip_ext("SELECT * FROM (VALUES (1), (2)) v WHERE v.c0 = 1");
         round_trip_ext("SELECT CASE WHEN x.a = 1 THEN 2 ELSE 3 END AS v FROM r x");
-        round_trip_ext(
-            "SELECT * FROM r x WHERE CASE WHEN x.a = 1 THEN x.k ELSE x.a END = 5",
-        );
+        round_trip_ext("SELECT * FROM r x WHERE CASE WHEN x.a = 1 THEN x.k ELSE x.a END = 5");
         round_trip_ext("SELECT * FROM r x NATURAL JOIN s y");
         round_trip_ext("SELECT * FROM r x NATURAL JOIN s y, t z WHERE z.a = x.a");
     }
@@ -309,9 +329,10 @@ mod tests {
     fn every_corpus_rule_pretty_prints_and_reparses() {
         // Structural check across the full supported corpus: print ∘ parse
         // is the identity on parseable rule files.
-        for (sql, expect_parse) in [
-            ("SELECT e.ename AS n FROM emp e JOIN dept d ON e.deptno = d.deptno", true),
-        ] {
+        for (sql, expect_parse) in [(
+            "SELECT e.ename AS n FROM emp e JOIN dept d ON e.deptno = d.deptno",
+            true,
+        )] {
             let q = parse_query(sql);
             assert_eq!(q.is_ok(), expect_parse);
             if let Ok(q) = q {

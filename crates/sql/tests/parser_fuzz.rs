@@ -10,12 +10,78 @@ use udp_sql::pretty::query_to_sql;
 /// SQL-ish vocabulary: random sentences over these tokens reach far deeper
 /// into the parser than raw character noise.
 const VOCAB: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "DISTINCT", "AS", "AND", "OR", "NOT",
-    "EXISTS", "IN", "BETWEEN", "UNION", "ALL", "EXCEPT", "INTERSECT", "JOIN", "ON", "INNER",
-    "CROSS", "NATURAL", "CASE", "WHEN", "THEN", "ELSE", "END", "VALUES", "TRUE", "FALSE",
-    "CAST", "COUNT", "SUM", "MIN", "verify", "schema", "table", "key", "foreign", "references",
-    "view", "index", "*", "(", ")", ",", ";", ".", "=", "<>", "<", "<=", ">", ">=", "+", "-",
-    "/", "==", "??", ":", "r", "s", "x", "y", "a", "b", "k", "1", "42", "'str'", "int",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "DISTINCT",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "EXISTS",
+    "IN",
+    "BETWEEN",
+    "UNION",
+    "ALL",
+    "EXCEPT",
+    "INTERSECT",
+    "JOIN",
+    "ON",
+    "INNER",
+    "CROSS",
+    "NATURAL",
+    "CASE",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
+    "VALUES",
+    "TRUE",
+    "FALSE",
+    "CAST",
+    "COUNT",
+    "SUM",
+    "MIN",
+    "verify",
+    "schema",
+    "table",
+    "key",
+    "foreign",
+    "references",
+    "view",
+    "index",
+    "*",
+    "(",
+    ")",
+    ",",
+    ";",
+    ".",
+    "=",
+    "<>",
+    "<",
+    "<=",
+    ">",
+    ">=",
+    "+",
+    "-",
+    "/",
+    "==",
+    "??",
+    ":",
+    "r",
+    "s",
+    "x",
+    "y",
+    "a",
+    "b",
+    "k",
+    "1",
+    "42",
+    "'str'",
+    "int",
 ];
 
 proptest! {

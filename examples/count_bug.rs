@@ -31,8 +31,14 @@ fn main() {
 
     // 1. The prover must NOT prove the buggy rewrite.
     let results = udp::verify(program).expect("well-formed program");
-    println!("UDP on the COUNT-bug rewrite: {:?}", results[0].verdict.decision);
-    assert!(!results[0].verdict.decision.is_proved(), "soundness violation!");
+    println!(
+        "UDP on the COUNT-bug rewrite: {:?}",
+        results[0].verdict.decision
+    );
+    assert!(
+        !results[0].verdict.decision.is_proved(),
+        "soundness violation!"
+    );
 
     // 2. The model checker refutes it with a concrete database: a part with
     //    qoh = 0 and no supplies is returned by the original query (COUNT =

@@ -26,7 +26,10 @@ fn main() {
 
     let (results, fe) = udp_sql::verify_program_with_frontend(
         program,
-        udp::DecideConfig { record_trace: true, ..Default::default() },
+        udp::DecideConfig {
+            record_trace: true,
+            ..Default::default()
+        },
     )
     .expect("well-formed program");
     let verdict = &results[0].verdict;

@@ -15,8 +15,10 @@ use udp_core::DecideConfig;
 use udp_corpus::{all_rules, Expectation, Source};
 
 fn main() {
-    let rules: Vec<_> =
-        all_rules().into_iter().filter(|r| r.source == Source::Calcite).collect();
+    let rules: Vec<_> = all_rules()
+        .into_iter()
+        .filter(|r| r.source == Source::Calcite)
+        .collect();
     let mut proved = 0;
     let mut refuted = 0;
     let mut inconclusive = 0;
@@ -28,7 +30,10 @@ fn main() {
         } else {
             Budget::new(Some(20_000_000), Some(std::time::Duration::from_secs(30)))
         };
-        let config = DecideConfig { budget: Some(budget), ..Default::default() };
+        let config = DecideConfig {
+            budget: Some(budget),
+            ..Default::default()
+        };
         let short = rule.name.trim_start_matches("calcite/");
         match udp_sql::verify_program(&rule.text, config) {
             Err(e) => {

@@ -34,7 +34,10 @@ fn main() {
     // 1. UDP proves the rewrite (Ex 5.2 of the paper).
     let results = udp::verify(program).expect("well-formed program");
     assert!(results[0].verdict.decision.is_proved());
-    println!("Ex 5.2 proved in {:.2} ms", results[0].verdict.stats.wall.as_secs_f64() * 1e3);
+    println!(
+        "Ex 5.2 proved in {:.2} ms",
+        results[0].verdict.stats.wall.as_secs_f64() * 1e3
+    );
 
     // 2. Lower both sides to U-expressions over a shared catalog.
     let parsed = parse_program(program).unwrap();
@@ -46,7 +49,10 @@ fn main() {
 
     // 3. Build a provenance-annotated instance: three tuples of r, each
     //    tagged with its own variable x0, x1, x2.
-    let spec = DomainSpec { ints: vec![0, 1], strs: vec![] };
+    let spec = DomainSpec {
+        ints: vec![0, 1],
+        strs: vec![],
+    };
     let mut interp: Interp<BoolProv> = Interp::new(&fe.catalog, &spec);
     let r = fe.catalog.relation_id("r").unwrap();
     let tagged = [
@@ -82,7 +88,12 @@ fn main() {
 }
 
 fn tuple(fields: &[(&str, i64)]) -> Val {
-    Val::Tuple(fields.iter().map(|(n, v)| (n.to_string(), Val::Int(*v))).collect())
+    Val::Tuple(
+        fields
+            .iter()
+            .map(|(n, v)| (n.to_string(), Val::Int(*v)))
+            .collect(),
+    )
 }
 
 /// Render a provenance annotation over the three tagged variables as the
@@ -101,9 +112,19 @@ fn describe(p: BoolProv) -> String {
         }
     }
     let render = |mask: u32| {
-        let vars: Vec<String> =
-            (0..3).filter(|i| mask & (1 << i) != 0).map(|i| format!("x{i}")).collect();
-        if vars.is_empty() { "⊤".to_string() } else { vars.join("∧") }
+        let vars: Vec<String> = (0..3)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| format!("x{i}"))
+            .collect();
+        if vars.is_empty() {
+            "⊤".to_string()
+        } else {
+            vars.join("∧")
+        }
     };
-    supports.iter().map(|s| render(*s)).collect::<Vec<_>>().join(" ∨ ")
+    supports
+        .iter()
+        .map(|s| render(*s))
+        .collect::<Vec<_>>()
+        .join(" ∨ ")
 }

@@ -26,7 +26,10 @@ fn main() {
     ";
 
     let results = udp::verify(program).expect("well-formed program");
-    println!("Starburst mixed set/bag rewrite: {:?}", results[0].verdict.decision);
+    println!(
+        "Starburst mixed set/bag rewrite: {:?}",
+        results[0].verdict.decision
+    );
     assert!(results[0].verdict.decision.is_proved());
 
     // Drop the key and the rewrite is no longer valid: the left query can

@@ -1,0 +1,198 @@
+//! `udp-serve` — batch/streaming verification service over stdin/stdout.
+//!
+//! ```text
+//! udp-serve SCHEMA.sql [--jobs N] [--extended] [--timeout SECS] [--steps N]
+//!                      [--cache-size N] [--stats] [--fingerprints]
+//! ```
+//!
+//! `SCHEMA.sql` declares the shared catalog (schema/table/key/foreign
+//! key/view/index statements); any `verify` goals it contains are verified
+//! as a startup batch. After that, every line read from stdin is one goal —
+//! `q1 == q2`, optionally wrapped as `verify q1 == q2;` — and produces
+//! exactly one response line on stdout, in input order:
+//!
+//! ```text
+//! goal 1: Proved
+//! goal 2: NotProved(NoProofFound)
+//! goal 3: error: unknown table `nosuch`
+//! ```
+//!
+//! Lines are timing-free and deterministic, so outputs are byte-identical
+//! across worker counts and cache states. Blank lines flush the pending
+//! chunk through the parallel scheduler (responses still appear in order);
+//! EOF flushes the rest. `--stats` prints a throughput/cache/latency summary
+//! to stderr at exit; `--fingerprints` appends each side's canonical
+//! fingerprint to response lines (they are stable across runs).
+//!
+//! Exit codes: `0` every goal proved, `2` some goal was not proved, `1`
+//! input/schema errors, `64` usage errors.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use std::time::Duration;
+use udp_service::{GoalReport, Session, SessionConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut config = SessionConfig::default();
+    let mut show_stats = false;
+    let mut show_fingerprints = false;
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => config.workers = parse_num(it.next(), "--jobs"),
+            "--timeout" => {
+                config.wall = Some(Duration::from_secs(parse_num(it.next(), "--timeout") as u64))
+            }
+            "--steps" => config.steps = Some(parse_num(it.next(), "--steps") as u64),
+            "--cache-size" => config.cache_capacity = parse_num(it.next(), "--cache-size"),
+            "--extended" => config.dialect = udp_sql::Dialect::Extended,
+            "--stats" => show_stats = true,
+            "--fingerprints" => {
+                show_fingerprints = true;
+                config.fingerprints = true;
+            }
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown flag `{other}`")),
+            other if file.is_none() => file = Some(other.to_string()),
+            other => usage(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(file) = file else {
+        usage("missing schema file")
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read `{file}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let session = match Session::new(&text, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("schema error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut seq = 0usize;
+    let mut all_proved = true;
+    let mut any_error = false;
+
+    // Startup batch: goals declared in the schema file itself.
+    let program_goals = session.program_goals();
+    if !program_goals.is_empty() {
+        let reports = session.verify_batch(&program_goals);
+        for r in &reports {
+            seq += 1;
+            write_report(&mut out, seq, r, show_fingerprints);
+            note_outcome(r, &mut all_proved, &mut any_error);
+        }
+        let _ = out.flush();
+    }
+
+    // Streaming: accumulate goal lines; a blank line or EOF flushes the
+    // chunk through the scheduler (order within the chunk is preserved).
+    type ParsedLine = (
+        usize,
+        Result<(udp_sql::ast::Query, udp_sql::ast::Query), String>,
+    );
+    let mut pending: Vec<ParsedLine> = Vec::new();
+    let flush = |pending: &mut Vec<ParsedLine>,
+                 out: &mut dyn Write,
+                 all_proved: &mut bool,
+                 any_error: &mut bool| {
+        let goals: Vec<_> = pending
+            .iter()
+            .filter_map(|(_, g)| g.as_ref().ok().cloned())
+            .collect();
+        let mut reports = session.verify_batch(&goals).into_iter();
+        for (line_seq, parsed) in pending.drain(..) {
+            match parsed {
+                Ok(_) => {
+                    let r = reports.next().expect("one report per accepted goal");
+                    write_report(out, line_seq, &r, show_fingerprints);
+                    note_outcome(&r, all_proved, any_error);
+                }
+                Err(e) => {
+                    *any_error = true;
+                    let _ = writeln!(out, "goal {line_seq}: error: {e}");
+                }
+            }
+        }
+        let _ = out.flush();
+    };
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("stdin error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            flush(&mut pending, &mut out, &mut all_proved, &mut any_error);
+            continue;
+        }
+        if trimmed.starts_with("--") || trimmed.starts_with('#') {
+            continue; // comment
+        }
+        seq += 1;
+        let parsed = session.parse_goal(trimmed).map_err(|e| e.to_string());
+        pending.push((seq, parsed));
+    }
+    flush(&mut pending, &mut out, &mut all_proved, &mut any_error);
+
+    if show_stats {
+        eprintln!("{}", session.stats().render());
+    }
+    if any_error {
+        ExitCode::FAILURE
+    } else if all_proved {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn note_outcome(r: &GoalReport, all_proved: &mut bool, any_error: &mut bool) {
+    match &r.outcome {
+        Ok(v) if v.decision.is_proved() => {}
+        Ok(_) => *all_proved = false,
+        Err(_) => *any_error = true,
+    }
+}
+
+fn write_report(out: &mut dyn Write, seq: usize, r: &GoalReport, show_fingerprints: bool) {
+    let mut line = format!("goal {seq}: {}", r.render_verdict());
+    if show_fingerprints {
+        if let Some((f1, f2)) = r.fingerprints {
+            line.push_str(&format!("  [{f1} {f2}]"));
+        }
+    }
+    let _ = writeln!(out, "{line}");
+}
+
+fn parse_num(v: Option<&String>, flag: &str) -> usize {
+    v.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage(&format!("missing or invalid value for {flag}")))
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}\n");
+    }
+    eprintln!(
+        "usage: udp-serve SCHEMA.sql [--jobs N] [--extended] [--timeout SECS] [--steps N] \
+         [--cache-size N] [--stats] [--fingerprints]"
+    );
+    std::process::exit(64);
+}

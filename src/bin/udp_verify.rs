@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! udp-verify FILE.sql [--trace] [--check-trace] [--counterexample]
-//!                     [--spnf] [--extended] [--timeout SECS]
+//!                     [--spnf] [--extended] [--timeout SECS] [--jobs N]
 //! ```
 //!
 //! Reads an input program (schema/table/key/foreign key/view/index
@@ -11,8 +11,15 @@
 //! `--check-trace` replays it through the independent checker,
 //! `--counterexample` hunts for a refuting database when no proof is found,
 //! `--spnf` prints each goal's lowered U-expressions in sum-product normal
-//! form, and `--extended` enables the Sec 6.4 dialect extensions
-//! (set-semantics UNION, INTERSECT, VALUES, CASE, NATURAL JOIN).
+//! form, `--extended` enables the Sec 6.4 dialect extensions (set-semantics
+//! UNION, INTERSECT, VALUES, CASE, NATURAL JOIN), and `--jobs N` verifies
+//! the goals on an `N`-worker `udp-service` session with fingerprint
+//! caching (diagnostic modes — `--spnf`, `--check-trace`,
+//! `--counterexample` — stay sequential so they can share one frontend).
+//!
+//! The frontend (parse + catalog) is built once and reused by every mode;
+//! each goal is lowered exactly once on the sequential path, feeding both
+//! the `--spnf` printer and the decision procedure.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -28,6 +35,7 @@ fn main() -> ExitCode {
     let mut spnf = false;
     let mut dialect = udp_sql::Dialect::Paper;
     let mut timeout = 30u64;
+    let mut jobs = 1usize;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -46,14 +54,23 @@ fn main() -> ExitCode {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("missing value for --timeout"));
             }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --jobs"));
+            }
             "--help" | "-h" => {
                 usage("");
             }
+            other if other.starts_with('-') => usage(&format!("unknown flag `{other}`")),
             other if file.is_none() => file = Some(other.to_string()),
             other => usage(&format!("unexpected argument `{other}`")),
         }
     }
-    let Some(file) = file else { usage("missing input file") };
+    let Some(file) = file else {
+        usage("missing input file")
+    };
     let text = match std::fs::read_to_string(&file) {
         Ok(t) => t,
         Err(e) => {
@@ -62,19 +79,18 @@ fn main() -> ExitCode {
         }
     };
 
-    if spnf {
-        if let Err(code) = show_spnf(&text, dialect) {
-            return code;
-        }
+    let sequential_only = spnf || check_trace || counterexample;
+    if jobs > 1 && !sequential_only {
+        return run_parallel(&text, dialect, jobs, timeout, trace);
+    }
+    if jobs > 1 {
+        eprintln!("note: --spnf/--check-trace/--counterexample run sequentially; ignoring --jobs");
     }
 
-    let config = DecideConfig {
-        budget: Some(Budget::new(Some(20_000_000), Some(Duration::from_secs(timeout)))),
-        record_trace: trace,
-        ..Default::default()
-    };
-    let (results, fe) = match udp_sql::verify_program_with_frontend_in(&text, dialect, config) {
-        Ok(r) => r,
+    // Sequential path: one frontend build, one lowering per goal, shared by
+    // the SPNF printer and the decision procedure.
+    let mut fe = match udp_sql::prepare_program_in(&text, dialect) {
+        Ok(fe) => fe,
         Err(e) => {
             if let Some(f) = e.unsupported_feature() {
                 println!("unsupported: {f}");
@@ -84,19 +100,38 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let goals = fe.goals.clone();
+    let config = DecideConfig {
+        budget: Some(Budget::new(
+            Some(20_000_000),
+            Some(Duration::from_secs(timeout)),
+        )),
+        record_trace: trace,
+        ..Default::default()
+    };
+
+    let mut results = Vec::with_capacity(goals.len());
+    for (i, goal) in goals.iter().enumerate() {
+        let (q1, q2) = match udp_sql::lower_goal(&mut fe, goal) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("error lowering goal {}: {e}", i + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        if spnf {
+            for (side, q) in [("lhs", &q1), ("rhs", &q2)] {
+                let nf = udp_core::spnf::normalize(&q.body);
+                println!("goal {} {side}: λ{}. {nf}", i + 1, q.out);
+            }
+        }
+        let verdict = udp_core::decide_with(&fe.catalog, &fe.constraints, &q1, &q2, config.clone());
+        results.push(verdict);
+    }
 
     let mut all_proved = true;
-    for (i, goal) in results.iter().enumerate() {
-        let v = &goal.verdict;
-        println!(
-            "goal {}: {:?}  ({:.2} ms, {} steps, SPNF sizes {:?} → {:?})",
-            i + 1,
-            v.decision,
-            v.stats.wall.as_secs_f64() * 1e3,
-            v.stats.steps_used,
-            v.stats.size_before,
-            v.stats.size_after,
-        );
+    for (i, v) in results.iter().enumerate() {
+        print_verdict(i, v);
         if trace && v.decision.is_proved() {
             println!("{}", v.trace.render());
         }
@@ -106,9 +141,8 @@ fn main() -> ExitCode {
     }
 
     if check_trace && all_proved {
-        for goal in &results {
-            let report =
-                udp_core::proof::check_trace(&fe.catalog, &fe.constraints, &goal.verdict.trace, 8);
+        for v in &results {
+            let report = udp_core::proof::check_trace(&fe.catalog, &fe.constraints, &v.trace, 8);
             if report.ok() {
                 println!(
                     "trace check: {} steps revalidated over {} random models each",
@@ -145,33 +179,70 @@ fn main() -> ExitCode {
     }
 }
 
-/// Lower each goal and print both sides as SPNF normal forms.
-fn show_spnf(text: &str, dialect: udp_sql::Dialect) -> Result<(), ExitCode> {
-    let program = udp_sql::parse_program_with(text, dialect).map_err(|e| {
-        eprintln!("error: {e}");
-        ExitCode::FAILURE
-    })?;
-    let mut fe = udp_sql::build_frontend(&program).map_err(|e| {
-        eprintln!("error: {e}");
-        ExitCode::FAILURE
-    })?;
-    let goals = fe.goals.clone();
-    for (i, (q1, q2)) in goals.iter().enumerate() {
-        let mut gen = udp_core::expr::VarGen::new();
-        for (side, q) in [("lhs", q1), ("rhs", q2)] {
-            match udp_sql::lower_query(&mut fe, &mut gen, q) {
-                Ok(lowered) => {
-                    let nf = udp_core::spnf::normalize(&lowered.body);
-                    println!("goal {} {side}: λ{}. {nf}", i + 1, lowered.out);
+/// Batch mode: verify the program's goals on an N-worker service session
+/// with fingerprint caching. Output format matches the sequential path.
+fn run_parallel(
+    text: &str,
+    dialect: udp_sql::Dialect,
+    jobs: usize,
+    timeout: u64,
+    trace: bool,
+) -> ExitCode {
+    let config = udp_service::SessionConfig {
+        workers: jobs,
+        steps: Some(20_000_000),
+        wall: Some(Duration::from_secs(timeout)),
+        dialect,
+        record_trace: trace,
+        ..Default::default()
+    };
+    let session = match udp_service::Session::new(text, config) {
+        Ok(s) => s,
+        Err(e) => {
+            if let Some(f) = e.unsupported_feature() {
+                println!("unsupported: {f}");
+                return ExitCode::from(3);
+            }
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reports = session.verify_program_goals();
+    let mut all_proved = true;
+    for r in &reports {
+        match &r.outcome {
+            Ok(v) => {
+                print_verdict(r.index, v);
+                if trace && v.decision.is_proved() {
+                    println!("{}", v.trace.render());
                 }
-                Err(e) => {
-                    eprintln!("error lowering goal {} {side}: {e}", i + 1);
-                    return Err(ExitCode::FAILURE);
+                if !v.decision.is_proved() {
+                    all_proved = false;
                 }
+            }
+            Err(e) => {
+                eprintln!("error lowering goal {}: {e}", r.index + 1);
+                return ExitCode::FAILURE;
             }
         }
     }
-    Ok(())
+    if all_proved {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn print_verdict(i: usize, v: &udp_core::Verdict) {
+    println!(
+        "goal {}: {:?}  ({:.2} ms, {} steps, SPNF sizes {:?} → {:?})",
+        i + 1,
+        v.decision,
+        v.stats.wall.as_secs_f64() * 1e3,
+        v.stats.steps_used,
+        v.stats.size_before,
+        v.stats.size_after,
+    );
 }
 
 fn usage(msg: &str) -> ! {
@@ -180,7 +251,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: udp-verify FILE.sql [--trace] [--check-trace] [--counterexample] \
-         [--spnf] [--extended] [--timeout SECS]"
+         [--spnf] [--extended] [--timeout SECS] [--jobs N]"
     );
     std::process::exit(64);
 }

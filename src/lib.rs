@@ -56,7 +56,10 @@ pub fn verify_extended(program: &str) -> Result<Vec<GoalResult>, VerifyError> {
 pub fn verify_traced(program: &str) -> Result<Vec<GoalResult>, VerifyError> {
     udp_sql::verify_program(
         program,
-        DecideConfig { record_trace: true, ..Default::default() },
+        DecideConfig {
+            record_trace: true,
+            ..Default::default()
+        },
     )
 }
 

@@ -17,7 +17,10 @@ fn budget_for(e: Expectation) -> Budget {
 fn every_rule_matches_its_expectation() {
     let mut failures = Vec::new();
     for rule in all_rules() {
-        let config = DecideConfig { budget: Some(budget_for(rule.expect)), ..Default::default() };
+        let config = DecideConfig {
+            budget: Some(budget_for(rule.expect)),
+            ..Default::default()
+        };
         let out = run_rule(&rule, config);
         if out.observed != rule.expect {
             failures.push(format!(
@@ -26,7 +29,11 @@ fn every_rule_matches_its_expectation() {
             ));
         }
     }
-    assert!(failures.is_empty(), "corpus mismatches:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "corpus mismatches:\n{}",
+        failures.join("\n")
+    );
 }
 
 /// Fig 5 headline numbers.
@@ -63,7 +70,11 @@ fn proved_rules_survive_model_checking() {
             Err(e) => failures.push(format!("{}: evaluator error {e}", rule.name)),
         }
     }
-    assert!(failures.is_empty(), "soundness violations:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "soundness violations:\n{}",
+        failures.join("\n")
+    );
 }
 
 /// Proof traces of *every* proved corpus rule (all datasets, both dialects)
@@ -81,7 +92,10 @@ fn replay_rule(rule: &udp_corpus::Rule) {
     let (results, fe) = udp_sql::verify_program_with_frontend_in(
         &rule.text,
         rule.dialect,
-        DecideConfig { record_trace: true, ..Default::default() },
+        DecideConfig {
+            record_trace: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(results[0].verdict.decision.is_proved(), "{}", rule.name);
@@ -137,9 +151,15 @@ fn proved_traces_replay_slow() {
 #[test]
 fn extension_rules_prove_and_the_wrong_one_is_refuted() {
     let rules = all_rules();
-    let ext: Vec<_> = rules.iter().filter(|r| r.source == Source::Extension).collect();
+    let ext: Vec<_> = rules
+        .iter()
+        .filter(|r| r.source == Source::Extension)
+        .collect();
     assert_eq!(ext.len(), 17);
-    let proved_expected = ext.iter().filter(|r| r.expect == Expectation::Proved).count();
+    let proved_expected = ext
+        .iter()
+        .filter(|r| r.expect == Expectation::Proved)
+        .count();
     assert_eq!(proved_expected, 16);
     let wrong = ext
         .iter()

@@ -44,7 +44,10 @@ const POOL: &[&str] = &[
 fn decide_pair(q1: &str, q2: &str) -> udp_core::Decision {
     let program = format!("{DDL}\nverify {q1} == {q2};");
     let config = DecideConfig {
-        budget: Some(Budget::new(Some(2_000_000), Some(std::time::Duration::from_secs(10)))),
+        budget: Some(Budget::new(
+            Some(2_000_000),
+            Some(std::time::Duration::from_secs(10)),
+        )),
         ..Default::default()
     };
     match udp_sql::verify_program_in(&program, Dialect::Extended, config) {
@@ -73,10 +76,7 @@ fn udp_and_model_checker_never_disagree() {
             let refutation = refuted(q1, q2, 30);
             if decision.is_proved() {
                 proved_pairs += 1;
-                assert!(
-                    !refutation,
-                    "UDP proved a refutable pair:\n  {q1}\n  {q2}"
-                );
+                assert!(!refutation, "UDP proved a refutable pair:\n  {q1}\n  {q2}");
             }
             if refutation {
                 refuted_pairs += 1;
@@ -85,8 +85,14 @@ fn udp_and_model_checker_never_disagree() {
     }
     // The pool contains equivalent clusters and inequivalent pairs; both
     // paths must actually fire for the test to mean anything.
-    assert!(proved_pairs >= 8, "only {proved_pairs} proved pairs — pool too weak");
-    assert!(refuted_pairs >= 40, "only {refuted_pairs} refuted pairs — pool too weak");
+    assert!(
+        proved_pairs >= 8,
+        "only {proved_pairs} proved pairs — pool too weak"
+    );
+    assert!(
+        refuted_pairs >= 40,
+        "only {refuted_pairs} refuted pairs — pool too weak"
+    );
 }
 
 /// Alias renaming must never block a proof (SQL-level completeness floor).
@@ -105,7 +111,10 @@ fn alias_renamed_clones_prove() {
         // replacement: skip if the variant no longer parses.
         let program = format!("{DDL}\nverify {q} == {renamed};");
         let config = DecideConfig {
-            budget: Some(Budget::new(Some(2_000_000), Some(std::time::Duration::from_secs(10)))),
+            budget: Some(Budget::new(
+                Some(2_000_000),
+                Some(std::time::Duration::from_secs(10)),
+            )),
             ..Default::default()
         };
         match udp_sql::verify_program_in(&program, Dialect::Extended, config) {

@@ -26,7 +26,10 @@ fn reflexivity_across_features() {
         "SELECT x.a AS a FROM r x UNION ALL SELECT y.c AS c FROM s y",
         "SELECT x.a AS a FROM r x EXCEPT SELECT y.c AS c FROM s y",
     ] {
-        assert!(proved(&with_base(&format!("{q} == {q}"))), "reflexivity failed: {q}");
+        assert!(
+            proved(&with_base(&format!("{q} == {q}"))),
+            "reflexivity failed: {q}"
+        );
     }
 }
 

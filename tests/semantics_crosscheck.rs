@@ -65,8 +65,14 @@ fn row_to_val(columns: &[String], row: &[udp_core::expr::Value]) -> Val {
 #[test]
 fn evaluator_agrees_with_usemiring_interpretation() {
     let program = parse_program(DDL).unwrap();
-    let spec = DomainSpec { ints: vec![0, 1, 2], strs: vec![] };
-    let config = GenConfig { max_rows: 3, domain: 3 };
+    let spec = DomainSpec {
+        ints: vec![0, 1, 2],
+        strs: vec![],
+    };
+    let config = GenConfig {
+        max_rows: 3,
+        domain: 3,
+    };
 
     for (qi, sql) in QUERIES.iter().enumerate() {
         // Fresh frontend per query: lowering adds anonymous schemas.
@@ -83,7 +89,9 @@ fn evaluator_agrees_with_usemiring_interpretation() {
             let result = eval_query(&fe, &db, &query).unwrap();
             let mut expected: BTreeMap<Val, u64> = BTreeMap::new();
             for row in &result.rows {
-                *expected.entry(row_to_val(&result.columns, row)).or_insert(0) += 1;
+                *expected
+                    .entry(row_to_val(&result.columns, row))
+                    .or_insert(0) += 1;
             }
 
             // U-semiring interpretation of the lowered body over the same
@@ -110,7 +118,8 @@ fn evaluator_agrees_with_usemiring_interpretation() {
                 let got = interp.eval_uexpr(&lowered.body, &env);
                 let want = Nat(expected.get(&t).copied().unwrap_or(0));
                 assert_eq!(
-                    got, want,
+                    got,
+                    want,
                     "query `{sql}` seed {seed}: tuple {t:?} multiplicity {got:?} ≠ {want:?}\n{}",
                     db.render(&fe.catalog)
                 );
