@@ -1,0 +1,29 @@
+//! Metamorphic-fuzzing throughput: full cross-check cases per second
+//! through the `udp-fuzz` harness (generation + rewrite/mutation + prover +
+//! oracle + cached/uncached service parity per case).
+//!
+//! Run with `cargo bench --bench fuzz_campaign`. This tracks the cost of the
+//! CI smoke gate: 200 cases must stay comfortably inside a CI minute.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use udp_fuzz::FuzzConfig;
+
+fn bench_campaign(c: &mut Criterion) {
+    for cases in [25usize, 100] {
+        c.bench_function(&format!("fuzz_campaign/cases_{cases}"), |b| {
+            b.iter(|| {
+                let config = FuzzConfig {
+                    cases,
+                    ..FuzzConfig::default()
+                };
+                let stats = udp_fuzz::run(&config);
+                assert_eq!(stats.disagreements(), 0, "failures: {:#?}", stats.failures);
+                black_box(stats.proved)
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -79,6 +79,21 @@ pub fn canonize_term(
         }
         let mut cc = build_congruence(ctx, &t, ambient);
 
+        // Semantic zero: the term's equalities (closed under congruence with
+        // the ambient context) merge two distinct constants, or refute one
+        // of the term's own disequalities. Either way the product denotes 0
+        // at every valuation and the term vanishes from the sum.
+        if cc.inconsistent() {
+            return Ok(None);
+        }
+        let refuted_ne = t.preds.iter().any(|p| match p {
+            Pred::Ne(a, b) => cc.same(a, b),
+            _ => false,
+        });
+        if refuted_ne {
+            return Ok(None);
+        }
+
         if eliminate_variable(ctx, &mut t, &mut cc, ambient)? {
             continue;
         }

@@ -196,6 +196,26 @@ impl Congruence {
         }
     }
 
+    /// Has the closure merged two *distinct* constants into one class? A
+    /// set of equalities entailing `c₁ = c₂` for different constants is
+    /// unsatisfiable, so a term carrying them denotes `0` at every
+    /// valuation.
+    pub fn inconsistent(&self) -> bool {
+        let mut const_of_class: HashMap<usize, &Value> = HashMap::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Op::Const(c) = &n.op {
+                let r = self.root(i);
+                match const_of_class.get(&r) {
+                    Some(prev) if **prev != *c => return true,
+                    _ => {
+                        const_of_class.insert(r, c);
+                    }
+                }
+            }
+        }
+        false
+    }
+
     /// Are `a` and `b` in the same class?
     pub fn same(&mut self, a: &Expr, b: &Expr) -> bool {
         let na = self.intern(a);

@@ -133,8 +133,21 @@ impl Catalog {
     }
 
     /// Intern an *anonymous* schema (e.g. the output row type of a
-    /// subquery). Anonymous schemas are not looked up by name.
+    /// subquery). Anonymous schemas are not looked up by name and are
+    /// **deduplicated by content**: a tuple domain is determined entirely by
+    /// its attribute list, so two structurally identical anonymous schemas
+    /// are interchangeable — and giving them one id lets the equivalence
+    /// procedures (whose variable matching compares [`SchemaId`]s) pair
+    /// summation variables introduced by separate lowerings of the same
+    /// subquery text.
     pub fn add_anon_schema(&mut self, attrs: Vec<(String, Ty)>, open: bool) -> SchemaId {
+        if let Some(id) = self
+            .schemas
+            .iter()
+            .position(|s| s.name.starts_with("$anon") && s.attrs == attrs && s.open == open)
+        {
+            return SchemaId(id as u32);
+        }
         let id = SchemaId(self.schemas.len() as u32);
         let name = format!("$anon{}", id.0);
         self.schemas.push(Schema { name, attrs, open });
@@ -297,11 +310,25 @@ mod tests {
     }
 
     #[test]
-    fn anonymous_schemas_do_not_collide() {
+    fn anonymous_schemas_dedupe_by_content() {
         let mut cat = Catalog::new();
         let a = cat.add_anon_schema(vec![("a".into(), Ty::Int)], false);
+        // Identical content interns to the same id: separate lowerings of
+        // the same subquery must produce pairable summation variables.
         let b = cat.add_anon_schema(vec![("a".into(), Ty::Int)], false);
-        assert_ne!(a, b);
+        assert_eq!(a, b);
+        // Different content (attrs or openness) stays distinct.
+        assert_ne!(a, cat.add_anon_schema(vec![("b".into(), Ty::Int)], false));
+        assert_ne!(a, cat.add_anon_schema(vec![("a".into(), Ty::Int)], true));
+        // A *named* schema with identical content is never reused — only
+        // `$anon` schemas participate in the dedup.
+        let named = cat
+            .add_schema(Schema::new("n", vec![("c".into(), Ty::Int)], false))
+            .unwrap();
+        assert_ne!(
+            named,
+            cat.add_anon_schema(vec![("c".into(), Ty::Int)], false)
+        );
     }
 
     #[test]

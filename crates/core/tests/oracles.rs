@@ -15,7 +15,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use udp_core::budget::Budget;
 use udp_core::congruence::Congruence;
 use udp_core::ctx::Ctx;
-use udp_core::expr::{Expr, Pred, VarGen, VarId};
+use udp_core::expr::{Expr, Pred, VarId};
 use udp_core::hom::{match_terms, MatchMode};
 use udp_core::interp::{DomainSpec, Interp};
 use udp_core::minimize::minimize_term;

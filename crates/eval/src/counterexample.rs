@@ -52,6 +52,25 @@ pub enum SearchResult {
     Inconclusive(EvalError),
 }
 
+/// Evaluate both queries on one concrete database. `Ok(Some((l, r)))` means
+/// the results disagree as bags (both returned in canonical order);
+/// `Ok(None)` means they agree on this instance. This is the single-database
+/// reuse hook for harnesses that manage their own database streams.
+pub fn differs_on(
+    fe: &Frontend,
+    db: &Database,
+    q1: &Query,
+    q2: &Query,
+) -> Result<Option<(crate::db::ResultBag, crate::db::ResultBag)>, EvalError> {
+    let r1 = eval_query(fe, db, q1)?;
+    let r2 = eval_query(fe, db, q2)?;
+    if r1.same_bag(&r2) {
+        Ok(None)
+    } else {
+        Ok(Some((r1.canonical(), r2.canonical())))
+    }
+}
+
 /// Evaluate both queries on `trials` random constraint-satisfying databases.
 pub fn find_counterexample(
     fe: &Frontend,
@@ -60,33 +79,35 @@ pub fn find_counterexample(
     trials: usize,
     config: &GenConfig,
 ) -> SearchResult {
+    find_counterexample_seeded(fe, q1, q2, 0..trials as u64, config)
+}
+
+/// [`find_counterexample`] over an explicit stream of generator seeds, so
+/// callers (e.g. the `udp-fuzz` harness) can vary the databases per case
+/// instead of replaying seeds `0..trials` every time.
+pub fn find_counterexample_seeded(
+    fe: &Frontend,
+    q1: &Query,
+    q2: &Query,
+    seeds: impl IntoIterator<Item = u64>,
+    config: &GenConfig,
+) -> SearchResult {
     let mut last_err: Option<EvalError> = None;
     let mut ran = 0usize;
-    for seed in 0..trials as u64 {
+    for seed in seeds {
         let mut rng = seeded_rng(seed);
         let db = random_database(&fe.catalog, &fe.constraints, config, &mut rng);
-        let r1 = match eval_query(fe, &db, q1) {
-            Ok(r) => r,
-            Err(e) => {
-                last_err = Some(e);
-                continue;
+        match differs_on(fe, &db, q1, q2) {
+            Ok(None) => ran += 1,
+            Ok(Some((left, right))) => {
+                return SearchResult::Refuted(Box::new(CounterExample {
+                    db,
+                    seed,
+                    left,
+                    right,
+                }));
             }
-        };
-        let r2 = match eval_query(fe, &db, q2) {
-            Ok(r) => r,
-            Err(e) => {
-                last_err = Some(e);
-                continue;
-            }
-        };
-        ran += 1;
-        if !r1.same_bag(&r2) {
-            return SearchResult::Refuted(Box::new(CounterExample {
-                db,
-                seed,
-                left: r1.canonical(),
-                right: r2.canonical(),
-            }));
+            Err(e) => last_err = Some(e),
         }
     }
     if ran == 0 {

@@ -18,7 +18,8 @@ pub mod eval;
 pub mod gen;
 
 pub use counterexample::{
-    check_program, check_program_in, find_counterexample, CounterExample, SearchResult,
+    check_program, check_program_in, differs_on, find_counterexample, find_counterexample_seeded,
+    CounterExample, SearchResult,
 };
 pub use db::{Database, ResultBag, Row, Table};
 pub use eval::{eval_query, EvalError};

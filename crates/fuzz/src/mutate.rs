@@ -1,0 +1,195 @@
+//! Bug-injecting mutations: each maps a query to one that is *expected* to
+//! be inequivalent (a mutation can land in dead code, so the harness treats
+//! the bag-semantics oracle as ground truth — a mutant the oracle cannot
+//! distinguish is counted, not failed).
+//!
+//! The mutations mirror real optimizer-bug shapes: off-by-one constants,
+//! flipped predicates, spurious DISTINCT (the set-vs-bag confusion), lost
+//! filter conjuncts, and `agg(x)` vs `agg(DISTINCT x)` — the COUNT-bug
+//! family.
+
+use crate::rewrite::map_first_select;
+use rand::rngs::StdRng;
+use udp_sql::ast::{PredExpr, Query, ScalarExpr, Select, SelectItem};
+
+/// The library of bug-injecting mutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// Perturb an integer literal in the WHERE clause.
+    ConstPerturb,
+    /// Negate a comparison: `=`→`<>`, `<`→`>=`, ….
+    CmpNegate,
+    /// Toggle `SELECT DISTINCT` (bag/set confusion).
+    DistinctToggle,
+    /// `q` → `q UNION ALL q` (doubled multiplicities).
+    UnionAllDup,
+    /// Drop the right conjunct of a WHERE conjunction (lost filter).
+    ConjunctDrop,
+    /// `count(x)`/`sum(x)` → `count(DISTINCT x)`/`sum(DISTINCT x)` — the
+    /// COUNT-bug family of aggregate-rewrite mistakes.
+    AggDistinctInsert,
+}
+
+impl Mutation {
+    /// Every mutation, in a fixed order (shuffled per case by the harness).
+    pub const ALL: [Mutation; 6] = [
+        Mutation::ConstPerturb,
+        Mutation::CmpNegate,
+        Mutation::DistinctToggle,
+        Mutation::UnionAllDup,
+        Mutation::ConjunctDrop,
+        Mutation::AggDistinctInsert,
+    ];
+
+    /// Stable rule name for stats and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::ConstPerturb => "const-perturb",
+            Mutation::CmpNegate => "cmp-negate",
+            Mutation::DistinctToggle => "distinct-toggle",
+            Mutation::UnionAllDup => "union-all-dup",
+            Mutation::ConjunctDrop => "conjunct-drop",
+            Mutation::AggDistinctInsert => "agg-distinct-insert",
+        }
+    }
+
+    /// Try to apply the mutation; `None` when no site matches.
+    pub fn apply(self, q: &Query, _rng: &mut StdRng) -> Option<Query> {
+        let out = match self {
+            Mutation::ConstPerturb => map_first_where(q, &mut |p| perturb_first_int(p)),
+            Mutation::CmpNegate => map_first_where(q, &mut |p| negate_first_cmp(p)),
+            Mutation::DistinctToggle => map_first_select(q, &mut |s| {
+                if s.has_aggregates() || !s.group_by.is_empty() {
+                    return None; // grouped output is near-duplicate-free
+                }
+                Some(Select {
+                    distinct: !s.distinct,
+                    ..s.clone()
+                })
+            }),
+            Mutation::UnionAllDup => {
+                Some(Query::UnionAll(Box::new(q.clone()), Box::new(q.clone())))
+            }
+            Mutation::ConjunctDrop => map_first_where(q, &mut |p| match p {
+                PredExpr::And(a, _) => Some(a.as_ref().clone()),
+                _ => None,
+            }),
+            Mutation::AggDistinctInsert => map_first_select(q, &mut |s| {
+                let mut out = s.clone();
+                for item in &mut out.projection {
+                    if let SelectItem::Expr { expr, .. } = item {
+                        if let Some(mutated) = agg_distinct(expr) {
+                            *expr = mutated;
+                            return Some(out);
+                        }
+                    }
+                }
+                None
+            }),
+        };
+        out.filter(|mutated| mutated != q)
+    }
+}
+
+/// `count(x)` / `sum(x)` → the DISTINCT form. `min`/`max` are excluded —
+/// DISTINCT does not change them, so the mutant would be equivalent.
+fn agg_distinct(e: &ScalarExpr) -> Option<ScalarExpr> {
+    match e {
+        ScalarExpr::Agg {
+            func,
+            arg,
+            distinct: false,
+        } if func == "count" || func == "sum" => Some(ScalarExpr::Agg {
+            func: func.clone(),
+            arg: arg.clone(),
+            distinct: true,
+        }),
+        ScalarExpr::App(f, args) => {
+            for (i, a) in args.iter().enumerate() {
+                if let Some(mutated) = agg_distinct(a) {
+                    let mut args = args.clone();
+                    args[i] = mutated;
+                    return Some(ScalarExpr::App(f.clone(), args));
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Nudge the first integer literal in the predicate (staying inside the
+/// small active domain so the change remains observable).
+fn perturb_first_int(p: &PredExpr) -> Option<PredExpr> {
+    map_first_scalar(p, &mut |e| match e {
+        ScalarExpr::Int(v) => Some(ScalarExpr::Int(if *v < 3 { v + 1 } else { v - 1 })),
+        _ => None,
+    })
+}
+
+fn negate_first_cmp(p: &PredExpr) -> Option<PredExpr> {
+    match p {
+        PredExpr::Cmp(op, a, b) => Some(PredExpr::Cmp(op.negate(), a.clone(), b.clone())),
+        PredExpr::And(a, b) => {
+            if let Some(a2) = negate_first_cmp(a) {
+                Some(PredExpr::And(Box::new(a2), b.clone()))
+            } else {
+                negate_first_cmp(b).map(|b2| PredExpr::And(a.clone(), Box::new(b2)))
+            }
+        }
+        PredExpr::Or(a, b) => {
+            if let Some(a2) = negate_first_cmp(a) {
+                Some(PredExpr::Or(Box::new(a2), b.clone()))
+            } else {
+                negate_first_cmp(b).map(|b2| PredExpr::Or(a.clone(), Box::new(b2)))
+            }
+        }
+        PredExpr::Not(a) => negate_first_cmp(a).map(|a2| PredExpr::Not(Box::new(a2))),
+        _ => None,
+    }
+}
+
+/// Rewrite the first scalar position (pre-order over the predicate tree,
+/// WHERE level only) accepted by `f`.
+fn map_first_scalar(
+    p: &PredExpr,
+    f: &mut impl FnMut(&ScalarExpr) -> Option<ScalarExpr>,
+) -> Option<PredExpr> {
+    match p {
+        PredExpr::Cmp(op, a, b) => {
+            if let Some(a2) = f(a) {
+                Some(PredExpr::Cmp(*op, a2, b.clone()))
+            } else {
+                f(b).map(|b2| PredExpr::Cmp(*op, a.clone(), b2))
+            }
+        }
+        PredExpr::And(a, b) => {
+            if let Some(a2) = map_first_scalar(a, f) {
+                Some(PredExpr::And(Box::new(a2), b.clone()))
+            } else {
+                map_first_scalar(b, f).map(|b2| PredExpr::And(a.clone(), Box::new(b2)))
+            }
+        }
+        PredExpr::Or(a, b) => {
+            if let Some(a2) = map_first_scalar(a, f) {
+                Some(PredExpr::Or(Box::new(a2), b.clone()))
+            } else {
+                map_first_scalar(b, f).map(|b2| PredExpr::Or(a.clone(), Box::new(b2)))
+            }
+        }
+        PredExpr::Not(a) => map_first_scalar(a, f).map(|a2| PredExpr::Not(Box::new(a2))),
+        _ => None,
+    }
+}
+
+/// Apply `f` to the first WHERE clause found through set-operation arms.
+fn map_first_where(q: &Query, f: &mut impl FnMut(&PredExpr) -> Option<PredExpr>) -> Option<Query> {
+    map_first_select(q, &mut |s| {
+        let p = s.where_clause.as_ref()?;
+        let p2 = f(p)?;
+        Some(Select {
+            where_clause: Some(p2),
+            ..s.clone()
+        })
+    })
+}

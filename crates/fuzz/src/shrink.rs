@@ -1,0 +1,285 @@
+//! Greedy AST shrinking for disagreeing query pairs.
+//!
+//! Given a pair `(q1, q2)` and a failure predicate, [`shrink_pair`]
+//! repeatedly tries structurally smaller variants of either side and keeps
+//! any variant on which the pair *still fails*, until no candidate helps.
+//! The predicate re-runs the same cross-check that flagged the pair, so the
+//! minimized pair fails for the same reason — candidates that no longer
+//! parse, lower, or evaluate simply fail the predicate and are rejected.
+
+use udp_sql::ast::{FromItem, PredExpr, Query, ScalarExpr, Select, TableRef};
+
+/// Rough AST size: the shrinker's progress metric.
+pub fn node_count(q: &Query) -> usize {
+    match q {
+        Query::Select(s) => {
+            1 + s.projection.len()
+                + s.from
+                    .iter()
+                    .map(|f| match &f.source {
+                        TableRef::Table(_) => 1,
+                        TableRef::Subquery(sub) => 1 + node_count(sub),
+                    })
+                    .sum::<usize>()
+                + s.where_clause.as_ref().map_or(0, pred_size)
+                + s.group_by.len()
+                + s.having.as_ref().map_or(0, pred_size)
+        }
+        Query::UnionAll(a, b)
+        | Query::Except(a, b)
+        | Query::Union(a, b)
+        | Query::Intersect(a, b) => 1 + node_count(a) + node_count(b),
+        Query::Values(rows) => 1 + rows.iter().map(Vec::len).sum::<usize>(),
+    }
+}
+
+fn pred_size(p: &PredExpr) -> usize {
+    match p {
+        // Operands count, so replacing a comparison by `TRUE` (size 1) is a
+        // strict reduction and the Cmp→TRUE shrink rule can fire.
+        PredExpr::Cmp(_, a, b) => 1 + scalar_size(a) + scalar_size(b),
+        PredExpr::And(a, b) | PredExpr::Or(a, b) => 1 + pred_size(a) + pred_size(b),
+        PredExpr::Not(a) => 1 + pred_size(a),
+        PredExpr::True | PredExpr::False => 1,
+        PredExpr::Exists(q) | PredExpr::InQuery(_, q) => 1 + node_count(q),
+    }
+}
+
+fn scalar_size(e: &ScalarExpr) -> usize {
+    match e {
+        ScalarExpr::Column { .. } | ScalarExpr::Int(_) | ScalarExpr::Str(_) => 1,
+        ScalarExpr::App(_, args) => 1 + args.iter().map(scalar_size).sum::<usize>(),
+        ScalarExpr::Agg { arg, .. } => match arg {
+            udp_sql::ast::AggArg::Star => 1,
+            udp_sql::ast::AggArg::Expr(inner) => 1 + scalar_size(inner),
+        },
+        ScalarExpr::Subquery(q) => 1 + node_count(q),
+        ScalarExpr::Case { whens, else_ } => {
+            1 + whens
+                .iter()
+                .map(|(b, v)| pred_size(b) + scalar_size(v))
+                .sum::<usize>()
+                + scalar_size(else_)
+        }
+    }
+}
+
+/// All one-step shrink candidates of a query, roughly largest-cut first.
+pub fn shrink_candidates(q: &Query) -> Vec<Query> {
+    let mut out = Vec::new();
+    match q {
+        Query::UnionAll(a, b)
+        | Query::Except(a, b)
+        | Query::Union(a, b)
+        | Query::Intersect(a, b) => {
+            // Either arm alone, then shrinks inside each arm.
+            out.push(a.as_ref().clone());
+            out.push(b.as_ref().clone());
+            let rebuild = |x: Query, y: Query| match q {
+                Query::UnionAll(..) => Query::UnionAll(Box::new(x), Box::new(y)),
+                Query::Except(..) => Query::Except(Box::new(x), Box::new(y)),
+                Query::Union(..) => Query::Union(Box::new(x), Box::new(y)),
+                Query::Intersect(..) => Query::Intersect(Box::new(x), Box::new(y)),
+                _ => unreachable!(),
+            };
+            for a2 in shrink_candidates(a) {
+                out.push(rebuild(a2, b.as_ref().clone()));
+            }
+            for b2 in shrink_candidates(b) {
+                out.push(rebuild(a.as_ref().clone(), b2));
+            }
+        }
+        Query::Values(rows) if rows.len() > 1 => {
+            for i in 0..rows.len() {
+                let mut rows = rows.clone();
+                rows.remove(i);
+                out.push(Query::Values(rows));
+            }
+        }
+        Query::Values(_) => {}
+        Query::Select(s) => {
+            for s2 in select_candidates(s) {
+                out.push(Query::Select(s2));
+            }
+        }
+    }
+    out
+}
+
+fn select_candidates(s: &Select) -> Vec<Select> {
+    let mut out = Vec::new();
+
+    // Drop the whole WHERE clause, then shrink within it.
+    if let Some(p) = &s.where_clause {
+        out.push(Select {
+            where_clause: None,
+            ..s.clone()
+        });
+        for p2 in pred_candidates(p) {
+            out.push(Select {
+                where_clause: Some(p2),
+                ..s.clone()
+            });
+        }
+    }
+
+    // Drop grouping (with its HAVING), or just the HAVING.
+    if !s.group_by.is_empty() {
+        out.push(Select {
+            group_by: vec![],
+            having: None,
+            ..s.clone()
+        });
+    }
+    if s.having.is_some() {
+        out.push(Select {
+            having: None,
+            ..s.clone()
+        });
+    }
+
+    if s.distinct {
+        out.push(Select {
+            distinct: false,
+            ..s.clone()
+        });
+    }
+
+    if s.projection.len() > 1 {
+        for i in 0..s.projection.len() {
+            let mut projection = s.projection.clone();
+            projection.remove(i);
+            out.push(Select {
+                projection,
+                ..s.clone()
+            });
+        }
+    }
+
+    if s.from.len() > 1 && s.natural.is_empty() {
+        for i in 0..s.from.len() {
+            let mut from = s.from.clone();
+            from.remove(i);
+            out.push(Select { from, ..s.clone() });
+        }
+    }
+
+    // Derived tables: inline a trivial one, or shrink the inner query.
+    for (i, item) in s.from.iter().enumerate() {
+        let TableRef::Subquery(sub) = &item.source else {
+            continue;
+        };
+        if let Query::Select(inner) = sub.as_ref() {
+            if inner.from.len() == 1 {
+                if let TableRef::Table(t) = &inner.from[0].source {
+                    let mut from = s.from.clone();
+                    from[i] = FromItem {
+                        source: TableRef::Table(t.clone()),
+                        alias: item.alias.clone(),
+                    };
+                    out.push(Select { from, ..s.clone() });
+                }
+            }
+        }
+        for sub2 in shrink_candidates(sub) {
+            let mut from = s.from.clone();
+            from[i] = FromItem {
+                source: TableRef::Subquery(Box::new(sub2)),
+                alias: item.alias.clone(),
+            };
+            out.push(Select { from, ..s.clone() });
+        }
+    }
+
+    out
+}
+
+fn pred_candidates(p: &PredExpr) -> Vec<PredExpr> {
+    let mut out = Vec::new();
+    match p {
+        PredExpr::And(a, b) | PredExpr::Or(a, b) => {
+            out.push(a.as_ref().clone());
+            out.push(b.as_ref().clone());
+            let rebuild = |x: PredExpr, y: PredExpr| match p {
+                PredExpr::And(..) => PredExpr::And(Box::new(x), Box::new(y)),
+                _ => PredExpr::Or(Box::new(x), Box::new(y)),
+            };
+            for a2 in pred_candidates(a) {
+                out.push(rebuild(a2, b.as_ref().clone()));
+            }
+            for b2 in pred_candidates(b) {
+                out.push(rebuild(a.as_ref().clone(), b2));
+            }
+        }
+        PredExpr::Not(a) => {
+            out.push(a.as_ref().clone());
+            for a2 in pred_candidates(a) {
+                out.push(PredExpr::Not(Box::new(a2)));
+            }
+        }
+        PredExpr::Cmp(..) => {
+            out.push(PredExpr::True);
+        }
+        PredExpr::Exists(q) | PredExpr::InQuery(_, q) => {
+            out.push(PredExpr::True);
+            let rebuild = |q2: Query| match p {
+                PredExpr::Exists(_) => PredExpr::Exists(Box::new(q2)),
+                PredExpr::InQuery(e, _) => PredExpr::InQuery(e.clone(), Box::new(q2)),
+                _ => unreachable!(),
+            };
+            for q2 in shrink_candidates(q) {
+                out.push(rebuild(q2));
+            }
+        }
+        PredExpr::True | PredExpr::False => {}
+    }
+    out
+}
+
+/// Greedily minimize a failing pair. `fails` must return `true` on the
+/// original pair; each accepted step strictly reduces total [`node_count`].
+/// Returns the minimized pair and the number of accepted shrink steps.
+pub fn shrink_pair(
+    q1: &Query,
+    q2: &Query,
+    mut fails: impl FnMut(&Query, &Query) -> bool,
+    max_checks: usize,
+) -> (Query, Query, usize) {
+    let mut cur1 = q1.clone();
+    let mut cur2 = q2.clone();
+    let mut accepted = 0usize;
+    let mut checks = 0usize;
+    'outer: loop {
+        let size = node_count(&cur1) + node_count(&cur2);
+        for c1 in shrink_candidates(&cur1) {
+            if node_count(&c1) + node_count(&cur2) >= size {
+                continue;
+            }
+            checks += 1;
+            if checks > max_checks {
+                break 'outer;
+            }
+            if fails(&c1, &cur2) {
+                cur1 = c1;
+                accepted += 1;
+                continue 'outer;
+            }
+        }
+        for c2 in shrink_candidates(&cur2) {
+            if node_count(&cur1) + node_count(&c2) >= size {
+                continue;
+            }
+            checks += 1;
+            if checks > max_checks {
+                break 'outer;
+            }
+            if fails(&cur1, &c2) {
+                cur2 = c2;
+                accepted += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (cur1, cur2, accepted)
+}

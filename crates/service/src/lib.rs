@@ -53,7 +53,7 @@ use udp_core::budget::Budget;
 use udp_core::ctx::Options;
 use udp_core::expr::{Expr, VarGen};
 use udp_core::fingerprint::{canonical_form_nf, fingerprint_form, Fingerprint};
-use udp_core::spnf::normalize_with;
+use udp_core::spnf::{normalize_with, Nf};
 use udp_core::{DecideConfig, Verdict};
 use udp_sql::ast::Query;
 use udp_sql::{Dialect, Frontend, ParseError, VerifyError};
@@ -211,6 +211,52 @@ impl Session {
         self.cache.lock().unwrap().len()
     }
 
+    /// Lower one goal on a fresh frontend clone and return its canonical
+    /// fingerprints, regardless of the `cache_capacity` / `fingerprints`
+    /// configuration. This is the stability hook the `udp-fuzz` harness
+    /// asserts against: the same goal must fingerprint identically across
+    /// repeated calls, fresh sessions, and worker counts — otherwise the
+    /// verdict cache could silently stop deduplicating (or worse, collide).
+    pub fn fingerprint_goal(
+        &self,
+        goal: &(Query, Query),
+    ) -> Result<(Fingerprint, Fingerprint), String> {
+        let mut fe = self.base_clone();
+        let (q1, q2) = udp_sql::lower_goal(&mut fe, goal).map_err(|e| e.to_string())?;
+        let (nf1, nf2) = Self::normalize_goal(&q1, &q2);
+        let (form1, form2) = Self::canonical_key(&fe, &q1, &q2, &nf1, &nf2);
+        Ok((fingerprint_form(&form1), fingerprint_form(&form2)))
+    }
+
+    /// SPNF-normalize a lowered goal pair: the right side's output variable
+    /// is aligned onto the left's (as `decide` does internally), then both
+    /// bodies are normalized with one shared variable generator.
+    fn normalize_goal(q1: &udp_core::QueryU, q2: &udp_core::QueryU) -> (Nf, Nf) {
+        let body2 = if q2.out == q1.out {
+            q2.body.clone()
+        } else {
+            q2.body.subst(q2.out, &Expr::Var(q1.out))
+        };
+        let mut gen = VarGen::above(q1.body.max_var().max(body2.max_var()).max(q1.out.0) + 1);
+        let nf1 = normalize_with(&q1.body, &mut gen);
+        let nf2 = normalize_with(&body2, &mut gen);
+        (nf1, nf2)
+    }
+
+    /// Canonical cache key of a lowered + normalized goal pair.
+    fn canonical_key(
+        fe: &Frontend,
+        q1: &udp_core::QueryU,
+        q2: &udp_core::QueryU,
+        nf1: &Nf,
+        nf2: &Nf,
+    ) -> CacheKey {
+        (
+            canonical_form_nf(&fe.catalog, nf1, q1.out, q1.schema),
+            canonical_form_nf(&fe.catalog, nf2, q1.out, q2.schema),
+        )
+    }
+
     /// Per-goal decide configuration (fresh budget each goal; the budget's
     /// wall clock starts at its first tick, so pre-building it here is safe).
     fn decide_config(&self) -> DecideConfig {
@@ -246,16 +292,8 @@ impl Session {
         };
         // Normalize each side exactly once: the SPNF forms feed both the
         // canonical cache key and (on a miss) the decision procedure via
-        // `decide_normalized_with`. The right side's output variable is
-        // aligned onto the left's first, as `decide` would do internally.
-        let body2 = if q2.out == q1.out {
-            q2.body.clone()
-        } else {
-            q2.body.subst(q2.out, &Expr::Var(q1.out))
-        };
-        let mut gen = VarGen::above(q1.body.max_var().max(body2.max_var()).max(q1.out.0) + 1);
-        let nf1 = normalize_with(&q1.body, &mut gen);
-        let nf2 = normalize_with(&body2, &mut gen);
+        // `decide_normalized_with`.
+        let (nf1, nf2) = Self::normalize_goal(&q1, &q2);
 
         // Canonical forms resolve schemas by content and relations by name,
         // so keys agree across worker frontends (whose anonymous-schema ids
@@ -263,10 +301,7 @@ impl Session {
         // skipped entirely when nothing consumes it.
         let caching = self.config.cache_capacity > 0;
         let key = if caching || self.config.fingerprints {
-            Some((
-                canonical_form_nf(&fe.catalog, &nf1, q1.out, q1.schema),
-                canonical_form_nf(&fe.catalog, &nf2, q1.out, q2.schema),
-            ))
+            Some(Self::canonical_key(fe, &q1, &q2, &nf1, &nf2))
         } else {
             None
         };

@@ -1,0 +1,133 @@
+//! LRU eviction stress: a verdict cache *smaller than the goal stream* must
+//! churn (insert → evict → re-miss → re-insert) without ever changing a
+//! verdict. Parity is checked goal-by-goal against an uncached session, and
+//! a reversed second pass forces the re-miss path on evicted entries.
+
+use udp_service::{Session, SessionConfig};
+use udp_sql::ast::Query;
+
+const DDL: &str = "schema rs(k:int, a:int, b:int);\nschema ss(k2:int, c:int);\n\
+                   table r(rs);\ntable r2(rs);\ntable s(ss);\nkey r(k);\n";
+
+fn session(cache: usize) -> Session {
+    let config = SessionConfig {
+        workers: 1,
+        cache_capacity: cache,
+        steps: Some(2_000_000),
+        wall: None, // deterministic verdicts: parity must be exact
+        ..SessionConfig::default()
+    };
+    Session::new(DDL, config).unwrap()
+}
+
+/// A stream of 48 distinct goals (mixed theorems and non-theorems), far
+/// larger than the stressed cache capacity of 8.
+fn goal_stream(s: &Session) -> Vec<(Query, Query)> {
+    let mut goals = Vec::new();
+    for i in 0..12 {
+        // Theorem: predicate pushdown, one per constant.
+        goals.push(format!(
+            "SELECT x.a AS a FROM r x, s y WHERE x.k = y.k2 AND x.b = {i} \
+             == SELECT x.a AS a FROM (SELECT * FROM r v WHERE v.b = {i}) x, s y \
+                WHERE x.k = y.k2"
+        ));
+        // Theorem: join commutativity.
+        goals.push(format!(
+            "SELECT x.a AS a, z.a AS b FROM r x, r2 z WHERE x.k = z.k AND x.a = {i} \
+             == SELECT x.a AS a, z.a AS b FROM r2 z, r x WHERE x.k = z.k AND x.a = {i}"
+        ));
+        // Non-theorem: constants differ.
+        goals.push(format!(
+            "SELECT x.a AS a FROM r x WHERE x.b = {i} \
+             == SELECT y.a AS a FROM r y WHERE y.b = {}",
+            i + 20
+        ));
+        // Theorem: DISTINCT idempotence wrapper.
+        goals.push(format!(
+            "SELECT DISTINCT x.a AS a FROM r x WHERE x.k = {i} \
+             == SELECT DISTINCT d.a AS a FROM (SELECT DISTINCT q.a AS a FROM r q \
+                WHERE q.k = {i}) d"
+        ));
+    }
+    goals.iter().map(|l| s.parse_goal(l).unwrap()).collect()
+}
+
+#[test]
+fn eviction_churn_preserves_verdict_parity() {
+    let tiny = session(8);
+    let uncached = session(0);
+    let goals = goal_stream(&tiny);
+    assert!(goals.len() > 8 * 4, "stream must dwarf the cache");
+
+    let baseline = uncached.verify_batch(&goals);
+    let first = tiny.verify_batch(&goals);
+    for (b, f) in baseline.iter().zip(first.iter()) {
+        assert_eq!(
+            b.verdict().unwrap().decision,
+            f.verdict().unwrap().decision,
+            "cached(8) vs uncached verdict diverged on goal {}",
+            b.index
+        );
+    }
+    // The cache must have respected its capacity bound under churn.
+    assert!(
+        tiny.cache_len() <= 8,
+        "cache grew past capacity: {}",
+        tiny.cache_len()
+    );
+
+    // Second pass in reverse order: the tail of the stream is freshly
+    // cached, everything older was evicted and must re-decide to the same
+    // verdict.
+    let reversed: Vec<_> = goals.iter().rev().cloned().collect();
+    let second = tiny.verify_batch(&reversed);
+    for (f, r) in first.iter().rev().zip(second.iter()) {
+        assert_eq!(
+            f.verdict().unwrap().decision,
+            r.verdict().unwrap().decision,
+            "re-decided verdict diverged after eviction"
+        );
+    }
+    let stats = tiny.stats();
+    assert_eq!(stats.goals, 2 * goals.len() as u64);
+    assert_eq!(stats.errors, 0);
+    // With capacity 8 over 48 distinct goals, most of the second pass
+    // re-misses — but the freshly-verified tail must hit.
+    assert!(
+        stats.cache_hits >= 1,
+        "reverse pass should open with cache hits"
+    );
+    assert!(
+        stats.cache_misses > goals.len() as u64,
+        "eviction should force re-misses on the second pass"
+    );
+}
+
+#[test]
+fn zero_capacity_disables_caching_entirely() {
+    let s = session(0);
+    let goals = goal_stream(&s);
+    let a = s.verify_batch(&goals);
+    let b = s.verify_batch(&goals);
+    assert!(a.iter().chain(b.iter()).all(|r| !r.cached));
+    assert_eq!(s.cache_len(), 0);
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.verdict().unwrap().decision, y.verdict().unwrap().decision);
+    }
+}
+
+/// Same stream, capacities from tiny to ample: verdicts must be identical
+/// across every capacity (the cache can only change *speed*).
+#[test]
+fn verdicts_are_capacity_invariant() {
+    let goals = goal_stream(&session(0));
+    let mut decisions: Vec<Vec<String>> = Vec::new();
+    for capacity in [0usize, 1, 2, 8, 4096] {
+        let s = session(capacity);
+        let reports = s.verify_batch(&goals);
+        decisions.push(reports.iter().map(|r| r.render_verdict()).collect());
+    }
+    for d in &decisions[1..] {
+        assert_eq!(d, &decisions[0], "a cache capacity changed a verdict");
+    }
+}

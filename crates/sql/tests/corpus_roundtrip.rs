@@ -1,57 +1,89 @@
-//! Parse → pretty-print → re-parse stability over representative corpus
-//! rules: the printer must emit parseable SQL describing the same AST.
-//! (udp-sql cannot depend on udp-corpus — that would be a cycle — so a
-//! representative set of rule files is embedded directly.)
+//! Parse → pretty-print → re-parse stability over the **entire** corpus:
+//! for every rule file under `crates/corpus/rules/`, the printer must emit
+//! parseable SQL describing the same AST. (udp-sql cannot *depend* on
+//! udp-corpus — that would be a dependency cycle — so the rule files are
+//! walked from disk at test time instead of through the registry.)
 
-use udp_sql::parser::{parse_program, parse_program_with, Dialect};
+use std::fs;
+use std::path::PathBuf;
+use udp_sql::parser::{parse_program_with, Dialect};
 use udp_sql::pretty::program_to_sql;
 
-fn supported_rule_texts() -> Vec<&'static str> {
-    vec![
-        include_str!("../../corpus/rules/literature/l01_fig1_index_selection.sql"),
-        include_str!("../../corpus/rules/literature/l02_starburst_distinct_pullup.sql"),
-        include_str!("../../corpus/rules/literature/l14_join_assoc.sql"),
-        include_str!("../../corpus/rules/literature/l21_join_distribute_union.sql"),
-        include_str!("../../corpus/rules/literature/l28_group_by_commute.sql"),
-        include_str!("../../corpus/rules/calcite/c01_filter_merge.sql"),
-        include_str!("../../corpus/rules/calcite/c09_join_associate.sql"),
-        include_str!("../../corpus/rules/calcite/c20_in_to_exists.sql"),
-        include_str!("../../corpus/rules/calcite/c25_filter_aggregate_transpose.sql"),
-        include_str!("../../corpus/rules/calcite/c34_arith_filter_reduce.sql"),
-        include_str!("../../corpus/rules/bugs/b01_count_bug.sql"),
-    ]
+/// Every `.sql` rule file in the corpus crate, with its text.
+fn corpus_rule_files() -> Vec<(PathBuf, String)> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../corpus/rules");
+    let mut out = Vec::new();
+    for dataset in fs::read_dir(&root).expect("corpus rules directory exists") {
+        let dataset = dataset.unwrap().path();
+        if !dataset.is_dir() {
+            continue;
+        }
+        for file in fs::read_dir(&dataset).unwrap() {
+            let file = file.unwrap().path();
+            if file.extension().is_some_and(|e| e == "sql") {
+                let text = fs::read_to_string(&file).unwrap();
+                out.push((file, text));
+            }
+        }
+    }
+    out.sort();
+    out
 }
 
-fn extension_rule_texts() -> Vec<&'static str> {
-    vec![
-        include_str!("../../corpus/rules/extensions/e01_union_dedup.sql"),
-        include_str!("../../corpus/rules/extensions/e03_union_assoc.sql"),
-        include_str!("../../corpus/rules/extensions/e06_intersect_idempotent.sql"),
-        include_str!("../../corpus/rules/extensions/e09_values_commute.sql"),
-        include_str!("../../corpus/rules/extensions/e12_case_branch_swap.sql"),
-        include_str!("../../corpus/rules/extensions/e14_case_projection.sql"),
-        include_str!("../../corpus/rules/extensions/e16_natural_join_star.sql"),
-    ]
-}
-
-#[test]
-fn corpus_rules_round_trip_through_the_printer() {
-    for text in supported_rule_texts() {
-        let p1 = parse_program(text).expect("corpus rule parses");
-        let printed = program_to_sql(&p1);
-        let p2 = parse_program(&printed)
-            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{printed}"));
-        assert_eq!(p1, p2, "round trip changed the AST:\n{printed}");
+/// The dialect a rule file asks for (`-- dialect: extended` header line).
+fn dialect_of(text: &str) -> Dialect {
+    let extended = text
+        .lines()
+        .take_while(|l| l.trim_start().starts_with("--"))
+        .any(|l| {
+            l.trim_start()
+                .trim_start_matches("--")
+                .trim()
+                .eq_ignore_ascii_case("dialect: extended")
+        });
+    if extended {
+        Dialect::Extended
+    } else {
+        Dialect::Paper
     }
 }
 
 #[test]
-fn extension_rules_round_trip_through_the_printer() {
-    for text in extension_rule_texts() {
-        let p1 = parse_program_with(text, Dialect::Extended).expect("extension rule parses");
+fn every_corpus_rule_round_trips_through_the_printer() {
+    let files = corpus_rule_files();
+    assert!(
+        files.len() >= 100,
+        "corpus walk found only {} rule files — wrong path?",
+        files.len()
+    );
+    let mut parsed = 0usize;
+    for (path, text) in &files {
+        let dialect = dialect_of(text);
+        // `expect: unsupported` rules exercise features the front end
+        // rejects; they have nothing to round-trip.
+        let Ok(p1) = parse_program_with(text, dialect) else {
+            continue;
+        };
+        parsed += 1;
         let printed = program_to_sql(&p1);
-        let p2 = parse_program_with(&printed, Dialect::Extended)
-            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{printed}"));
-        assert_eq!(p1, p2, "round trip changed the AST:\n{printed}");
+        let p2 = parse_program_with(&printed, dialect).unwrap_or_else(|e| {
+            panic!(
+                "{}: printed program failed to re-parse: {e}\n---\n{printed}",
+                path.display()
+            )
+        });
+        assert_eq!(
+            p1,
+            p2,
+            "{}: round trip changed the AST:\n---\n{printed}",
+            path.display()
+        );
     }
+    // The corpus is ~4/5 parseable (the rest are feature-rejection
+    // exemplars); pin a floor so a parser regression can't silently hollow
+    // out this test.
+    assert!(
+        parsed >= 80,
+        "only {parsed} corpus rules parsed — frontend regression?"
+    );
 }
