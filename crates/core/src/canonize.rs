@@ -93,6 +93,33 @@ pub fn canonize_term(
         if refuted_ne {
             return Ok(None);
         }
+        // Dual simplification: a disequality whose sides are congruent to
+        // *distinct constants* is vacuously true and drops. Without this,
+        // `[x.a ≠ NULL] × [x.a = 0]` keeps the redundant guard on one side
+        // of a goal while variable elimination folds it into `[0 ≠ NULL]`
+        // (syntactically trivial) on the other, and the isomorphism check
+        // misses — the udp-ext NULL guards made this shape common. The
+        // class→constant map is built once per iteration (this runs in the
+        // prover's hot loop).
+        if t.preds.iter().any(|p| matches!(p, Pred::Ne(_, _))) {
+            let consts = cc.class_constants();
+            let before_preds = t.preds.len();
+            let kept: Vec<Pred> = t
+                .preds
+                .drain(..)
+                .filter(|p| match p {
+                    Pred::Ne(a, b) => {
+                        let (ca, cb) = (consts.get(&cc.class_of(a)), consts.get(&cc.class_of(b)));
+                        !matches!((ca, cb), (Some(x), Some(y)) if x != y)
+                    }
+                    _ => true,
+                })
+                .collect();
+            t.preds = kept;
+            if t.preds.len() != before_preds {
+                continue;
+            }
+        }
 
         if eliminate_variable(ctx, &mut t, &mut cc, ambient)? {
             continue;

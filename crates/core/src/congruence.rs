@@ -216,6 +216,35 @@ impl Congruence {
         false
     }
 
+    /// One-pass map from class root to the constant the class carries (if
+    /// any). Built once and probed per predicate — the batch counterpart of
+    /// [`Congruence::constant_of`] for hot paths.
+    pub fn class_constants(&self) -> HashMap<usize, Value> {
+        let mut out = HashMap::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Op::Const(c) = &n.op {
+                out.insert(self.root(i), c.clone());
+            }
+        }
+        out
+    }
+
+    /// The constant (if any) in the class of `e`.
+    pub fn constant_of(&mut self, e: &Expr) -> Option<Value> {
+        let r = self.class_of(e);
+        self.class_constants().remove(&r)
+    }
+
+    /// Is `a ≠ b` *entailed* by the closure — both classes carry constants
+    /// and the constants differ? (The dual of [`Congruence::inconsistent`]:
+    /// such a disequality predicate is vacuously true and can be dropped.)
+    pub fn entails_ne(&mut self, a: &Expr, b: &Expr) -> bool {
+        match (self.constant_of(a), self.constant_of(b)) {
+            (Some(ca), Some(cb)) => ca != cb,
+            _ => false,
+        }
+    }
+
     /// Are `a` and `b` in the same class?
     pub fn same(&mut self, a: &Expr, b: &Expr) -> bool {
         let na = self.intern(a);

@@ -64,6 +64,13 @@ impl VarGen {
 /// Constant values appearing in queries.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
+    /// The distinguished NULL tag of the udp-ext nullable-value encoding: a
+    /// constant distinct from every other constant. SQL's three-valued
+    /// comparison semantics are compiled away *before* lowering (udp-ext
+    /// guards every comparison over nullable operands with non-NULL checks),
+    /// so the core treats NULL as an ordinary constant: `[null = null]`
+    /// holds, and congruence closure refutes `[x = null] × [x = 3]`.
+    Null,
     /// Integer literal.
     Int(i64),
     /// Boolean literal.
@@ -72,9 +79,17 @@ pub enum Value {
     Str(String),
 }
 
+impl Value {
+    /// Is this the distinguished NULL tag?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Value::Null => write!(f, "NULL"),
             Value::Int(i) => write!(f, "{i}"),
             Value::Bool(b) => write!(f, "{b}"),
             Value::Str(s) => write!(f, "{s:?}"),
@@ -127,6 +142,11 @@ impl Expr {
     /// Integer constant.
     pub fn int(i: i64) -> Expr {
         Expr::Const(Value::Int(i))
+    }
+
+    /// The distinguished NULL constant (udp-ext nullable-value encoding).
+    pub fn null() -> Expr {
+        Expr::Const(Value::Null)
     }
 
     /// String constant.

@@ -23,6 +23,9 @@ use std::hash::{Hash, Hasher};
 /// A concrete value: scalar or named tuple.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Val {
+    /// The distinguished NULL tag (udp-ext encoding): one extra domain
+    /// element of every nullable attribute, equal only to itself.
+    Null,
     /// Integer scalar.
     Int(i64),
     /// Boolean scalar.
@@ -81,16 +84,28 @@ impl DomainSpec {
             Ty::Str => self.strs.iter().map(|s| Val::Str(s.clone())).collect(),
         }
     }
+
+    /// Domain values of one attribute; nullable attributes (udp-ext
+    /// encoding) additionally range over the NULL tag.
+    fn values_nullable(&self, ty: Ty, nullable: bool) -> Vec<Val> {
+        let mut vals = self.values(ty);
+        if nullable {
+            vals.push(Val::Null);
+        }
+        vals
+    }
 }
 
 /// Enumerate every tuple of `schema` over the domain spec. Open schemas are
 /// enumerated over their declared attributes only (a finite restriction —
-/// adequate for testing, documented in DESIGN.md).
+/// adequate for testing, documented in DESIGN.md). Nullable attributes
+/// additionally range over [`Val::Null`].
 pub fn enumerate_tuples(catalog: &Catalog, schema: SchemaId, spec: &DomainSpec) -> Vec<Val> {
     let s = catalog.schema(schema);
     let mut tuples: Vec<BTreeMap<String, Val>> = vec![BTreeMap::new()];
-    for (attr, ty) in &s.attrs {
-        let vals = spec.values(*ty);
+    for (i, (attr, ty)) in s.attrs.iter().enumerate() {
+        let nullable = s.nullable.get(i).copied().unwrap_or(false);
+        let vals = spec.values_nullable(*ty, nullable);
         let mut next = Vec::with_capacity(tuples.len() * vals.len());
         for t in &tuples {
             for v in &vals {
@@ -150,6 +165,7 @@ impl<S: USemiring + Hash> Interp<S> {
                 let b = self.eval_expr(base, env);
                 b.field(a).cloned().unwrap_or(Val::Int(0))
             }
+            Expr::Const(Value::Null) => Val::Null,
             Expr::Const(Value::Int(i)) => Val::Int(*i),
             Expr::Const(Value::Bool(b)) => Val::Bool(*b),
             Expr::Const(Value::Str(s)) => Val::Str(s.clone()),

@@ -56,16 +56,43 @@ pub struct Schema {
     /// unknown attributes, so tuple equality cannot be decomposed
     /// attribute-wise.
     pub open: bool,
+    /// Per-attribute nullability, aligned with `attrs` (udp-ext encoding:
+    /// a nullable attribute's summation domain includes the distinguished
+    /// NULL tag). Declared via the `?` type suffix in the input language;
+    /// derived-table columns inherit nullability from their defining
+    /// expressions. Empty means all attributes are non-nullable.
+    pub nullable: Vec<bool>,
 }
 
 impl Schema {
-    /// Build a schema from its name, attributes, and openness flag.
+    /// Build a schema from its name, attributes, and openness flag (all
+    /// attributes non-nullable).
     pub fn new(name: impl Into<String>, attrs: Vec<(String, Ty)>, open: bool) -> Self {
+        let nullable = vec![false; attrs.len()];
         Schema {
             name: name.into(),
             attrs,
             open,
+            nullable,
         }
+    }
+
+    /// Attach per-attribute nullability flags (must align with `attrs`).
+    pub fn with_nullability(mut self, nullable: Vec<bool>) -> Self {
+        debug_assert_eq!(nullable.len(), self.attrs.len());
+        self.nullable = nullable;
+        self
+    }
+
+    /// May `attr` hold the NULL tag? Unknown attributes are non-nullable.
+    pub fn attr_nullable(&self, attr: &str) -> bool {
+        self.attr_index(attr)
+            .is_some_and(|i| self.nullable.get(i).copied().unwrap_or(false))
+    }
+
+    /// Does any attribute admit the NULL tag?
+    pub fn has_nullable_attr(&self) -> bool {
+        self.nullable.iter().any(|&n| n)
     }
 
     /// Position of an attribute, if declared.
@@ -141,16 +168,37 @@ impl Catalog {
     /// summation variables introduced by separate lowerings of the same
     /// subquery text.
     pub fn add_anon_schema(&mut self, attrs: Vec<(String, Ty)>, open: bool) -> SchemaId {
-        if let Some(id) = self
-            .schemas
-            .iter()
-            .position(|s| s.name.starts_with("$anon") && s.attrs == attrs && s.open == open)
-        {
+        let nullable = vec![false; attrs.len()];
+        self.add_anon_schema_nullable(attrs, open, nullable)
+    }
+
+    /// [`Catalog::add_anon_schema`] with explicit per-attribute nullability
+    /// (udp-ext encoding: NULL-padded outer-join columns). Nullability is
+    /// part of the dedup key — a nullable column's summation domain differs
+    /// from its non-nullable twin's.
+    pub fn add_anon_schema_nullable(
+        &mut self,
+        attrs: Vec<(String, Ty)>,
+        open: bool,
+        nullable: Vec<bool>,
+    ) -> SchemaId {
+        debug_assert_eq!(nullable.len(), attrs.len());
+        if let Some(id) = self.schemas.iter().position(|s| {
+            s.name.starts_with("$anon")
+                && s.attrs == attrs
+                && s.open == open
+                && s.nullable == nullable
+        }) {
             return SchemaId(id as u32);
         }
         let id = SchemaId(self.schemas.len() as u32);
         let name = format!("$anon{}", id.0);
-        self.schemas.push(Schema { name, attrs, open });
+        self.schemas.push(Schema {
+            name,
+            attrs,
+            open,
+            nullable,
+        });
         id
     }
 

@@ -1,9 +1,14 @@
 //! Quick corpus sweep: print observed vs expected verdict per rule.
+//!
+//! With `--strict`, exit non-zero on any expectations drift — the CI step
+//! that keeps every rule file's `-- expect:` header honest against the
+//! prover's actual verdict.
 use udp_core::budget::Budget;
 use udp_core::DecideConfig;
 use udp_corpus::{all_rules, run_rule, Expectation};
 
 fn main() {
+    let strict = std::env::args().any(|a| a == "--strict");
     let mut mismatches = 0;
     for rule in all_rules() {
         let budget = if rule.expect == Expectation::Timeout {
@@ -33,4 +38,7 @@ fn main() {
         );
     }
     println!("\nmismatches: {mismatches}");
+    if strict && mismatches > 0 {
+        std::process::exit(1);
+    }
 }

@@ -1,11 +1,12 @@
 -- name: bugs/oracle-outer-join
 -- source: bugs
+-- dialect: full
 -- categories: ucq
--- expect: unsupported
+-- expect: not-proved
 -- cosette: inexpressible
--- note: Oracle outer-join bug 19052113: the fragment has no outer joins, so the pair is rejected rather than misjudged.
+-- note: Oracle outer-join bug 19052113: LEFT JOIN desugars via udp-ext; duplicate dept matches multiply emp rows, and the oracle finds a concrete counterexample.
 schema emp_s(empno:int, deptno:int);
-schema dept_s(deptno:int, dname:string);
+schema dept_s(deptno:int?, dname:string);
 table emp(emp_s);
 table dept(dept_s);
 verify

@@ -1,9 +1,10 @@
 -- name: calcite/unsupported-case-when
 -- source: calcite
+-- dialect: extended
 -- categories: ucq
--- expect: unsupported
+-- expect: not-proved
 -- cosette: inexpressible
--- note: Out-of-fragment exemplar: CASE WHEN (paper dialect rejects it).
+-- note: Ext-decided: CASE lowers to a guarded disjunction (extended dialect); the pair differs in arity and is refuted by the oracle.
 schema emp_s(empno:int, deptno:int, sal:int);
 schema dept_s(deptno:int, dname:string);
 table emp(emp_s);

@@ -1,10 +1,11 @@
 -- name: calcite/unsupported-is-null
 -- source: calcite
+-- dialect: full
 -- categories: ucq
--- expect: unsupported
+-- expect: not-proved
 -- cosette: inexpressible
--- note: Out-of-fragment exemplar: IS NULL / three-valued logic.
-schema emp_s(empno:int, deptno:int, sal:int);
+-- note: Ext-decided: IS NULL becomes the NULL-tag equality atom over the nullable sal column; refuted on any database with a non-NULL sal.
+schema emp_s(empno:int, deptno:int, sal:int?);
 schema dept_s(deptno:int, dname:string);
 table emp(emp_s);
 table dept(dept_s);

@@ -1,9 +1,10 @@
 -- name: calcite/unsupported-set-union
 -- source: calcite
+-- dialect: extended
 -- categories: ucq
--- expect: unsupported
+-- expect: not-proved
 -- cosette: inexpressible
--- note: Out-of-fragment exemplar: UNION under set semantics.
+-- note: Ext-decided: set UNION lowers to ||q1 + q2||; duplicates distinguish it from the bare scan.
 schema emp_s(empno:int, deptno:int, sal:int);
 schema dept_s(deptno:int, dname:string);
 table emp(emp_s);

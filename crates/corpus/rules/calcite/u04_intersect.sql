@@ -1,9 +1,10 @@
 -- name: calcite/unsupported-intersect
 -- source: calcite
+-- dialect: extended
 -- categories: ucq
--- expect: unsupported
+-- expect: not-proved
 -- cosette: inexpressible
--- note: Out-of-fragment exemplar: INTERSECT.
+-- note: Ext-decided: INTERSECT lowers to ||q1 x q2||; deduplication distinguishes it from the bare scan.
 schema emp_s(empno:int, deptno:int, sal:int);
 schema dept_s(deptno:int, dname:string);
 table emp(emp_s);

@@ -1,9 +1,10 @@
 -- name: calcite/unsupported-left-join
 -- source: calcite
+-- dialect: full
 -- categories: ucq
--- expect: unsupported
+-- expect: not-proved
 -- cosette: inexpressible
--- note: Out-of-fragment exemplar: LEFT OUTER JOIN.
+-- note: Ext-decided: LEFT JOIN desugars to inner join + NULL-padded antijoin; the pair differs in arity and is refuted by the oracle.
 schema emp_s(empno:int, deptno:int, sal:int);
 schema dept_s(deptno:int, dname:string);
 table emp(emp_s);

@@ -1,9 +1,10 @@
 -- name: calcite/unsupported-order-by
 -- source: calcite
+-- dialect: full
 -- categories: ucq
--- expect: unsupported
+-- expect: proved
 -- cosette: inexpressible
--- note: Out-of-fragment exemplar: ORDER BY (list semantics).
+-- note: Ext-decided: top-level ORDER BY is stripped with a warning (bag semantics); the pair is then syntactically equivalent.
 schema emp_s(empno:int, deptno:int, sal:int);
 schema dept_s(deptno:int, dname:string);
 table emp(emp_s);

@@ -1,9 +1,10 @@
 -- name: calcite/unsupported-values
 -- source: calcite
+-- dialect: extended
 -- categories: ucq
--- expect: unsupported
+-- expect: not-proved
 -- cosette: inexpressible
--- note: Out-of-fragment exemplar: VALUES constructors (paper dialect).
+-- note: Ext-decided: VALUES lowers to a sum of tuple equalities; a literal relation is not a base-table scan.
 schema emp_s(empno:int, deptno:int, sal:int);
 schema dept_s(deptno:int, dname:string);
 table emp(emp_s);

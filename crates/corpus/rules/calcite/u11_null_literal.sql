@@ -1,9 +1,10 @@
 -- name: calcite/unsupported-null-literal
 -- source: calcite
+-- dialect: full
 -- categories: ucq
--- expect: unsupported
+-- expect: not-proved
 -- cosette: inexpressible
--- note: Out-of-fragment exemplar: NULL literal.
+-- note: Ext-decided: `= NULL` is UNKNOWN under 3VL, so the filter compiles to FALSE; refuted on any non-empty emp.
 schema emp_s(empno:int, deptno:int, sal:int);
 schema dept_s(deptno:int, dname:string);
 table emp(emp_s);

@@ -1,10 +1,11 @@
 -- name: calcite/unsupported-is-not-null
 -- source: calcite
+-- dialect: full
 -- categories: ucq
--- expect: unsupported
+-- expect: not-proved
 -- cosette: inexpressible
--- note: Out-of-fragment exemplar: IS NOT NULL.
-schema emp_s(empno:int, deptno:int, sal:int);
+-- note: Ext-decided: IS NOT NULL becomes the NULL-tag disequality atom; refuted on any database with a NULL sal row.
+schema emp_s(empno:int, deptno:int, sal:int?);
 schema dept_s(deptno:int, dname:string);
 table emp(emp_s);
 table dept(dept_s);

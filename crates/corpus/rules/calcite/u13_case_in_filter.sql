@@ -1,9 +1,10 @@
 -- name: calcite/unsupported-case-in-filter
 -- source: calcite
+-- dialect: extended
 -- categories: ucq
--- expect: unsupported
+-- expect: not-proved
 -- cosette: inexpressible
--- note: Out-of-fragment exemplar: CASE inside WHERE (paper dialect).
+-- note: Ext-decided: CASE in WHERE lowers to its guarded disjunction; the filter is not a no-op.
 schema emp_s(empno:int, deptno:int, sal:int);
 schema dept_s(deptno:int, dname:string);
 table emp(emp_s);

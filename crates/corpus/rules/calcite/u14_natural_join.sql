@@ -1,9 +1,10 @@
 -- name: calcite/unsupported-natural-join
 -- source: calcite
+-- dialect: extended
 -- categories: ucq
--- expect: unsupported
+-- expect: not-proved
 -- cosette: inexpressible
--- note: Out-of-fragment exemplar: NATURAL JOIN (paper dialect).
+-- note: Ext-decided: NATURAL JOIN desugars to shared-column equalities; the join differs from the bare scan.
 schema emp_s(empno:int, deptno:int, sal:int);
 schema dept_s(deptno:int, dname:string);
 table emp(emp_s);

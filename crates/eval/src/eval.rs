@@ -15,8 +15,16 @@
 //! * Aggregates are computed for real (`SUM`/`COUNT`/`AVG`/`MIN`/`MAX`,
 //!   with DISTINCT variants); `AVG` uses integer division (types are
 //!   integers).
-//! * A scalar subquery must return exactly one row (no NULLs in the
-//!   fragment); other cardinalities raise [`EvalError::ScalarCardinality`].
+//! * A scalar subquery must return exactly one row; other cardinalities
+//!   raise [`EvalError::ScalarCardinality`].
+//! * **Three-valued logic** (full dialect): predicates evaluate to a
+//!   [`Truth`] value following SQL's Kleene semantics — comparisons
+//!   touching NULL are [`Truth::Unknown`], `WHERE`/`HAVING`/CASE guards
+//!   keep only [`Truth::True`], `IS [NOT] NULL` and `EXISTS` stay
+//!   two-valued, and `IN` accounts for NULL members. Outer joins are
+//!   evaluated **natively** (per-row match-or-pad), independently of the
+//!   udp-ext antijoin desugaring, so differential tests genuinely
+//!   cross-check the encoding.
 
 use crate::db::{Database, ResultBag, Row};
 use std::collections::hash_map::DefaultHasher;
@@ -63,6 +71,61 @@ impl fmt::Display for EvalError {
 }
 
 impl std::error::Error for EvalError {}
+
+/// SQL three-valued logic (Kleene). `WHERE`, `HAVING`, CASE guards, and
+/// join conditions keep a row only when the predicate is [`Truth::True`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    /// Definitely true.
+    True,
+    /// Definitely false.
+    False,
+    /// NULL-contaminated: neither true nor false.
+    Unknown,
+}
+
+impl Truth {
+    /// Lift a two-valued bool.
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    /// Kleene conjunction.
+    pub fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Kleene disjunction.
+    pub fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Kleene negation (`NOT Unknown = Unknown`).
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// Does a `WHERE` keep the row?
+    pub fn is_true(self) -> bool {
+        self == Truth::True
+    }
+}
 
 /// Environment frame: alias → (column names, current row).
 #[derive(Debug, Clone, Default)]
@@ -215,6 +278,64 @@ fn dedup_rows(rows: &mut Vec<Row>) {
     });
 }
 
+/// A set of FROM items already joined together (native outer-join
+/// evaluation). Initially one group per FROM item; each outer-join spec
+/// merges the two groups containing its aliases, concatenating their rows
+/// with NULL padding where the join fails to match.
+#[derive(Debug, Clone)]
+struct SourceGroup {
+    /// `(alias, columns)` per member, in FROM order.
+    members: Vec<(String, Vec<String>)>,
+    /// Joined rows: each row concatenates the member widths in order.
+    rows: Vec<Row>,
+}
+
+impl SourceGroup {
+    fn width(&self) -> usize {
+        self.members.iter().map(|(_, cols)| cols.len()).sum()
+    }
+
+    /// Push one env frame per member, slicing `row` by member widths.
+    fn push_frames(&self, row: &Row, scope: &mut Env<'_>) {
+        let mut offset = 0;
+        for (alias, cols) in &self.members {
+            let w = cols.len();
+            scope.frames.push((
+                alias.clone(),
+                cols.clone(),
+                row[offset..offset + w].to_vec(),
+            ));
+            offset += w;
+        }
+    }
+}
+
+/// Flattened per-alias view of the groups, for name resolution and `*`
+/// expansion (kept in FROM order).
+struct FlatSource {
+    alias: String,
+    cols: Vec<String>,
+    group: usize,
+    offset: usize,
+}
+
+fn flatten(groups: &[SourceGroup]) -> Vec<FlatSource> {
+    let mut flat = Vec::new();
+    for (gi, g) in groups.iter().enumerate() {
+        let mut offset = 0;
+        for (alias, cols) in &g.members {
+            flat.push(FlatSource {
+                alias: alias.clone(),
+                cols: cols.clone(),
+                group: gi,
+                offset,
+            });
+            offset += cols.len();
+        }
+    }
+    flat
+}
+
 fn eval_select(
     fe: &Frontend,
     db: &Database,
@@ -232,25 +353,34 @@ fn eval_select(
         return eval_aggregate_only(fe, db, s, env);
     }
 
-    // Enumerate the FROM cross product.
-    let mut sources: Vec<(String, Vec<String>, Vec<Row>)> = Vec::new();
+    // Each FROM item starts as its own join group.
+    let mut groups: Vec<SourceGroup> = Vec::new();
     for item in &s.from {
         let (cols, rows) = eval_from_item(fe, db, item, env)?;
-        sources.push((item.alias.clone(), cols, rows));
+        groups.push(SourceGroup {
+            members: vec![(item.alias.clone(), cols)],
+            rows,
+        });
     }
 
-    let natural = natural_join_plan(s, &sources)?;
-    let columns = projection_columns(fe, s, &sources, &natural.skip)?;
+    // Fold outer joins natively, merging groups pairwise.
+    for oj in &s.outer {
+        apply_outer_join(fe, db, &mut groups, oj, env)?;
+    }
+
+    let flat = flatten(&groups);
+    let natural = natural_join_plan(s, &flat)?;
+    let columns = projection_columns(s, &flat, &natural.skip)?;
     let mut out_rows: Vec<Row> = Vec::new();
     cross_product(
         fe,
         db,
         s,
         env,
-        &sources,
+        &groups,
+        &flat,
         0,
         &mut Vec::new(),
-        &columns,
         &natural,
         &mut out_rows,
     )?;
@@ -264,9 +394,109 @@ fn eval_select(
     })
 }
 
+/// Merge the groups containing `oj.left` and `oj.right` per the outer-join
+/// semantics: matched pairs survive, unmatched rows of the preserved side
+/// are padded with NULL on the other side.
+fn apply_outer_join(
+    fe: &Frontend,
+    db: &Database,
+    groups: &mut Vec<SourceGroup>,
+    oj: &udp_sql::ast::OuterJoin,
+    env: &Env<'_>,
+) -> Result<(), EvalError> {
+    use udp_sql::ast::OuterKind;
+    let find = |alias: &str| {
+        groups
+            .iter()
+            .position(|g| g.members.iter().any(|(a, _)| a == alias))
+            .ok_or_else(|| EvalError::UnknownTable(alias.to_string()))
+    };
+    let li = find(&oj.left)?;
+    let ri = find(&oj.right)?;
+    if li == ri {
+        return Err(EvalError::Unsupported(format!(
+            "outer join between already-joined aliases `{}` and `{}`",
+            oj.left, oj.right
+        )));
+    }
+    // Remove the higher index first so the lower one stays valid.
+    let (l, r) = if li < ri {
+        let r = groups.remove(ri);
+        let l = groups.remove(li);
+        (l, r)
+    } else {
+        let l = groups.remove(li);
+        let r = groups.remove(ri);
+        (l, r)
+    };
+    let (lw, rw) = (l.width(), r.width());
+    let on_true = |lrow: &Row, rrow: &Row| -> Result<bool, EvalError> {
+        let mut scope = env.child();
+        l.push_frames(lrow, &mut scope);
+        r.push_frames(rrow, &mut scope);
+        Ok(eval_pred(fe, db, &oj.on, &scope)?.is_true())
+    };
+    let concat = |a: &Row, b: &Row| {
+        let mut row = a.clone();
+        row.extend(b.iter().cloned());
+        row
+    };
+    let nulls = |n: usize| vec![Value::Null; n];
+    let mut rows: Vec<Row> = Vec::new();
+    match oj.kind {
+        OuterKind::Left | OuterKind::Full => {
+            for lrow in &l.rows {
+                let mut matched = false;
+                for rrow in &r.rows {
+                    if on_true(lrow, rrow)? {
+                        matched = true;
+                        rows.push(concat(lrow, rrow));
+                    }
+                }
+                if !matched {
+                    rows.push(concat(lrow, &nulls(rw)));
+                }
+            }
+            if oj.kind == OuterKind::Full {
+                for rrow in &r.rows {
+                    let mut matched = false;
+                    for lrow in &l.rows {
+                        if on_true(lrow, rrow)? {
+                            matched = true;
+                            break;
+                        }
+                    }
+                    if !matched {
+                        rows.push(concat(&nulls(lw), rrow));
+                    }
+                }
+            }
+        }
+        OuterKind::Right => {
+            for rrow in &r.rows {
+                let mut matched = false;
+                for lrow in &l.rows {
+                    if on_true(lrow, rrow)? {
+                        matched = true;
+                        rows.push(concat(lrow, rrow));
+                    }
+                }
+                if !matched {
+                    rows.push(concat(&nulls(lw), rrow));
+                }
+            }
+        }
+    }
+    let mut members = l.members;
+    members.extend(r.members);
+    groups.insert(li.min(ri), SourceGroup { members, rows });
+    Ok(())
+}
+
 /// Execution plan for the extended dialect's `NATURAL JOIN`: which column
 /// positions to equate, and which right-hand occurrences a `*` projection
-/// must skip (shared columns are emitted once).
+/// must skip (shared columns are emitted once). Indices are into the
+/// flattened source list.
 #[derive(Debug, Default)]
 struct NaturalPlan {
     /// `((left source, left column), (right source, right column))` pairs.
@@ -275,23 +505,20 @@ struct NaturalPlan {
     skip: std::collections::BTreeSet<(usize, usize)>,
 }
 
-fn natural_join_plan(
-    s: &Select,
-    sources: &[(String, Vec<String>, Vec<Row>)],
-) -> Result<NaturalPlan, EvalError> {
+fn natural_join_plan(s: &Select, flat: &[FlatSource]) -> Result<NaturalPlan, EvalError> {
     let mut plan = NaturalPlan::default();
     for (la, ra) in &s.natural {
-        let li = sources
+        let li = flat
             .iter()
-            .position(|(a, _, _)| a == la)
+            .position(|f| f.alias == *la)
             .ok_or_else(|| EvalError::UnknownTable(la.clone()))?;
-        let ri = sources
+        let ri = flat
             .iter()
-            .position(|(a, _, _)| a == ra)
+            .position(|f| f.alias == *ra)
             .ok_or_else(|| EvalError::UnknownTable(ra.clone()))?;
         let mut shared = false;
-        for (lc, lname) in sources[li].1.iter().enumerate() {
-            if let Some(rc) = sources[ri].1.iter().position(|c| c == lname) {
+        for (lc, lname) in flat[li].cols.iter().enumerate() {
+            if let Some(rc) = flat[ri].cols.iter().position(|c| c == lname) {
                 plan.eqs.push(((li, lc), (ri, rc)));
                 plan.skip.insert((ri, rc));
                 shared = true;
@@ -306,63 +533,52 @@ fn natural_join_plan(
     Ok(plan)
 }
 
+/// Value of flattened source `fi`, column `ci`, under the per-group picks.
+fn flat_value<'a>(flat: &[FlatSource], picked: &'a [Row], fi: usize, ci: usize) -> &'a Value {
+    let f = &flat[fi];
+    &picked[f.group][f.offset + ci]
+}
+
 #[allow(clippy::too_many_arguments)]
 fn cross_product(
     fe: &Frontend,
     db: &Database,
     s: &Select,
     env: &Env<'_>,
-    sources: &[(String, Vec<String>, Vec<Row>)],
+    groups: &[SourceGroup],
+    flat: &[FlatSource],
     idx: usize,
     picked: &mut Vec<Row>,
-    columns: &[String],
     natural: &NaturalPlan,
     out: &mut Vec<Row>,
 ) -> Result<(), EvalError> {
-    if idx == sources.len() {
+    if idx == groups.len() {
         for ((li, lc), (ri, rc)) in &natural.eqs {
-            if picked[*li][*lc] != picked[*ri][*rc] {
+            // NATURAL JOIN equality is a join predicate: NULLs never match.
+            let (a, b) = (
+                flat_value(flat, picked, *li, *lc),
+                flat_value(flat, picked, *ri, *rc),
+            );
+            if a.is_null() || b.is_null() || a != b {
                 return Ok(());
             }
         }
         let mut scope = env.child();
-        for ((alias, cols, _), row) in sources.iter().zip(picked.iter()) {
-            scope
-                .frames
-                .push((alias.clone(), cols.clone(), row.clone()));
+        for (g, row) in groups.iter().zip(picked.iter()) {
+            g.push_frames(row, &mut scope);
         }
         if let Some(w) = &s.where_clause {
-            if !eval_pred(fe, db, w, &scope)? {
+            if !eval_pred(fe, db, w, &scope)?.is_true() {
                 return Ok(());
             }
         }
-        out.push(project_row(
-            fe,
-            db,
-            s,
-            &scope,
-            sources,
-            picked,
-            columns,
-            &natural.skip,
-        )?);
+        out.push(project_row(fe, db, s, &scope, flat, picked, &natural.skip)?);
         return Ok(());
     }
-    let rows = sources[idx].2.clone();
+    let rows = groups[idx].rows.clone();
     for row in rows {
         picked.push(row);
-        cross_product(
-            fe,
-            db,
-            s,
-            env,
-            sources,
-            idx + 1,
-            picked,
-            columns,
-            natural,
-            out,
-        )?;
+        cross_product(fe, db, s, env, groups, flat, idx + 1, picked, natural, out)?;
         picked.pop();
     }
     Ok(())
@@ -395,18 +611,16 @@ fn eval_from_item(
 }
 
 fn projection_columns(
-    fe: &Frontend,
     s: &Select,
-    sources: &[(String, Vec<String>, Vec<Row>)],
+    flat: &[FlatSource],
     natural_skip: &std::collections::BTreeSet<(usize, usize)>,
 ) -> Result<Vec<String>, EvalError> {
-    let _ = fe;
     let mut out = Vec::new();
     for (i, item) in s.projection.iter().enumerate() {
         match item {
             SelectItem::Star => {
-                for (si, (_, cols, _)) in sources.iter().enumerate() {
-                    for (ci, c) in cols.iter().enumerate() {
+                for (si, f) in flat.iter().enumerate() {
+                    for (ci, c) in f.cols.iter().enumerate() {
                         if !natural_skip.contains(&(si, ci)) {
                             out.push(c.clone());
                         }
@@ -414,11 +628,11 @@ fn projection_columns(
                 }
             }
             SelectItem::QualifiedStar(alias) => {
-                let (_, cols, _) = sources
+                let f = flat
                     .iter()
-                    .find(|(a, _, _)| a == alias)
+                    .find(|f| f.alias == *alias)
                     .ok_or_else(|| EvalError::UnknownTable(alias.clone()))?;
-                out.extend(cols.iter().cloned());
+                out.extend(f.cols.iter().cloned());
             }
             SelectItem::Expr { expr, alias } => {
                 let name = alias.clone().unwrap_or_else(|| match expr {
@@ -432,35 +646,36 @@ fn projection_columns(
     Ok(out)
 }
 
-#[allow(clippy::too_many_arguments)]
 fn project_row(
     fe: &Frontend,
     db: &Database,
     s: &Select,
     scope: &Env<'_>,
-    sources: &[(String, Vec<String>, Vec<Row>)],
+    flat: &[FlatSource],
     picked: &[Row],
-    _columns: &[String],
     natural_skip: &std::collections::BTreeSet<(usize, usize)>,
 ) -> Result<Row, EvalError> {
     let mut row = Vec::new();
     for item in &s.projection {
         match item {
             SelectItem::Star => {
-                for (si, r) in picked.iter().enumerate() {
-                    for (ci, v) in r.iter().enumerate() {
+                for (si, f) in flat.iter().enumerate() {
+                    for ci in 0..f.cols.len() {
                         if !natural_skip.contains(&(si, ci)) {
-                            row.push(v.clone());
+                            row.push(flat_value(flat, picked, si, ci).clone());
                         }
                     }
                 }
             }
             SelectItem::QualifiedStar(alias) => {
-                let idx = sources
+                let (si, f) = flat
                     .iter()
-                    .position(|(a, _, _)| a == alias)
+                    .enumerate()
+                    .find(|(_, f)| f.alias == *alias)
                     .ok_or_else(|| EvalError::UnknownTable(alias.clone()))?;
-                row.extend(picked[idx].iter().cloned());
+                for ci in 0..f.cols.len() {
+                    row.push(flat_value(flat, picked, si, ci).clone());
+                }
             }
             SelectItem::Expr { expr, .. } => {
                 row.push(eval_scalar(fe, db, expr, scope)?);
@@ -487,7 +702,7 @@ fn eval_aggregate_only(
         row.push(eval_agg_scalar(fe, db, expr, s, env)?);
     }
     if let Some(h) = &s.having {
-        if !eval_agg_pred(fe, db, h, s, env)? {
+        if !eval_agg_pred(fe, db, h, s, env)?.is_true() {
             return Ok(ResultBag {
                 columns,
                 rows: vec![],
@@ -552,7 +767,7 @@ fn eval_agg_pred(
     p: &PredExpr,
     s: &Select,
     env: &Env<'_>,
-) -> Result<bool, EvalError> {
+) -> Result<Truth, EvalError> {
     match p {
         PredExpr::Cmp(op, a, b) => {
             let va = eval_agg_scalar(fe, db, a, s, env)?;
@@ -560,14 +775,17 @@ fn eval_agg_pred(
             compare(*op, &va, &vb)
         }
         PredExpr::And(a, b) => {
-            Ok(eval_agg_pred(fe, db, a, s, env)? && eval_agg_pred(fe, db, b, s, env)?)
+            Ok(eval_agg_pred(fe, db, a, s, env)?.and(eval_agg_pred(fe, db, b, s, env)?))
         }
         PredExpr::Or(a, b) => {
-            Ok(eval_agg_pred(fe, db, a, s, env)? || eval_agg_pred(fe, db, b, s, env)?)
+            Ok(eval_agg_pred(fe, db, a, s, env)?.or(eval_agg_pred(fe, db, b, s, env)?))
         }
-        PredExpr::Not(a) => Ok(!eval_agg_pred(fe, db, a, s, env)?),
-        PredExpr::True => Ok(true),
-        PredExpr::False => Ok(false),
+        PredExpr::Not(a) => Ok(eval_agg_pred(fe, db, a, s, env)?.not()),
+        PredExpr::True => Ok(Truth::True),
+        PredExpr::False => Ok(Truth::False),
+        PredExpr::IsNull(e) => Ok(Truth::from_bool(
+            eval_agg_scalar(fe, db, e, s, env)?.is_null(),
+        )),
         other => Err(EvalError::Unsupported(format!(
             "{other:?} in HAVING without GROUP BY"
         ))),
@@ -580,6 +798,9 @@ pub fn compute_aggregate(
     mut values: Vec<Value>,
     distinct: bool,
 ) -> Result<Value, EvalError> {
+    // SQL aggregates ignore NULL inputs (`COUNT(*)` never sees one: the
+    // desugaring feeds it the literal 1 per row).
+    values.retain(|v| !v.is_null());
     if distinct {
         let mut seen: Vec<Value> = Vec::new();
         values.retain(|v| {
@@ -677,9 +898,11 @@ fn eval_scalar(
             }
             Ok(r.rows[0][0].clone())
         }
+        ScalarExpr::Null => Ok(Value::Null),
         ScalarExpr::Case { whens, else_ } => {
+            // A CASE branch fires only when its guard is TRUE (not UNKNOWN).
             for (b, e) in whens {
-                if eval_pred(fe, db, b, env)? {
+                if eval_pred(fe, db, b, env)?.is_true() {
                     return eval_scalar(fe, db, e, env);
                 }
             }
@@ -689,8 +912,12 @@ fn eval_scalar(
 }
 
 /// Interpreted arithmetic; everything else is a deterministic hash function
-/// (an admissible interpretation of an uninterpreted symbol).
+/// (an admissible interpretation of an uninterpreted symbol). All functions
+/// are strict in NULL: any NULL argument yields NULL (SQL semantics).
 fn apply_function(f: &str, args: &[Value]) -> Result<Value, EvalError> {
+    if args.iter().any(Value::is_null) {
+        return Ok(Value::Null);
+    }
     let int = |v: &Value| match v {
         Value::Int(i) => Some(*i),
         _ => None,
@@ -722,52 +949,89 @@ fn apply_function(f: &str, args: &[Value]) -> Result<Value, EvalError> {
     }
 }
 
-fn eval_pred(fe: &Frontend, db: &Database, p: &PredExpr, env: &Env<'_>) -> Result<bool, EvalError> {
+/// Evaluate a predicate against explicit `(alias, columns, row)` frames
+/// under SQL's three-valued logic. This is the probe the 3VL truth-table
+/// property tests use.
+pub fn eval_pred_on_rows(
+    fe: &Frontend,
+    db: &Database,
+    p: &PredExpr,
+    frames: &[(String, Vec<String>, Row)],
+) -> Result<Truth, EvalError> {
+    let mut env = Env::default();
+    env.frames.extend(frames.iter().cloned());
+    eval_pred(fe, db, p, &env)
+}
+
+/// Evaluate a predicate under SQL's three-valued logic.
+fn eval_pred(
+    fe: &Frontend,
+    db: &Database,
+    p: &PredExpr,
+    env: &Env<'_>,
+) -> Result<Truth, EvalError> {
     match p {
         PredExpr::Cmp(op, a, b) => {
             let va = eval_scalar(fe, db, a, env)?;
             let vb = eval_scalar(fe, db, b, env)?;
             compare(*op, &va, &vb)
         }
-        PredExpr::And(a, b) => Ok(eval_pred(fe, db, a, env)? && eval_pred(fe, db, b, env)?),
-        PredExpr::Or(a, b) => Ok(eval_pred(fe, db, a, env)? || eval_pred(fe, db, b, env)?),
-        PredExpr::Not(a) => Ok(!eval_pred(fe, db, a, env)?),
-        PredExpr::True => Ok(true),
-        PredExpr::False => Ok(false),
+        PredExpr::And(a, b) => Ok(eval_pred(fe, db, a, env)?.and(eval_pred(fe, db, b, env)?)),
+        PredExpr::Or(a, b) => Ok(eval_pred(fe, db, a, env)?.or(eval_pred(fe, db, b, env)?)),
+        PredExpr::Not(a) => Ok(eval_pred(fe, db, a, env)?.not()),
+        PredExpr::True => Ok(Truth::True),
+        PredExpr::False => Ok(Truth::False),
+        // IS NULL is two-valued even on NULL operands.
+        PredExpr::IsNull(e) => Ok(Truth::from_bool(eval_scalar(fe, db, e, env)?.is_null())),
         PredExpr::Exists(q) => {
             let r = eval_query_env(fe, db, q, env)?;
-            Ok(!r.rows.is_empty())
+            Ok(Truth::from_bool(!r.rows.is_empty()))
         }
         PredExpr::InQuery(e, q) => {
+            // SQL `IN` over NULLs: TRUE on a (non-NULL = non-NULL) match;
+            // FALSE only if every member definitively differs; UNKNOWN if
+            // unmatched but the probe or some member is NULL.
             let v = eval_scalar(fe, db, e, env)?;
             let r = eval_query_env(fe, db, q, env)?;
-            Ok(r.rows.iter().any(|row| row.first() == Some(&v)))
+            let mut acc = Truth::False;
+            for row in &r.rows {
+                let member = row
+                    .first()
+                    .ok_or_else(|| EvalError::Unsupported("IN over no columns".into()))?;
+                acc = acc.or(compare(CmpOp::Eq, &v, member)?);
+                if acc == Truth::True {
+                    break;
+                }
+            }
+            Ok(acc)
         }
     }
 }
 
-fn compare(op: CmpOp, a: &Value, b: &Value) -> Result<bool, EvalError> {
+fn compare(op: CmpOp, a: &Value, b: &Value) -> Result<Truth, EvalError> {
     let ord = match (a, b) {
+        // Any NULL operand makes every comparison UNKNOWN (3VL).
+        (Value::Null, _) | (_, Value::Null) => return Ok(Truth::Unknown),
         (Value::Int(x), Value::Int(y)) => x.cmp(y),
         (Value::Str(x), Value::Str(y)) => x.cmp(y),
         (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
         _ => {
             // Heterogeneous comparison: only (in)equality is meaningful.
             return match op {
-                CmpOp::Eq => Ok(false),
-                CmpOp::Ne => Ok(true),
+                CmpOp::Eq => Ok(Truth::False),
+                CmpOp::Ne => Ok(Truth::True),
                 _ => Err(EvalError::TypeError(format!("compare {a} {op} {b}"))),
             };
         }
     };
-    Ok(match op {
+    Ok(Truth::from_bool(match op {
         CmpOp::Eq => ord.is_eq(),
         CmpOp::Ne => !ord.is_eq(),
         CmpOp::Lt => ord.is_lt(),
         CmpOp::Le => ord.is_le(),
         CmpOp::Gt => ord.is_gt(),
         CmpOp::Ge => ord.is_ge(),
-    })
+    }))
 }
 
 #[cfg(test)]

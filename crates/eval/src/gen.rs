@@ -18,6 +18,10 @@ pub struct GenConfig {
     pub max_rows: usize,
     /// Active domain size for integers (values `0..domain`).
     pub domain: i64,
+    /// Probability that a *nullable* attribute draws NULL (non-nullable
+    /// attributes never do). The default keeps databases NULL-dense enough
+    /// that 3VL corner cases show up within a handful of rows.
+    pub null_prob: f64,
 }
 
 impl Default for GenConfig {
@@ -25,6 +29,7 @@ impl Default for GenConfig {
         GenConfig {
             max_rows: 4,
             domain: 4,
+            null_prob: 0.3,
         }
     }
 }
@@ -49,7 +54,15 @@ pub fn random_database(
             let mut row: Row = schema
                 .attrs
                 .iter()
-                .map(|(_, ty)| random_value(*ty, config, rng))
+                .enumerate()
+                .map(|(i, (_, ty))| {
+                    let nullable = schema.nullable.get(i).copied().unwrap_or(false);
+                    if nullable && rng.random_bool(config.null_prob) {
+                        Value::Null
+                    } else {
+                        random_value(*ty, config, rng)
+                    }
+                })
                 .collect();
             // Foreign keys: copy key values from a random parent row.
             for (child_attrs, parent, parent_attrs) in cs.fks_from(rel) {

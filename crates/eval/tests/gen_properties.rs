@@ -32,7 +32,11 @@ proptest! {
         domain in 2i64..8,
     ) {
         let fe = build_frontend(&parse_program(DDL).unwrap()).unwrap();
-        let config = GenConfig { max_rows, domain };
+        let config = GenConfig {
+            max_rows,
+            domain,
+            ..GenConfig::default()
+        };
         let mut rng = seeded_rng(seed);
         let db = random_database(&fe.catalog, &fe.constraints, &config, &mut rng);
 

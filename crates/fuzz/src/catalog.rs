@@ -30,6 +30,10 @@ pub struct SchemaProfile {
     /// Probability of one foreign-key edge between two distinct tables
     /// (requires a keyed parent).
     pub fk_prob: f64,
+    /// Probability a non-key attribute is declared nullable (`a:int?`,
+    /// full-dialect profile; `0.0` keeps the paper fragment). The leading
+    /// key column `k` stays non-nullable so keys and FKs remain honest.
+    pub nullable_prob: f64,
 }
 
 impl Default for SchemaProfile {
@@ -40,6 +44,18 @@ impl Default for SchemaProfile {
             max_extra_attrs: 3,
             key_prob: 0.4,
             fk_prob: 0.25,
+            nullable_prob: 0.0,
+        }
+    }
+}
+
+impl SchemaProfile {
+    /// The full-dialect profile: some non-key columns are nullable, so
+    /// random databases carry NULLs and the 3VL machinery is exercised.
+    pub fn full() -> Self {
+        SchemaProfile {
+            nullable_prob: 0.45,
+            ..SchemaProfile::default()
         }
     }
 }
@@ -59,7 +75,12 @@ pub fn random_ddl(rng: &mut StdRng, profile: &SchemaProfile) -> Program {
         let n_extra = rng.random_range(0..=profile.max_extra_attrs);
         let mut attrs = vec![("k".to_string(), "int".to_string())];
         for attr in ATTRS.iter().take(n_extra) {
-            attrs.push((attr.to_string(), "int".to_string()));
+            let ty = if rng.random_bool(profile.nullable_prob) {
+                "int?"
+            } else {
+                "int"
+            };
+            attrs.push((attr.to_string(), ty.to_string()));
         }
         let name = format!("s{i}");
         statements.push(Statement::Schema {

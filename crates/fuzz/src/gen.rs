@@ -17,7 +17,8 @@
 use rand::rngs::StdRng;
 use rand::RngExt;
 use udp_sql::ast::{
-    AggArg, CmpOp, FromItem, PredExpr, Query, ScalarExpr, Select, SelectItem, TableRef,
+    AggArg, CmpOp, FromItem, OuterJoin, OuterKind, PredExpr, Query, ScalarExpr, Select, SelectItem,
+    TableRef,
 };
 use udp_sql::Frontend;
 
@@ -42,6 +43,12 @@ pub struct GenProfile {
     pub where_prob: f64,
     /// Probability a no-constraint projection is a bare `*`.
     pub star_prob: f64,
+    /// Probability a predicate leaf is `IS [NOT] NULL` or a NULL-literal
+    /// comparison (full dialect; `0.0` keeps the paper fragment).
+    pub null_pred_prob: f64,
+    /// Probability a two-table FROM becomes an outer join (full dialect;
+    /// `0.0` keeps the paper fragment).
+    pub outer_prob: f64,
 }
 
 impl Default for GenProfile {
@@ -56,6 +63,21 @@ impl Default for GenProfile {
             agg_prob: 0.15,
             where_prob: 0.8,
             star_prob: 0.25,
+            null_pred_prob: 0.0,
+            outer_prob: 0.0,
+        }
+    }
+}
+
+impl GenProfile {
+    /// The full-dialect profile: NULL predicates and outer joins enabled
+    /// (pairs generated under it must go through a `Dialect::Full` session,
+    /// which desugars via udp-ext before proving).
+    pub fn full() -> Self {
+        GenProfile {
+            null_pred_prob: 0.2,
+            outer_prob: 0.35,
+            ..GenProfile::default()
         }
     }
 }
@@ -160,13 +182,36 @@ impl<'a> QueryGen<'a> {
             }
         }
 
+        // Outer join between two adjacent base-table items (full profile):
+        // a random flavor with an equality ON over the pair's columns.
+        // Aggregates over outer joins are outside the udp-ext encoding, so
+        // the grouped path is skipped whenever a spec was emitted.
+        let mut outer: Vec<OuterJoin> = Vec::new();
+        if from.len() == 2 && all_tables && rng.random_bool(self.profile.outer_prob) {
+            let kind =
+                [OuterKind::Left, OuterKind::Right, OuterKind::Full][rng.random_range(0..3usize)];
+            let (la, lcols) = &scope[0];
+            let (ra, rcols) = &scope[1];
+            let on = PredExpr::Cmp(
+                CmpOp::Eq,
+                ScalarExpr::col(la.clone(), lcols[rng.random_range(0..lcols.len())].clone()),
+                ScalarExpr::col(ra.clone(), rcols[rng.random_range(0..rcols.len())].clone()),
+            );
+            outer.push(OuterJoin {
+                kind,
+                left: la.clone(),
+                right: ra.clone(),
+                on,
+            });
+        }
+
         let where_clause = if rng.random_bool(self.profile.where_prob) {
             Some(self.gen_pred(rng, depth, &scope, 2, next_alias))
         } else {
             None
         };
 
-        if rng.random_bool(self.profile.agg_prob) {
+        if outer.is_empty() && rng.random_bool(self.profile.agg_prob) {
             return self.finish_grouped(rng, from, scope, where_clause, want);
         }
 
@@ -211,6 +256,7 @@ impl<'a> QueryGen<'a> {
             group_by: vec![],
             having: None,
             natural: vec![],
+            outer,
         }
     }
 
@@ -264,6 +310,7 @@ impl<'a> QueryGen<'a> {
             group_by: vec![group_col],
             having,
             natural: vec![],
+            outer: vec![],
         }
     }
 
@@ -320,6 +367,16 @@ impl<'a> QueryGen<'a> {
         if depth > 0 && rng.random_bool(self.profile.exists_prob) {
             return self.gen_exists(rng, scope, next_alias);
         }
+        // NULL-predicate leaves (full profile): IS [NOT] NULL and the
+        // always-UNKNOWN NULL-literal comparison.
+        if self.profile.null_pred_prob > 0.0 && rng.random_bool(self.profile.null_pred_prob) {
+            let c = self.random_col(rng, scope);
+            return match rng.random_range(0..3u32) {
+                0 => PredExpr::IsNull(Box::new(c)),
+                1 => PredExpr::Not(Box::new(PredExpr::IsNull(Box::new(c)))),
+                _ => PredExpr::Cmp(CmpOp::Eq, c, ScalarExpr::Null),
+            };
+        }
         // Comparison leaf: mostly equalities (the interpreted operator the
         // prover reasons about), occasionally an uninterpreted ordering.
         let op = if rng.random_bool(0.7) {
@@ -358,6 +415,7 @@ impl<'a> QueryGen<'a> {
             group_by: vec![],
             having: None,
             natural: vec![],
+            outer: vec![],
         };
         PredExpr::Exists(Box::new(Query::Select(inner)))
     }

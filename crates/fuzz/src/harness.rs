@@ -55,6 +55,10 @@ pub struct FuzzConfig {
     pub schema: SchemaProfile,
     /// Query shape.
     pub query: GenProfile,
+    /// Full-dialect mode: nullable catalogs, NULL predicates, and outer
+    /// joins in the generators; sessions run under `Dialect::Full` (udp-ext
+    /// desugaring) and round-trips re-parse with the full dialect.
+    pub full_dialect: bool,
 }
 
 impl Default for FuzzConfig {
@@ -69,6 +73,20 @@ impl Default for FuzzConfig {
             max_shrink_checks: 300,
             schema: SchemaProfile::default(),
             query: GenProfile::default(),
+            full_dialect: false,
+        }
+    }
+}
+
+impl FuzzConfig {
+    /// The full-dialect campaign configuration (NULL + outer-join
+    /// generators enabled).
+    pub fn full() -> Self {
+        FuzzConfig {
+            schema: SchemaProfile::full(),
+            query: GenProfile::full(),
+            full_dialect: true,
+            ..FuzzConfig::default()
         }
     }
 }
@@ -221,13 +239,19 @@ fn shuffled<T: Copy>(items: &[T], rng: &mut StdRng) -> Vec<T> {
     v
 }
 
-fn session_config(steps: u64, cache_capacity: usize, fingerprints: bool) -> SessionConfig {
+fn session_config(
+    steps: u64,
+    cache_capacity: usize,
+    fingerprints: bool,
+    dialect: udp_sql::Dialect,
+) -> SessionConfig {
     SessionConfig {
         workers: 1,
         cache_capacity,
         steps: Some(steps),
         wall: None, // steps-only: verdicts must be deterministic
         fingerprints,
+        dialect,
         ..SessionConfig::default()
     }
 }
@@ -363,9 +387,14 @@ impl CaseCtx<'_> {
         expect_proof: bool,
     ) -> Result<Outcome, (FailureKind, String)> {
         // 1. Text frontier: both sides must survive pretty → parse intact.
+        let dialect = if self.config.full_dialect {
+            udp_sql::Dialect::Full
+        } else {
+            udp_sql::Dialect::Paper
+        };
         for q in [q1, q2] {
             let sql = query_to_sql(q);
-            match udp_sql::parse_query(&sql) {
+            match udp_sql::parse_query_with(&sql, dialect) {
                 Ok(back) if back == *q => {}
                 Ok(_) => {
                     return Err((
@@ -384,10 +413,16 @@ impl CaseCtx<'_> {
 
         // 2. Prover + service parity.
         let goal = (q1.clone(), q2.clone());
-        let uncached = Session::new(self.ddl, session_config(self.config.steps, 0, false))
-            .map_err(|e| (FailureKind::Frontend, format!("uncached session: {e}")))?;
-        let cached = Session::new(self.ddl, session_config(self.config.steps, 64, true))
-            .map_err(|e| (FailureKind::Frontend, format!("cached session: {e}")))?;
+        let uncached = Session::new(
+            self.ddl,
+            session_config(self.config.steps, 0, false, dialect),
+        )
+        .map_err(|e| (FailureKind::Frontend, format!("uncached session: {e}")))?;
+        let cached = Session::new(
+            self.ddl,
+            session_config(self.config.steps, 64, true, dialect),
+        )
+        .map_err(|e| (FailureKind::Frontend, format!("cached session: {e}")))?;
         let goals = [goal.clone()];
         let r_u = &uncached.verify_batch(&goals)[0];
         let r_c1 = &cached.verify_batch(&goals)[0];

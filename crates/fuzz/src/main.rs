@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! udp-fuzz [--seed N] [--cases M] [--trials T] [--steps S]
-//!          [--mutation-ratio R] [--no-shrink] [--quiet]
+//!          [--mutation-ratio R] [--no-shrink] [--quiet] [--full]
 //! ```
 //!
 //! Generates `M` random query pairs (semantics-preserving rewrites and
@@ -24,14 +24,20 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: udp-fuzz [--seed N] [--cases M] [--trials T] [--steps S]\n\
-         \x20               [--mutation-ratio R] [--no-shrink] [--quiet]"
+         \x20               [--mutation-ratio R] [--no-shrink] [--quiet] [--full]"
     );
     std::process::exit(64)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut config = FuzzConfig::default();
+    // `--full` swaps in the full-dialect profiles (NULL + outer joins), so
+    // it must be applied before the numeric overrides.
+    let mut config = if args.iter().any(|a| a == "--full") {
+        FuzzConfig::full()
+    } else {
+        FuzzConfig::default()
+    };
     let mut quiet = false;
 
     let mut it = args.iter();
@@ -54,6 +60,7 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| usage("--mutation-ratio wants a value in [0, 1]"));
             }
             "--no-shrink" => config.shrink = false,
+            "--full" => {} // consumed above
             "--quiet" => quiet = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument `{other}`")),

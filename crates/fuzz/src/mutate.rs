@@ -10,7 +10,7 @@
 
 use crate::rewrite::map_first_select;
 use rand::rngs::StdRng;
-use udp_sql::ast::{PredExpr, Query, ScalarExpr, Select, SelectItem};
+use udp_sql::ast::{OuterKind, PredExpr, Query, ScalarExpr, Select, SelectItem};
 
 /// The library of bug-injecting mutations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -28,17 +28,22 @@ pub enum Mutation {
     /// `count(x)`/`sum(x)` → `count(DISTINCT x)`/`sum(DISTINCT x)` — the
     /// COUNT-bug family of aggregate-rewrite mistakes.
     AggDistinctInsert,
+    /// Flip an outer join's flavor (`LEFT` ↔ `FULL`, `RIGHT` → `FULL`) —
+    /// the padded side changes, reproducing the Oracle outer-join bug
+    /// shape (full dialect only; `None` when the query has no outer join).
+    OuterKindFlip,
 }
 
 impl Mutation {
     /// Every mutation, in a fixed order (shuffled per case by the harness).
-    pub const ALL: [Mutation; 6] = [
+    pub const ALL: [Mutation; 7] = [
         Mutation::ConstPerturb,
         Mutation::CmpNegate,
         Mutation::DistinctToggle,
         Mutation::UnionAllDup,
         Mutation::ConjunctDrop,
         Mutation::AggDistinctInsert,
+        Mutation::OuterKindFlip,
     ];
 
     /// Stable rule name for stats and reports.
@@ -50,6 +55,7 @@ impl Mutation {
             Mutation::UnionAllDup => "union-all-dup",
             Mutation::ConjunctDrop => "conjunct-drop",
             Mutation::AggDistinctInsert => "agg-distinct-insert",
+            Mutation::OuterKindFlip => "outer-kind-flip",
         }
     }
 
@@ -85,6 +91,18 @@ impl Mutation {
                     }
                 }
                 None
+            }),
+            Mutation::OuterKindFlip => map_first_select(q, &mut |s| {
+                if s.outer.is_empty() {
+                    return None;
+                }
+                let mut out = s.clone();
+                out.outer[0].kind = match out.outer[0].kind {
+                    OuterKind::Left => OuterKind::Full,
+                    OuterKind::Right => OuterKind::Full,
+                    OuterKind::Full => OuterKind::Left,
+                };
+                Some(out)
             }),
         };
         out.filter(|mutated| mutated != q)

@@ -120,7 +120,7 @@ impl Rewrite {
                 })
             }),
             Rewrite::JoinCommute => map_first_select(q, &mut |s| {
-                if s.from.len() < 2 || !s.natural.is_empty() {
+                if s.from.len() < 2 || !s.natural.is_empty() || !s.outer.is_empty() {
                     return None;
                 }
                 if s.projection
@@ -135,7 +135,7 @@ impl Rewrite {
                 Some(Select { from, ..s.clone() })
             }),
             Rewrite::AliasRename => map_first_select(q, &mut |s| {
-                if s.from.is_empty() || !s.natural.is_empty() {
+                if s.from.is_empty() || !s.natural.is_empty() || !s.outer.is_empty() {
                     return None;
                 }
                 let idx = rng.random_range(0..s.from.len());
@@ -152,7 +152,7 @@ impl Rewrite {
                 Some(rename_alias_in_select(s, idx, &old, &new))
             }),
             Rewrite::PredicatePushdown => map_first_select(q, &mut |s| {
-                if !s.natural.is_empty() {
+                if !s.natural.is_empty() || !s.outer.is_empty() {
                     return None;
                 }
                 let p = s.where_clause.as_ref()?;
@@ -179,6 +179,7 @@ impl Rewrite {
                             group_by: vec![],
                             having: None,
                             natural: vec![],
+                            outer: vec![],
                         };
                         let mut from = s.from.clone();
                         from[fi] = FromItem {
@@ -222,6 +223,7 @@ impl Rewrite {
                     group_by: vec![],
                     having: None,
                     natural: vec![],
+                    outer: vec![],
                 }))
             }
             Rewrite::UnionAllCommute => match q {
@@ -272,7 +274,7 @@ impl Rewrite {
                 })
             }),
             Rewrite::SubqueryWrap => map_first_select(q, &mut |s| {
-                if !s.natural.is_empty() {
+                if !s.natural.is_empty() || !s.outer.is_empty() {
                     return None;
                 }
                 let (fi, item, table) = s.from.iter().enumerate().find_map(|(i, f)| {
@@ -294,6 +296,7 @@ impl Rewrite {
                     group_by: vec![],
                     having: None,
                     natural: vec![],
+                    outer: vec![],
                 };
                 let mut from = s.from.clone();
                 from[fi] = FromItem {
@@ -316,7 +319,8 @@ impl Rewrite {
                         && inner.where_clause.is_none()
                         && inner.group_by.is_empty()
                         && inner.having.is_none()
-                        && inner.natural.is_empty();
+                        && inner.natural.is_empty()
+                        && inner.outer.is_empty();
                     if !identity {
                         return None;
                     }
@@ -333,7 +337,10 @@ impl Rewrite {
                 Some(Select { from, ..s.clone() })
             }),
             Rewrite::StarExpansion => map_first_select(q, &mut |s| {
-                if s.projection != vec![SelectItem::Star] || !s.natural.is_empty() {
+                if s.projection != vec![SelectItem::Star]
+                    || !s.natural.is_empty()
+                    || !s.outer.is_empty()
+                {
                     return None;
                 }
                 let mut projection = Vec::new();
@@ -457,12 +464,13 @@ fn collect_aliases_pred(p: &PredExpr, out: &mut std::collections::BTreeSet<Strin
             collect_aliases_scalar(e, out);
             collect_aliases(q, out);
         }
+        PredExpr::IsNull(e) => collect_aliases_scalar(e, out),
     }
 }
 
 fn collect_aliases_scalar(e: &ScalarExpr, out: &mut std::collections::BTreeSet<String>) {
     match e {
-        ScalarExpr::Column { .. } | ScalarExpr::Int(_) | ScalarExpr::Str(_) => {}
+        ScalarExpr::Column { .. } | ScalarExpr::Int(_) | ScalarExpr::Str(_) | ScalarExpr::Null => {}
         ScalarExpr::App(_, args) => {
             for a in args {
                 collect_aliases_scalar(a, out);
@@ -554,13 +562,16 @@ fn pushable(p: &PredExpr) -> bool {
         PredExpr::And(a, b) | PredExpr::Or(a, b) => pushable(a) && pushable(b),
         PredExpr::Not(a) => pushable(a),
         PredExpr::True | PredExpr::False => true,
+        PredExpr::IsNull(e) => scalar_pushable(e),
         PredExpr::Exists(_) | PredExpr::InQuery(..) => false,
     }
 }
 
 fn scalar_pushable(e: &ScalarExpr) -> bool {
     match e {
-        ScalarExpr::Column { .. } | ScalarExpr::Int(_) | ScalarExpr::Str(_) => true,
+        ScalarExpr::Column { .. } | ScalarExpr::Int(_) | ScalarExpr::Str(_) | ScalarExpr::Null => {
+            true
+        }
         ScalarExpr::App(_, args) => args.iter().all(scalar_pushable),
         ScalarExpr::Agg { .. } | ScalarExpr::Subquery(_) | ScalarExpr::Case { .. } => false,
     }
@@ -574,7 +585,7 @@ fn refs_only_alias(p: &PredExpr, alias: &str) -> bool {
         fn walk(e: &ScalarExpr, alias: &str) -> bool {
             match e {
                 ScalarExpr::Column { table, .. } => table.as_deref() == Some(alias),
-                ScalarExpr::Int(_) | ScalarExpr::Str(_) => true,
+                ScalarExpr::Int(_) | ScalarExpr::Str(_) | ScalarExpr::Null => true,
                 ScalarExpr::App(_, args) => args.iter().all(|a| walk(a, alias)),
                 ScalarExpr::Agg { .. } | ScalarExpr::Subquery(_) | ScalarExpr::Case { .. } => false,
             }
@@ -588,6 +599,7 @@ fn refs_only_alias(p: &PredExpr, alias: &str) -> bool {
         }
         PredExpr::Not(a) => refs_only_alias(a, alias),
         PredExpr::True | PredExpr::False => true,
+        PredExpr::IsNull(e) => scalar_ok(e),
         PredExpr::Exists(_) | PredExpr::InQuery(..) => false,
     }
 }
@@ -629,7 +641,9 @@ fn rename_in_scalar(e: &ScalarExpr, old: &str, new: &str) -> ScalarExpr {
                 column: column.clone(),
             }
         }
-        ScalarExpr::Column { .. } | ScalarExpr::Int(_) | ScalarExpr::Str(_) => e.clone(),
+        ScalarExpr::Column { .. } | ScalarExpr::Int(_) | ScalarExpr::Str(_) | ScalarExpr::Null => {
+            e.clone()
+        }
         ScalarExpr::App(f, args) => ScalarExpr::App(
             f.clone(),
             args.iter().map(|a| rename_in_scalar(a, old, new)).collect(),
@@ -677,6 +691,7 @@ fn rename_in_pred(p: &PredExpr, old: &str, new: &str) -> PredExpr {
         PredExpr::Not(a) => PredExpr::Not(Box::new(rename_in_pred(a, old, new))),
         PredExpr::True => PredExpr::True,
         PredExpr::False => PredExpr::False,
+        PredExpr::IsNull(e) => PredExpr::IsNull(Box::new(rename_in_scalar(e, old, new))),
         PredExpr::Exists(q) => PredExpr::Exists(Box::new(rename_in_query(q, old, new))),
         PredExpr::InQuery(e, q) => PredExpr::InQuery(
             rename_in_scalar(e, old, new),

@@ -41,13 +41,14 @@ fn pred_size(p: &PredExpr) -> usize {
         PredExpr::And(a, b) | PredExpr::Or(a, b) => 1 + pred_size(a) + pred_size(b),
         PredExpr::Not(a) => 1 + pred_size(a),
         PredExpr::True | PredExpr::False => 1,
+        PredExpr::IsNull(e) => 1 + scalar_size(e),
         PredExpr::Exists(q) | PredExpr::InQuery(_, q) => 1 + node_count(q),
     }
 }
 
 fn scalar_size(e: &ScalarExpr) -> usize {
     match e {
-        ScalarExpr::Column { .. } | ScalarExpr::Int(_) | ScalarExpr::Str(_) => 1,
+        ScalarExpr::Column { .. } | ScalarExpr::Int(_) | ScalarExpr::Str(_) | ScalarExpr::Null => 1,
         ScalarExpr::App(_, args) => 1 + args.iter().map(scalar_size).sum::<usize>(),
         ScalarExpr::Agg { arg, .. } => match arg {
             udp_sql::ast::AggArg::Star => 1,
@@ -217,7 +218,7 @@ fn pred_candidates(p: &PredExpr) -> Vec<PredExpr> {
                 out.push(PredExpr::Not(Box::new(a2)));
             }
         }
-        PredExpr::Cmp(..) => {
+        PredExpr::Cmp(..) | PredExpr::IsNull(_) => {
             out.push(PredExpr::True);
         }
         PredExpr::Exists(q) | PredExpr::InQuery(_, q) => {

@@ -24,13 +24,20 @@ fn parse(sql: &str) -> Query {
     udp_sql::parse_query(sql).unwrap()
 }
 
+fn parse_full(sql: &str) -> Query {
+    udp_sql::parse_query_with(sql, udp_sql::Dialect::Full).unwrap()
+}
+
 fn decide(fe: &Frontend, q1: &Query, q2: &Query) -> udp_core::Decision {
     let mut fe = fe.clone();
     let config = udp_core::DecideConfig {
         budget: Some(udp_core::budget::Budget::new(Some(1_000_000), None)),
         ..udp_core::DecideConfig::default()
     };
-    udp_sql::verify_goal(&mut fe, &(q1.clone(), q2.clone()), config)
+    // Full-dialect pairs (outer joins) desugar through udp-ext first, as
+    // the Dialect::Full session path does.
+    let goal = udp_ext::desugar_goal(&fe, &(q1.clone(), q2.clone())).expect("goal desugars");
+    udp_sql::verify_goal(&mut fe, &goal, config)
         .expect("goal lowers")
         .verdict
         .decision
@@ -101,6 +108,10 @@ fn mutation_witness(rule: Mutation) -> &'static str {
         Mutation::UnionAllDup => "SELECT x.a AS p FROM t0 x",
         Mutation::ConjunctDrop => "SELECT x.k AS p FROM t0 x WHERE x.a = 1 AND x.b = 2",
         Mutation::AggDistinctInsert => "SELECT COUNT(x.a) AS n FROM t0 x",
+        // Full dialect: flipping LEFT to FULL adds unmatched t1 rows.
+        Mutation::OuterKindFlip => {
+            "SELECT x.k AS p, y.k AS q FROM t0 x LEFT JOIN t1 y ON x.k = y.k"
+        }
     }
 }
 
@@ -108,7 +119,7 @@ fn mutation_witness(rule: Mutation) -> &'static str {
 fn every_mutation_produces_a_refuted_unproved_pair() {
     let fe = frontend();
     for rule in Mutation::ALL {
-        let base = parse(mutation_witness(rule));
+        let base = parse_full(mutation_witness(rule));
         let mut rng = StdRng::seed_from_u64(1);
         let mutated = rule
             .apply(&base, &mut rng)

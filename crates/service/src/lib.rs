@@ -154,9 +154,14 @@ pub struct Session {
 
 impl Session {
     /// Parse `program` (DDL plus optional `verify` goals) and build the
-    /// shared catalog once.
+    /// shared catalog once. Under [`Dialect::Full`], view bodies are
+    /// desugared through `udp-ext` here; goals are desugared per
+    /// verification (they may arrive later via [`Session::verify_batch`]).
     pub fn new(program: &str, config: SessionConfig) -> Result<Session, VerifyError> {
-        let base = udp_sql::prepare_program_in(program, config.dialect)?;
+        let mut base = udp_sql::prepare_program_in(program, config.dialect)?;
+        if config.dialect == Dialect::Full {
+            udp_ext::desugar_views(&mut base).map_err(|e| VerifyError::Desugar(e.to_string()))?;
+        }
         Ok(Session::from_frontend(base, config))
     }
 
@@ -222,7 +227,8 @@ impl Session {
         goal: &(Query, Query),
     ) -> Result<(Fingerprint, Fingerprint), String> {
         let mut fe = self.base_clone();
-        let (q1, q2) = udp_sql::lower_goal(&mut fe, goal).map_err(|e| e.to_string())?;
+        let goal = self.desugar_if_full(&fe, goal).map_err(|e| e.to_string())?;
+        let (q1, q2) = udp_sql::lower_goal(&mut fe, &goal).map_err(|e| e.to_string())?;
         let (nf1, nf2) = Self::normalize_goal(&q1, &q2);
         let (form1, form2) = Self::canonical_key(&fe, &q1, &q2, &nf1, &nf2);
         Ok((fingerprint_form(&form1), fingerprint_form(&form2)))
@@ -267,6 +273,22 @@ impl Session {
         }
     }
 
+    /// Under [`Dialect::Full`], desugar a goal through `udp-ext` (outer-join
+    /// elimination + 3VL encoding) against the session catalog; other
+    /// dialects pass through. Exactly one desugaring per goal happens here —
+    /// program goals are stored raw, so batch and program paths agree.
+    fn desugar_if_full(
+        &self,
+        fe: &Frontend,
+        goal: &(Query, Query),
+    ) -> Result<(Query, Query), udp_ext::ExtError> {
+        if self.config.dialect == Dialect::Full {
+            udp_ext::desugar_goal(fe, goal)
+        } else {
+            Ok(goal.clone())
+        }
+    }
+
     /// Process one goal on a worker's private frontend clone. Shared state
     /// touched: the verdict cache and the stats aggregate (both mutexed).
     pub(crate) fn process_goal(
@@ -276,14 +298,18 @@ impl Session {
         goal: &(Query, Query),
     ) -> GoalReport {
         let started = Instant::now();
-        let (q1, q2) = match udp_sql::lower_goal(fe, goal) {
+        let front_end = self
+            .desugar_if_full(fe, goal)
+            .map_err(|e| e.to_string())
+            .and_then(|goal| udp_sql::lower_goal(fe, &goal).map_err(|e| e.to_string()));
+        let (q1, q2) = match front_end {
             Ok(pair) => pair,
             Err(e) => {
                 let wall = started.elapsed();
                 self.stats.lock().unwrap().record(wall, false, false, true);
                 return GoalReport {
                     index,
-                    outcome: Err(e.to_string()),
+                    outcome: Err(e),
                     cached: false,
                     fingerprints: None,
                     wall,

@@ -127,6 +127,48 @@ pub struct Select {
     /// once (from the left source). The right alias of each pair is the
     /// FROM item immediately following the left one.
     pub natural: Vec<(String, String)>,
+    /// Outer joins (full dialect): each spec names the alias immediately
+    /// preceding the joined item (`left`), the joined item's alias
+    /// (`right`), and the `ON` predicate. Kept separate from `where_clause`
+    /// because the ON condition of an outer join does *not* filter — it
+    /// decides padding. The udp-ext subsystem eliminates these before
+    /// lowering; [`crate::lower`] rejects a `Select` that still carries one.
+    pub outer: Vec<OuterJoin>,
+}
+
+/// Outer-join flavor (full dialect).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OuterKind {
+    /// `LEFT [OUTER] JOIN` — unmatched left rows survive, right columns
+    /// NULL-padded.
+    Left,
+    /// `RIGHT [OUTER] JOIN`.
+    Right,
+    /// `FULL [OUTER] JOIN`.
+    Full,
+}
+
+impl fmt::Display for OuterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OuterKind::Left => "LEFT",
+            OuterKind::Right => "RIGHT",
+            OuterKind::Full => "FULL",
+        })
+    }
+}
+
+/// One `… {LEFT|RIGHT|FULL} JOIN item ON pred` clause (full dialect).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OuterJoin {
+    /// The join flavor.
+    pub kind: OuterKind,
+    /// Alias of the FROM item immediately preceding the joined one.
+    pub left: String,
+    /// Alias of the joined FROM item.
+    pub right: String,
+    /// The `ON` condition (mandatory for outer joins).
+    pub on: PredExpr,
 }
 
 impl Select {
@@ -190,6 +232,11 @@ pub enum ScalarExpr {
     Int(i64),
     /// String literal.
     Str(String),
+    /// The `NULL` literal (full dialect). Lowered to the distinguished NULL
+    /// tag constant of the udp-ext nullable-value encoding; comparison
+    /// predicates over it are compiled to SQL's three-valued semantics by
+    /// `udp_ext::encode` before lowering.
+    Null,
     /// Uninterpreted function application; arithmetic operators are encoded
     /// as `add`/`sub`/`mul`/`div` (uninterpreted, Sec 6.4).
     App(String, Vec<ScalarExpr>),
@@ -321,6 +368,10 @@ pub enum PredExpr {
     Exists(Box<Query>),
     /// `e IN (q)` — desugars to an existential.
     InQuery(ScalarExpr, Box<Query>),
+    /// `e IS NULL` (full dialect). Two-valued even over NULLs: true exactly
+    /// when `e` carries the NULL tag. `e IS NOT NULL` parses as
+    /// `Not(IsNull(e))`.
+    IsNull(Box<ScalarExpr>),
 }
 
 impl PredExpr {
@@ -337,6 +388,7 @@ impl PredExpr {
                 a.contains_aggregate() || b.contains_aggregate()
             }
             PredExpr::Not(a) => a.contains_aggregate(),
+            PredExpr::IsNull(e) => e.contains_aggregate(),
             _ => false,
         }
     }
@@ -398,6 +450,7 @@ mod tests {
             group_by: vec![],
             having: None,
             natural: vec![],
+            outer: vec![],
         });
         let p = Program {
             statements: vec![

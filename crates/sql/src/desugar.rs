@@ -63,6 +63,7 @@ pub fn desugar_group_by(s: &Select) -> Result<Select, LowerError> {
         group_by: vec![],
         having: None,
         natural: s.natural.clone(),
+        outer: s.outer.clone(),
     })
 }
 
@@ -110,6 +111,7 @@ pub fn aggregate_argument_query(
         group_by: vec![],
         having: None,
         natural: s.natural.clone(),
+        outer: s.outer.clone(),
     };
     let map: HashMap<String, String> = s
         .from
@@ -321,6 +323,25 @@ fn rename_select(s: &Select, map: &HashMap<String, String>, rename_own_aliases: 
                 (rn(l), rn(r))
             })
             .collect(),
+        outer: s
+            .outer
+            .iter()
+            .map(|oj| {
+                let rn = |a: &String| {
+                    if rename_own_aliases {
+                        body_map.get(a).cloned().unwrap_or_else(|| a.clone())
+                    } else {
+                        a.clone()
+                    }
+                };
+                crate::ast::OuterJoin {
+                    kind: oj.kind,
+                    left: rn(&oj.left),
+                    right: rn(&oj.right),
+                    on: rename_pred(&oj.on, &body_map),
+                }
+            })
+            .collect(),
     }
 }
 
@@ -333,9 +354,10 @@ fn rename_scalar(e: &ScalarExpr, map: &HashMap<String, String>) -> ScalarExpr {
             table: Some(map.get(t).cloned().unwrap_or_else(|| t.clone())),
             column: column.clone(),
         },
-        ScalarExpr::Column { table: None, .. } | ScalarExpr::Int(_) | ScalarExpr::Str(_) => {
-            e.clone()
-        }
+        ScalarExpr::Column { table: None, .. }
+        | ScalarExpr::Int(_)
+        | ScalarExpr::Str(_)
+        | ScalarExpr::Null => e.clone(),
         ScalarExpr::App(f, args) => ScalarExpr::App(
             f.clone(),
             args.iter().map(|a| rename_scalar(a, map)).collect(),
@@ -363,7 +385,9 @@ fn rename_scalar(e: &ScalarExpr, map: &HashMap<String, String>) -> ScalarExpr {
     }
 }
 
-fn rename_pred(p: &PredExpr, map: &HashMap<String, String>) -> PredExpr {
+/// Rename alias references throughout a predicate (shadowing-aware for
+/// nested subqueries). Public for `udp-ext`'s antijoin probe construction.
+pub fn rename_pred(p: &PredExpr, map: &HashMap<String, String>) -> PredExpr {
     match p {
         PredExpr::Cmp(op, a, b) => PredExpr::Cmp(*op, rename_scalar(a, map), rename_scalar(b, map)),
         PredExpr::And(a, b) => {
@@ -379,6 +403,7 @@ fn rename_pred(p: &PredExpr, map: &HashMap<String, String>) -> PredExpr {
         PredExpr::InQuery(e, q) => {
             PredExpr::InQuery(rename_scalar(e, map), Box::new(rename_query(q, map)))
         }
+        PredExpr::IsNull(e) => PredExpr::IsNull(Box::new(rename_scalar(e, map))),
     }
 }
 

@@ -75,13 +75,20 @@ impl From<CatalogError> for FrontendError {
     }
 }
 
-fn parse_ty(name: &str) -> Ty {
-    match name {
+/// Parse a declared type name; a trailing `?` marks the attribute nullable
+/// (udp-ext encoding) and rides on the name through the surface AST.
+fn parse_ty(name: &str) -> (Ty, bool) {
+    let (base, nullable) = match name.strip_suffix('?') {
+        Some(base) => (base, true),
+        None => (name, false),
+    };
+    let ty = match base {
         "int" | "integer" | "bigint" | "smallint" => Ty::Int,
         "bool" | "boolean" => Ty::Bool,
         "string" | "varchar" | "char" | "text" => Ty::Str,
         _ => Ty::Unknown,
-    }
+    };
+    (ty, nullable)
 }
 
 /// Build a [`Frontend`] from a parsed program.
@@ -90,12 +97,18 @@ pub fn build_frontend(program: &Program) -> Result<Frontend, FrontendError> {
     for stmt in &program.statements {
         match stmt {
             Statement::Schema { name, attrs, open } => {
-                let attrs = attrs
+                let parsed: Vec<(String, Ty, bool)> = attrs
                     .iter()
-                    .map(|(a, t)| (a.clone(), parse_ty(t)))
+                    .map(|(a, t)| {
+                        let (ty, nullable) = parse_ty(t);
+                        (a.clone(), ty, nullable)
+                    })
                     .collect();
-                fe.catalog
-                    .add_schema(Schema::new(name.clone(), attrs, *open))?;
+                let nullable = parsed.iter().map(|(_, _, n)| *n).collect();
+                let attrs = parsed.into_iter().map(|(a, t, _)| (a, t)).collect();
+                fe.catalog.add_schema(
+                    Schema::new(name.clone(), attrs, *open).with_nullability(nullable),
+                )?;
             }
             Statement::Table { name, schema } => {
                 let sid = fe
@@ -206,6 +219,7 @@ fn synthesize_index_view(
         group_by: vec![],
         having: None,
         natural: vec![],
+        outer: vec![],
     }))
 }
 

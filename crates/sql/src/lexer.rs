@@ -46,6 +46,8 @@ pub enum Tok {
     Ge,
     /// `??` (generic-schema marker)
     QQ,
+    /// `?` (nullable-attribute type suffix in `schema` declarations)
+    Question,
     /// `:`
     Colon,
     /// End of input.
@@ -190,11 +192,7 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'?' {
                     push!(Tok::QQ, 2);
                 } else {
-                    return Err(LexError {
-                        message: "unexpected `?`".into(),
-                        line,
-                        col,
-                    });
+                    push!(Tok::Question, 1);
                 }
             }
             '\'' => {

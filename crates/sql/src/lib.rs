@@ -167,6 +167,11 @@ pub enum VerifyError {
     Frontend(FrontendError),
     /// Lowering to U-expressions failed.
     Lower(LowerError),
+    /// A pre-lowering desugaring stage rejected the program (e.g. the
+    /// `udp-ext` subsystem on a full-dialect construct combination it does
+    /// not encode). Carried as a message so this crate stays independent of
+    /// the stages layered above it.
+    Desugar(String),
 }
 
 impl std::fmt::Display for VerifyError {
@@ -175,6 +180,7 @@ impl std::fmt::Display for VerifyError {
             VerifyError::Parse(e) => write!(f, "{e}"),
             VerifyError::Frontend(e) => write!(f, "{e}"),
             VerifyError::Lower(e) => write!(f, "{e}"),
+            VerifyError::Desugar(m) => write!(f, "desugaring error: {m}"),
         }
     }
 }

@@ -65,6 +65,10 @@ pub enum LowerError {
     /// `CASE` in a position the guarded-disjunction lowering cannot reach
     /// (nested inside a function call, compared against another CASE, …).
     CasePosition(String),
+    /// A `Select` still carrying outer-join specs reached the lowerer. Outer
+    /// joins must be eliminated by `udp_ext::desugar` first — the core
+    /// fragment has no padding semantics.
+    OuterJoinNotDesugared,
 }
 
 impl fmt::Display for LowerError {
@@ -98,6 +102,10 @@ impl fmt::Display for LowerError {
             LowerError::ValuesShape(m) => write!(f, "malformed VALUES: {m}"),
             LowerError::NaturalJoin(m) => write!(f, "NATURAL JOIN: {m}"),
             LowerError::CasePosition(m) => write!(f, "unsupported CASE position: {m}"),
+            LowerError::OuterJoinNotDesugared => write!(
+                f,
+                "outer join reached the lowerer (run udp-ext desugaring first)"
+            ),
         }
     }
 }
@@ -244,7 +252,27 @@ impl<'a> Lowerer<'a> {
             });
         }
         let b2 = b2.subst(t2, &Expr::Var(t1));
-        Ok((t1, s1, b1, b2))
+        // The result schema merges nullability positionally: a column is
+        // nullable if either operand's is (e.g. the NULL-padded branch of a
+        // desugared outer join unions with the inner-join branch).
+        let sl = self.fe.catalog.schema(s1);
+        let sr = self.fe.catalog.schema(s2);
+        let merged: Vec<bool> = (0..sl.attrs.len())
+            .map(|i| {
+                sl.nullable.get(i).copied().unwrap_or(false)
+                    || sr.nullable.get(i).copied().unwrap_or(false)
+            })
+            .collect();
+        let s_out = if merged == sl.nullable {
+            s1
+        } else {
+            let attrs = sl.attrs.clone();
+            let open = sl.open;
+            self.fe
+                .catalog
+                .add_anon_schema_nullable(attrs, open, merged)
+        };
+        Ok((t1, s_out, b1, b2))
     }
 
     /// Lower `VALUES (…), (…)`: row `i` becomes the term
@@ -292,7 +320,14 @@ impl<'a> Lowerer<'a> {
             .zip(first)
             .map(|(n, e)| (n.clone(), self.scalar_ty(e, scope)))
             .collect();
-        let sid = self.fe.catalog.add_anon_schema(attrs, false);
+        // A VALUES column is nullable if any of its rows is a NULL literal.
+        let nullable: Vec<bool> = (0..arity)
+            .map(|j| rows.iter().any(|row| self.scalar_nullable(&row[j], scope)))
+            .collect();
+        let sid = self
+            .fe
+            .catalog
+            .add_anon_schema_nullable(attrs, false, nullable);
         Ok((out, sid, UExpr::sum_of(terms)))
     }
 
@@ -304,6 +339,9 @@ impl<'a> Lowerer<'a> {
     ) -> Result<(VarId, SchemaId, UExpr), LowerError> {
         if s.projection.is_empty() {
             return Err(LowerError::EmptySelect);
+        }
+        if !s.outer.is_empty() {
+            return Err(LowerError::OuterJoinNotDesugared);
         }
         // GROUP BY desugars into a correlated-aggregate SELECT DISTINCT.
         if !s.group_by.is_empty() {
@@ -363,9 +401,12 @@ impl<'a> Lowerer<'a> {
 
         // Output schema + projection predicates.
         let out = self.gen.fresh();
-        let (schema_attrs, open, proj_preds) =
+        let (schema_attrs, schema_nullable, open, proj_preds) =
             self.projection(&s.projection, &inner, out, expect, &natural_skip)?;
-        let out_schema = self.fe.catalog.add_anon_schema(schema_attrs, open);
+        let out_schema =
+            self.fe
+                .catalog
+                .add_anon_schema_nullable(schema_attrs, open, schema_nullable);
 
         let mut factors = proj_preds;
         factors.extend(natural_preds);
@@ -543,9 +584,11 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    /// Lower a projection: returns (output attrs, open?, projection preds).
-    /// `natural_skip` lists `(alias, column)` occurrences a bare `*` must
-    /// not emit (NATURAL JOIN merges shared columns).
+    /// Lower a projection: returns (output attrs, per-attr nullability,
+    /// open?, projection preds). `natural_skip` lists `(alias, column)`
+    /// occurrences a bare `*` must not emit (NATURAL JOIN merges shared
+    /// columns).
+    #[allow(clippy::type_complexity)]
     fn projection(
         &mut self,
         items: &[SelectItem],
@@ -553,7 +596,7 @@ impl<'a> Lowerer<'a> {
         out: VarId,
         expect: Option<&[String]>,
         natural_skip: &BTreeSet<(String, String)>,
-    ) -> Result<(Vec<(String, Ty)>, bool, Vec<UExpr>), LowerError> {
+    ) -> Result<(Vec<(String, Ty)>, Vec<bool>, bool, Vec<UExpr>), LowerError> {
         // A single bare star over one source passes the row through,
         // preserving open schemas.
         if items.len() == 1 {
@@ -565,6 +608,7 @@ impl<'a> Lowerer<'a> {
                         // [t = x], undecomposable.
                         return Ok((
                             schema.attrs.clone(),
+                            schema.nullable.clone(),
                             true,
                             vec![UExpr::eq(Expr::Var(out), Expr::Var(*v))],
                         ));
@@ -579,6 +623,7 @@ impl<'a> Lowerer<'a> {
                 if schema.open {
                     return Ok((
                         schema.attrs.clone(),
+                        schema.nullable.clone(),
                         true,
                         vec![UExpr::eq(Expr::Var(out), Expr::Var(v))],
                     ));
@@ -587,6 +632,7 @@ impl<'a> Lowerer<'a> {
         }
 
         let mut attrs: Vec<(String, Ty)> = Vec::new();
+        let mut nullable: Vec<bool> = Vec::new();
         let mut preds: Vec<UExpr> = Vec::new();
         let mut seen: BTreeSet<String> = BTreeSet::new();
         let mut positional = 0usize;
@@ -627,13 +673,14 @@ impl<'a> Lowerer<'a> {
                                 "`*` over open-schema source `{alias}` mixed with other items"
                             )));
                         }
-                        for (a, ty) in &schema.attrs {
+                        for (i, (a, ty)) in schema.attrs.iter().enumerate() {
                             if natural_skip.contains(&(alias.clone(), a.clone())) {
                                 continue;
                             }
                             let n = finalize_name(expect, &mut seen, attrs.len(), a.clone())?;
                             preds.push(UExpr::eq(Expr::var_attr(out, &n), Expr::var_attr(v, a)));
                             attrs.push((n, *ty));
+                            nullable.push(schema.nullable.get(i).copied().unwrap_or(false));
                         }
                     }
                 }
@@ -647,10 +694,11 @@ impl<'a> Lowerer<'a> {
                             "`{alias}.*` over an open schema mixed with other items"
                         )));
                     }
-                    for (a, ty) in &schema.attrs {
+                    for (i, (a, ty)) in schema.attrs.iter().enumerate() {
                         let n = finalize_name(expect, &mut seen, attrs.len(), a.clone())?;
                         preds.push(UExpr::eq(Expr::var_attr(out, &n), Expr::var_attr(v, a)));
                         attrs.push((n, *ty));
+                        nullable.push(schema.nullable.get(i).copied().unwrap_or(false));
                     }
                 }
                 SelectItem::Expr { expr, alias } => {
@@ -667,6 +715,7 @@ impl<'a> Lowerer<'a> {
                     };
                     preds.push(pred);
                     attrs.push((n, ty));
+                    nullable.push(self.scalar_nullable(expr, scope));
                     positional += 1;
                 }
             }
@@ -679,7 +728,7 @@ impl<'a> Lowerer<'a> {
                 });
             }
         }
-        Ok((attrs, false, preds))
+        Ok((attrs, nullable, false, preds))
     }
 
     fn scalar_ty(&self, e: &ScalarExpr, scope: &Scope<'_>) -> Ty {
@@ -698,6 +747,32 @@ impl<'a> Lowerer<'a> {
             ScalarExpr::Int(_) => Ty::Int,
             ScalarExpr::Str(_) => Ty::Str,
             _ => Ty::Unknown,
+        }
+    }
+
+    /// May the expression evaluate to the NULL tag? Columns consult the
+    /// schema's nullability; function applications are strict (NULL if any
+    /// argument is); aggregates and EXISTS-style constructs never produce
+    /// NULL in this fragment.
+    fn scalar_nullable(&self, e: &ScalarExpr, scope: &Scope<'_>) -> bool {
+        match e {
+            ScalarExpr::Null => true,
+            ScalarExpr::Column { table, column } => {
+                let sid = match table {
+                    Some(t) => scope.lookup_alias(t).map(|(_, s)| s),
+                    None => scope
+                        .lookup_column(&self.fe.catalog, column)
+                        .ok()
+                        .map(|(_, s)| s),
+                };
+                sid.is_some_and(|s| self.fe.catalog.schema(s).attr_nullable(column))
+            }
+            ScalarExpr::App(_, args) => args.iter().any(|a| self.scalar_nullable(a, scope)),
+            ScalarExpr::Case { whens, else_ } => {
+                whens.iter().any(|(_, v)| self.scalar_nullable(v, scope))
+                    || self.scalar_nullable(else_, scope)
+            }
+            _ => false,
         }
     }
 
@@ -729,6 +804,7 @@ impl<'a> Lowerer<'a> {
             }
             ScalarExpr::Int(i) => Ok(Expr::int(*i)),
             ScalarExpr::Str(s) => Ok(Expr::str(s.clone())),
+            ScalarExpr::Null => Ok(Expr::null()),
             ScalarExpr::App(f, args) => {
                 let lowered: Result<Vec<Expr>, LowerError> =
                     args.iter().map(|a| self.scalar(a, scope)).collect();
@@ -877,6 +953,15 @@ impl<'a> Lowerer<'a> {
             PredExpr::Not(inner) => self.pred(inner, scope, !positive),
             PredExpr::True => Ok(if positive { UExpr::One } else { UExpr::Zero }),
             PredExpr::False => Ok(if positive { UExpr::Zero } else { UExpr::One }),
+            // `e IS NULL` is two-valued: the NULL-tag equality atom.
+            PredExpr::IsNull(e) => {
+                let le = self.scalar(e, scope)?;
+                Ok(if positive {
+                    UExpr::eq(le, Expr::null())
+                } else {
+                    UExpr::Pred(Pred::Ne(le, Expr::null()))
+                })
+            }
             PredExpr::Exists(q) => {
                 let (z, sid, body) = self.query(q, scope, None)?;
                 let total = UExpr::sum(z, sid, body);

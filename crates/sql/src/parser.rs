@@ -33,9 +33,10 @@ use std::fmt;
 /// match). [`Dialect::Extended`] adds the features Sec 6.4 describes as
 /// "handled by syntactic rewrites": set-semantics `UNION`, `INTERSECT`,
 /// `VALUES` literal relations, searched/simple `CASE` (with a mandatory
-/// `ELSE`), and `NATURAL JOIN`. NULL semantics, outer joins, `ORDER BY`, and
-/// window functions remain outside both dialects — they change the data
-/// model, not just the syntax.
+/// `ELSE`), and `NATURAL JOIN`. [`Dialect::Full`] further adds the udp-ext
+/// fragment extensions — NULL literals, `IS [NOT] NULL`, outer joins, and
+/// `ORDER BY` stripping — whose encodings live in the `udp-ext` crate.
+/// Window functions remain outside every dialect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Dialect {
     /// The paper's Fig 2 fragment (default).
@@ -43,6 +44,13 @@ pub enum Dialect {
     Paper,
     /// Fig 2 plus the Sec 6.4 syntactic-rewrite extensions.
     Extended,
+    /// [`Dialect::Extended`] plus the udp-ext constructs: `NULL` literals,
+    /// `IS [NOT] NULL`, `LEFT`/`RIGHT`/`FULL [OUTER] JOIN … ON`, and
+    /// top-level `ORDER BY` (stripped with a recorded warning — bag
+    /// semantics make it a no-op). Programs parsed in this dialect must run
+    /// through `udp_ext` desugaring before lowering (`udp_sql::lower`
+    /// rejects un-desugared outer joins).
+    Full,
 }
 
 /// Parse errors, including feature-based rejections.
@@ -103,13 +111,40 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
 
 /// Parse a whole program in the given [`Dialect`].
 pub fn parse_program_with(input: &str, dialect: Dialect) -> Result<Program, ParseError> {
+    parse_program_with_warnings(input, dialect).map(|(p, _)| p)
+}
+
+/// A non-fatal condition the parser resolved on its own (full dialect), e.g.
+/// a stripped top-level `ORDER BY`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Warning {
+    /// What was stripped or rewritten.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "warning at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+/// [`parse_program_with`], also returning the warnings the parse recorded
+/// (currently only the full dialect's `ORDER BY` stripping emits any).
+pub fn parse_program_with_warnings(
+    input: &str,
+    dialect: Dialect,
+) -> Result<(Program, Vec<Warning>), ParseError> {
     let toks = lex(input).map_err(ParseError::Lex)?;
     let mut p = Parser::new(toks, dialect);
     let mut statements = Vec::new();
     while !p.at_eof() {
         statements.push(p.statement()?);
     }
-    Ok(Program { statements })
+    Ok((Program { statements }, p.warnings))
 }
 
 /// Parse a single query in the paper dialect (convenience for tests and the
@@ -169,6 +204,11 @@ const RESERVED: &[&str] = &[
     "else",
     "end",
     "values",
+    "is",
+    "null",
+    "outer",
+    "asc",
+    "desc",
 ];
 
 struct Parser {
@@ -182,6 +222,10 @@ struct Parser {
     /// `NATURAL JOIN` alias pairs, same side-channel discipline as
     /// `pending_join_preds` (extended dialect only).
     pending_natural: Vec<(String, String)>,
+    /// Outer-join specs, same side-channel discipline (full dialect only).
+    pending_outer: Vec<OuterJoin>,
+    /// Non-fatal notes (full dialect `ORDER BY` stripping).
+    warnings: Vec<Warning>,
 }
 
 impl Parser {
@@ -192,11 +236,17 @@ impl Parser {
             dialect,
             pending_join_preds: Vec::new(),
             pending_natural: Vec::new(),
+            pending_outer: Vec::new(),
+            warnings: Vec::new(),
         }
     }
 
     fn extended(&self) -> bool {
-        self.dialect == Dialect::Extended
+        matches!(self.dialect, Dialect::Extended | Dialect::Full)
+    }
+
+    fn full(&self) -> bool {
+        self.dialect == Dialect::Full
     }
     fn peek(&self) -> &Tok {
         &self.toks[self.pos].tok
@@ -374,7 +424,13 @@ impl Parser {
             } else {
                 let attr = self.expect_ident()?;
                 self.expect_tok(Tok::Colon)?;
-                let ty = self.expect_ident()?;
+                let mut ty = self.expect_ident()?;
+                // `a:int?` marks the attribute nullable (udp-ext encoding);
+                // the suffix rides on the type name through the AST.
+                if matches!(self.peek(), Tok::Question) {
+                    self.advance();
+                    ty.push('?');
+                }
                 attrs.push((attr, ty));
             }
             if !matches!(self.peek(), Tok::Comma) {
@@ -479,6 +535,7 @@ impl Parser {
         let projection = self.projection()?;
         let join_mark = self.pending_join_preds.len();
         let natural_mark = self.pending_natural.len();
+        let outer_mark = self.pending_outer.len();
         let from = if self.eat_kw("from") {
             self.from_list()?
         } else {
@@ -486,6 +543,7 @@ impl Parser {
         };
         let join_preds = self.pending_join_preds.split_off(join_mark);
         let natural = self.pending_natural.split_off(natural_mark);
+        let outer = self.pending_outer.split_off(outer_mark);
         let mut where_clause = if self.eat_kw("where") {
             Some(self.pred()?)
         } else {
@@ -510,6 +568,29 @@ impl Parser {
                 having = Some(self.pred()?);
             }
         }
+        if self.at_kw("order") {
+            if !self.full() {
+                return self.unsupported(Feature::OrderBy);
+            }
+            // Bag semantics make ORDER BY (without LIMIT/FETCH) a no-op:
+            // strip it and record a warning instead of rejecting (u08).
+            let (line, col) = self.here();
+            self.expect_kw("order")?;
+            self.expect_kw("by")?;
+            loop {
+                let _ = self.expr()?;
+                let _ = self.eat_kw("asc") || self.eat_kw("desc");
+                if !matches!(self.peek(), Tok::Comma) {
+                    break;
+                }
+                self.advance();
+            }
+            self.warnings.push(Warning {
+                message: "ORDER BY stripped (irrelevant under bag semantics)".into(),
+                line,
+                col,
+            });
+        }
         if self.at_kw("order") || self.at_kw("limit") || self.at_kw("fetch") {
             return self.unsupported(Feature::OrderBy);
         }
@@ -521,6 +602,7 @@ impl Parser {
             group_by,
             having,
             natural,
+            outer,
         }))
     }
 
@@ -590,7 +672,34 @@ impl Parser {
                     join_preds.push(self.pred()?);
                 }
             } else if self.at_kw("left") || self.at_kw("right") || self.at_kw("full") {
-                return self.unsupported(Feature::OuterJoin);
+                if !self.full() {
+                    return self.unsupported(Feature::OuterJoin);
+                }
+                let kind = if self.at_kw("left") {
+                    OuterKind::Left
+                } else if self.at_kw("right") {
+                    OuterKind::Right
+                } else {
+                    OuterKind::Full
+                };
+                self.advance(); // left | right | full
+                self.eat_kw("outer");
+                self.expect_kw("join")?;
+                let left_alias = items
+                    .last()
+                    .map(|fi: &FromItem| fi.alias.clone())
+                    .ok_or(())
+                    .or_else(|()| self.err("outer join with no left operand"))?;
+                let item = self.from_item()?;
+                self.expect_kw("on")?;
+                let on = self.pred()?;
+                self.pending_outer.push(OuterJoin {
+                    kind,
+                    left: left_alias,
+                    right: item.alias.clone(),
+                    on,
+                });
+                items.push(item);
             } else if self.at_kw("natural") {
                 if !self.extended() {
                     return self.unsupported(Feature::NaturalJoin);
@@ -714,8 +823,24 @@ impl Parser {
             self.pos = save;
         }
         let lhs = self.expr()?;
-        if self.eat_kw("is") {
-            return self.unsupported(Feature::Null);
+        if self.at_kw("is") {
+            if !self.full() {
+                return self.unsupported(Feature::Null);
+            }
+            self.advance();
+            let negated = self.eat_kw("not");
+            if !self.eat_kw("null") {
+                return self.err(format!(
+                    "expected NULL after IS, found {}",
+                    self.peek().describe()
+                ));
+            }
+            let atom = PredExpr::IsNull(Box::new(lhs));
+            return Ok(if negated {
+                PredExpr::Not(Box::new(atom))
+            } else {
+                atom
+            });
         }
         if self.eat_kw("between") {
             let lo = self.expr()?;
@@ -832,7 +957,13 @@ impl Parser {
                         }
                         return self.case_expr();
                     }
-                    "null" => return self.unsupported(Feature::Null),
+                    "null" => {
+                        if !self.full() {
+                            return self.unsupported(Feature::Null);
+                        }
+                        self.advance();
+                        return Ok(ScalarExpr::Null);
+                    }
                     "cast" => {
                         // CAST(e AS type) — parsed, lowered as an
                         // uninterpreted function (Sec 6.4: such rules parse
@@ -934,11 +1065,15 @@ impl Parser {
         if whens.is_empty() {
             return self.err("CASE requires at least one WHEN arm");
         }
-        if !self.eat_kw("else") {
+        let else_ = if self.eat_kw("else") {
+            Box::new(self.expr()?)
+        } else if self.full() {
+            // SQL's implicit `ELSE NULL` (full dialect only).
+            Box::new(ScalarExpr::Null)
+        } else {
             // `CASE … END` without ELSE yields NULL for unmatched rows.
             return self.unsupported(Feature::Null);
-        }
-        let else_ = Box::new(self.expr()?);
+        };
         self.expect_kw("end")?;
         Ok(ScalarExpr::Case { whens, else_ })
     }
@@ -1274,6 +1409,133 @@ mod tests {
             ("SELECT * FROM r x NATURAL JOIN s y", Feature::NaturalJoin),
         ] {
             let err = parse_query(sql).unwrap_err();
+            assert_eq!(err.unsupported_feature(), Some(feature), "{sql}");
+        }
+    }
+
+    fn qf(input: &str) -> Query {
+        parse_query_with(input, Dialect::Full).unwrap()
+    }
+
+    #[test]
+    fn full_dialect_parses_null_and_is_null() {
+        let q = qf("SELECT NULL AS n FROM r x WHERE x.a IS NULL");
+        match q {
+            Query::Select(s) => {
+                assert!(matches!(
+                    &s.projection[0],
+                    SelectItem::Expr {
+                        expr: ScalarExpr::Null,
+                        ..
+                    }
+                ));
+                assert!(matches!(s.where_clause, Some(PredExpr::IsNull(_))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // IS NOT NULL parses as Not(IsNull).
+        let q = qf("SELECT * FROM r x WHERE x.a IS NOT NULL");
+        match q {
+            Query::Select(s) => match s.where_clause {
+                Some(PredExpr::Not(inner)) => {
+                    assert!(matches!(*inner, PredExpr::IsNull(_)))
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_dialect_parses_outer_joins() {
+        for (sql, kind) in [
+            (
+                "SELECT x.a AS a FROM r x LEFT JOIN s y ON x.k = y.k",
+                OuterKind::Left,
+            ),
+            (
+                "SELECT x.a AS a FROM r x RIGHT OUTER JOIN s y ON x.k = y.k",
+                OuterKind::Right,
+            ),
+            (
+                "SELECT x.a AS a FROM r x FULL JOIN s y ON x.k = y.k",
+                OuterKind::Full,
+            ),
+        ] {
+            match qf(sql) {
+                Query::Select(s) => {
+                    assert_eq!(s.from.len(), 2, "{sql}");
+                    assert_eq!(s.outer.len(), 1, "{sql}");
+                    assert_eq!(s.outer[0].kind, kind, "{sql}");
+                    assert_eq!(s.outer[0].left, "x");
+                    assert_eq!(s.outer[0].right, "y");
+                    // The ON predicate stays out of WHERE: it decides
+                    // padding, not filtering.
+                    assert!(s.where_clause.is_none(), "{sql}");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn full_dialect_strips_order_by_with_warning() {
+        let (program, warnings) = parse_program_with_warnings(
+            "schema s(a:int);
+table r(s);
+             verify SELECT * FROM r x ORDER BY x.a DESC == SELECT * FROM r x;",
+            Dialect::Full,
+        )
+        .unwrap();
+        assert_eq!(program.goals().count(), 1);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].message.contains("ORDER BY"));
+        // The stripped query is a plain select.
+        let (q1, _) = program.goals().next().unwrap();
+        assert!(matches!(q1, Query::Select(_)));
+    }
+
+    #[test]
+    fn full_dialect_case_without_else_gets_null_arm() {
+        let q = qf("SELECT CASE WHEN x.a = 1 THEN 2 END AS v FROM r x");
+        match q {
+            Query::Select(s) => match &s.projection[0] {
+                SelectItem::Expr {
+                    expr: ScalarExpr::Case { else_, .. },
+                    ..
+                } => assert_eq!(**else_, ScalarExpr::Null),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nullable_attribute_suffix_parses_in_every_dialect() {
+        for d in [Dialect::Paper, Dialect::Extended, Dialect::Full] {
+            let p = parse_program_with("schema s(a:int?, b:int);", d).unwrap();
+            match &p.statements[0] {
+                Statement::Schema { attrs, .. } => {
+                    assert_eq!(attrs[0].1, "int?");
+                    assert_eq!(attrs[1].1, "int");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn extended_dialect_still_rejects_full_constructs() {
+        for (sql, feature) in [
+            ("SELECT * FROM r x WHERE x.a IS NULL", Feature::Null),
+            ("SELECT NULL AS n FROM r x", Feature::Null),
+            (
+                "SELECT * FROM r x LEFT JOIN s y ON x.a = y.a",
+                Feature::OuterJoin,
+            ),
+            ("SELECT * FROM r x ORDER BY x.a", Feature::OrderBy),
+        ] {
+            let err = parse_query_with(sql, Dialect::Extended).unwrap_err();
             assert_eq!(err.unsupported_feature(), Some(feature), "{sql}");
         }
     }

@@ -126,10 +126,21 @@ fn write_select(out: &mut String, s: &Select) {
     if !s.from.is_empty() {
         let _ = write!(out, " FROM ");
         for (i, item) in s.from.iter().enumerate() {
+            // Outer-join / NATURAL JOIN clauses were recorded between
+            // adjacent items; re-attach them by adjacency.
+            let outer = (i > 0)
+                .then(|| {
+                    let prev = &s.from[i - 1].alias;
+                    s.outer
+                        .iter()
+                        .find(|oj| oj.left == *prev && oj.right == item.alias)
+                })
+                .flatten();
             if i > 0 {
-                // NATURAL JOIN pairs were recorded between adjacent items.
                 let prev = &s.from[i - 1].alias;
-                if s.natural.iter().any(|(l, r)| l == prev && *r == item.alias) {
+                if let Some(oj) = outer {
+                    let _ = write!(out, " {} JOIN ", oj.kind);
+                } else if s.natural.iter().any(|(l, r)| l == prev && *r == item.alias) {
                     let _ = write!(out, " NATURAL JOIN ");
                 } else {
                     let _ = write!(out, ", ");
@@ -147,6 +158,9 @@ fn write_select(out: &mut String, s: &Select) {
                     write_query(out, q);
                     let _ = write!(out, ") {}", item.alias);
                 }
+            }
+            if let Some(oj) = outer {
+                let _ = write!(out, " ON {}", pred_to_sql(&oj.on));
             }
         }
     }
@@ -175,6 +189,7 @@ pub fn scalar_to_sql(e: &ScalarExpr) -> String {
         } => column.clone(),
         ScalarExpr::Int(i) => i.to_string(),
         ScalarExpr::Str(s) => format!("'{s}'"),
+        ScalarExpr::Null => "NULL".into(),
         ScalarExpr::App(f, args) => {
             let op = match f.as_str() {
                 "add" => Some("+"),
@@ -228,7 +243,13 @@ pub fn pred_to_sql(p: &PredExpr) -> String {
         }
         PredExpr::And(a, b) => format!("({} AND {})", pred_to_sql(a), pred_to_sql(b)),
         PredExpr::Or(a, b) => format!("({} OR {})", pred_to_sql(a), pred_to_sql(b)),
-        PredExpr::Not(a) => format!("NOT ({})", pred_to_sql(a)),
+        // `IS NOT NULL` parses to `Not(IsNull(_))`; print it back that way
+        // so the round trip is the identity.
+        PredExpr::Not(a) => match a.as_ref() {
+            PredExpr::IsNull(e) => format!("{} IS NOT NULL", scalar_to_sql(e)),
+            _ => format!("NOT ({})", pred_to_sql(a)),
+        },
+        PredExpr::IsNull(e) => format!("{} IS NULL", scalar_to_sql(e)),
         PredExpr::True => "TRUE".into(),
         PredExpr::False => "FALSE".into(),
         PredExpr::Exists(q) => format!("EXISTS ({})", query_to_sql(q)),
@@ -323,6 +344,32 @@ mod tests {
         round_trip_ext("SELECT * FROM r x WHERE CASE WHEN x.a = 1 THEN x.k ELSE x.a END = 5");
         round_trip_ext("SELECT * FROM r x NATURAL JOIN s y");
         round_trip_ext("SELECT * FROM r x NATURAL JOIN s y, t z WHERE z.a = x.a");
+    }
+
+    fn round_trip_full(sql: &str) {
+        use crate::parser::{parse_query_with, Dialect};
+        let q1 = parse_query_with(sql, Dialect::Full).unwrap();
+        let printed = query_to_sql(&q1);
+        let q2 = parse_query_with(&printed, Dialect::Full)
+            .unwrap_or_else(|e| panic!("printed SQL failed to parse: {printed}\n{e}"));
+        assert_eq!(
+            q1, q2,
+            "round trip changed the AST:\n  in:  {sql}\n  out: {printed}"
+        );
+    }
+
+    #[test]
+    fn round_trips_full_dialect() {
+        round_trip_full("SELECT * FROM r x WHERE x.a IS NULL");
+        round_trip_full("SELECT * FROM r x WHERE x.a IS NOT NULL");
+        round_trip_full("SELECT NULL AS n FROM r x WHERE x.a = NULL");
+        round_trip_full("SELECT x.a AS a, y.b AS b FROM r x LEFT JOIN s y ON x.a = y.a");
+        round_trip_full("SELECT x.a AS a FROM r x RIGHT JOIN s y ON x.a = y.a WHERE x.a = 1");
+        round_trip_full("SELECT x.a AS a FROM r x FULL JOIN s y ON x.a = y.a");
+        round_trip_full(
+            "SELECT x.a AS a FROM r x LEFT JOIN s y ON x.a = y.a LEFT JOIN t z ON y.b = z.b",
+        );
+        round_trip_full("SELECT CASE WHEN x.a = 1 THEN 2 END AS v FROM r x");
     }
 
     #[test]

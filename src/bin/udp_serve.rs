@@ -1,7 +1,7 @@
 //! `udp-serve` — batch/streaming verification service over stdin/stdout.
 //!
 //! ```text
-//! udp-serve SCHEMA.sql [--jobs N] [--extended] [--timeout SECS] [--steps N]
+//! udp-serve SCHEMA.sql [--jobs N] [--extended] [--full] [--timeout SECS] [--steps N]
 //!                      [--cache-size N] [--stats] [--fingerprints]
 //! ```
 //!
@@ -49,6 +49,7 @@ fn main() -> ExitCode {
             "--steps" => config.steps = Some(parse_num(it.next(), "--steps") as u64),
             "--cache-size" => config.cache_capacity = parse_num(it.next(), "--cache-size"),
             "--extended" => config.dialect = udp_sql::Dialect::Extended,
+            "--full" => config.dialect = udp_sql::Dialect::Full,
             "--stats" => show_stats = true,
             "--fingerprints" => {
                 show_fingerprints = true;
@@ -191,7 +192,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage: udp-serve SCHEMA.sql [--jobs N] [--extended] [--timeout SECS] [--steps N] \
+        "usage: udp-serve SCHEMA.sql [--jobs N] [--extended] [--full] [--timeout SECS] [--steps N] \
          [--cache-size N] [--stats] [--fingerprints]"
     );
     std::process::exit(64);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! udp-verify FILE.sql [--trace] [--check-trace] [--counterexample]
-//!                     [--spnf] [--extended] [--timeout SECS] [--jobs N]
+//!                     [--spnf] [--extended] [--full] [--timeout SECS] [--jobs N]
 //! ```
 //!
 //! Reads an input program (schema/table/key/foreign key/view/index
@@ -12,7 +12,10 @@
 //! `--counterexample` hunts for a refuting database when no proof is found,
 //! `--spnf` prints each goal's lowered U-expressions in sum-product normal
 //! form, `--extended` enables the Sec 6.4 dialect extensions (set-semantics
-//! UNION, INTERSECT, VALUES, CASE, NATURAL JOIN), and `--jobs N` verifies
+//! UNION, INTERSECT, VALUES, CASE, NATURAL JOIN), `--full` additionally
+//! enables the udp-ext fragment extensions (NULL semantics, outer joins,
+//! ORDER BY stripping — stripped clauses surface as warnings on stderr),
+//! and `--jobs N` verifies
 //! the goals on an `N`-worker `udp-service` session with fingerprint
 //! caching (diagnostic modes — `--spnf`, `--check-trace`,
 //! `--counterexample` — stay sequential so they can share one frontend).
@@ -47,6 +50,7 @@ fn main() -> ExitCode {
             }
             "--counterexample" => counterexample = true,
             "--extended" => dialect = udp_sql::Dialect::Extended,
+            "--full" => dialect = udp_sql::Dialect::Full,
             "--spnf" => spnf = true,
             "--timeout" => {
                 timeout = it
@@ -88,16 +92,37 @@ fn main() -> ExitCode {
     }
 
     // Sequential path: one frontend build, one lowering per goal, shared by
-    // the SPNF printer and the decision procedure.
-    let mut fe = match udp_sql::prepare_program_in(&text, dialect) {
-        Ok(fe) => fe,
-        Err(e) => {
-            if let Some(f) = e.unsupported_feature() {
-                println!("unsupported: {f}");
-                return ExitCode::from(3);
+    // the SPNF printer and the decision procedure. The full dialect routes
+    // through udp-ext (outer-join elimination + NULL encoding) and may
+    // carry parser warnings (stripped ORDER BY clauses).
+    let mut fe = if dialect == udp_sql::Dialect::Full {
+        match udp_ext::prepare_program(&text) {
+            Ok((fe, warnings)) => {
+                for w in &warnings {
+                    eprintln!("{w}");
+                }
+                fe
             }
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            Err(e) => {
+                if let Some(f) = e.unsupported_feature() {
+                    println!("unsupported: {f}");
+                    return ExitCode::from(3);
+                }
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match udp_sql::prepare_program_in(&text, dialect) {
+            Ok(fe) => fe,
+            Err(e) => {
+                if let Some(f) = e.unsupported_feature() {
+                    println!("unsupported: {f}");
+                    return ExitCode::from(3);
+                }
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     let goals = fe.goals.clone();
@@ -251,7 +276,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: udp-verify FILE.sql [--trace] [--check-trace] [--counterexample] \
-         [--spnf] [--extended] [--timeout SECS] [--jobs N]"
+         [--spnf] [--extended] [--full] [--timeout SECS] [--jobs N]"
     );
     std::process::exit(64);
 }
