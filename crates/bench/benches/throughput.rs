@@ -1,16 +1,21 @@
 //! Batch-verification throughput: goals/sec through a `udp-service` session
 //! at 1, N/2, and N workers, over a corpus-shaped workload (filter / join /
 //! distinct / group-by rewrite goals plus alias-renamed duplicates, the mix
-//! the evaluation corpus exercises rule by rule).
+//! the evaluation corpus exercises rule by rule), plus a cascade-vs-UDP
+//! portfolio comparison.
 //!
 //! Run with `cargo bench --bench throughput`. The final summary prints the
-//! measured speedup of N workers over 1; the scheduler is expected to clear
-//! 1.5× at 4 workers on any multicore host.
+//! measured speedup of N workers over 1 (the scheduler is expected to clear
+//! 1.5× at 4 workers on any multicore host) and the portfolio numbers, and
+//! writes a machine-readable `BENCH_solve.json` — workload rates for the
+//! `udp` and `cascade` backends and the corpus share the symbolic backend
+//! settles without UDP — so the perf trajectory is recorded run over run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
-use udp_service::{Session, SessionConfig};
+use udp_corpus::{all_rules, Expectation};
+use udp_service::{Session, SessionConfig, SolveMode};
 use udp_sql::ast::Query;
 
 const DDL: &str = "schema rs(k:int, a:int, b:int);\nschema ss(k2:int, c:int);\n\
@@ -60,11 +65,16 @@ fn workload(session: &Session, n: usize) -> Vec<(Query, Query)> {
 }
 
 fn session_with(workers: usize, cache: usize) -> Session {
+    session_with_mode(workers, cache, SolveMode::Udp)
+}
+
+fn session_with_mode(workers: usize, cache: usize, mode: SolveMode) -> Session {
     let config = SessionConfig {
         workers,
         cache_capacity: cache,
         steps: Some(2_000_000),
         wall: Some(Duration::from_secs(10)),
+        mode,
         ..SessionConfig::default()
     };
     Session::new(DDL, config).unwrap()
@@ -94,6 +104,16 @@ fn bench_throughput(c: &mut Criterion) {
         b.iter(|| black_box(session.verify_batch(&goals)))
     });
 
+    // Portfolio comparison: the cascade routes SPJ-fragment goals through
+    // the cheap symbolic backend and falls through to UDP on the rest.
+    c.bench_function("throughput/cascade/workers-1", |b| {
+        b.iter(|| {
+            let session = session_with_mode(1, 0, SolveMode::Cascade);
+            let goals = workload(&session, GOALS);
+            black_box(session.verify_batch(&goals));
+        })
+    });
+
     // Direct speedup summary (single measurement per configuration, goals/s).
     let mut rates = Vec::new();
     for &workers in &counts {
@@ -111,6 +131,87 @@ fn bench_throughput(c: &mut Criterion) {
             "throughput summary: {workers} workers → {rate:.0} goals/s ({:.2}× vs 1 worker)",
             rate / base
         );
+    }
+
+    write_solve_summary(base);
+}
+
+/// Single-measurement workload rate under a portfolio mode (1 worker, no
+/// cache — the per-goal backend cost is what's being compared).
+fn mode_rate(mode: SolveMode) -> f64 {
+    let session = session_with_mode(1, 0, mode);
+    let goals = workload(&session, GOALS);
+    let t0 = Instant::now();
+    let reports = session.verify_batch(&goals);
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(reports.len(), GOALS);
+    GOALS as f64 / secs
+}
+
+/// Cascade sweep over the evaluation corpus: how many goals does the
+/// symbolic backend settle without UDP ever being invoked?
+///
+/// Budgets and skip rules mirror `crates/solve/examples/solve_corpus.rs`
+/// (the CI crosscheck sweep) so the `sym_share` recorded here measures the
+/// same population — keep the two in lockstep when tuning either. A shared
+/// helper is blocked by the dependency graph: it would need `Session`
+/// (udp-service), which already depends on udp-solve.
+fn corpus_cascade_share() -> (usize, usize, usize) {
+    let mut rules = 0usize;
+    let mut goals = 0usize;
+    let mut sym_settled = 0usize;
+    for rule in all_rules() {
+        let config = SessionConfig {
+            workers: 1,
+            cache_capacity: 0,
+            steps: Some(if rule.expect == Expectation::Timeout {
+                300_000
+            } else {
+                5_000_000
+            }),
+            wall: Some(Duration::from_secs(25)),
+            dialect: rule.dialect,
+            mode: SolveMode::Cascade,
+            ..SessionConfig::default()
+        };
+        let session = match Session::new(&rule.text, config) {
+            Ok(s) => s,
+            Err(_) => continue, // out-of-fragment rule
+        };
+        rules += 1;
+        for r in session.verify_program_goals() {
+            goals += 1;
+            if r.settled_by == Some("sym") {
+                sym_settled += 1;
+            }
+        }
+    }
+    (rules, goals, sym_settled)
+}
+
+/// Emit the machine-readable portfolio summary as `BENCH_solve.json` at the
+/// workspace root (benches run with the package directory as cwd).
+fn write_solve_summary(udp_1w_rate: f64) {
+    let cascade_rate = mode_rate(SolveMode::Cascade);
+    let (rules, corpus_goals, sym_settled) = corpus_cascade_share();
+    let share = if corpus_goals == 0 {
+        0.0
+    } else {
+        sym_settled as f64 / corpus_goals as f64
+    };
+    println!(
+        "portfolio summary: udp {udp_1w_rate:.0} goals/s, cascade {cascade_rate:.0} goals/s \
+         ({:.2}×); corpus: sym settled {sym_settled}/{corpus_goals} goals ({:.1}%)",
+        cascade_rate / udp_1w_rate,
+        share * 100.0
+    );
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"goals\": {GOALS},\n    \"udp_goals_per_sec\": {udp_1w_rate:.1},\n    \"cascade_goals_per_sec\": {cascade_rate:.1},\n    \"cascade_speedup\": {:.3}\n  }},\n  \"corpus\": {{\n    \"rules\": {rules},\n    \"goals\": {corpus_goals},\n    \"sym_settled\": {sym_settled},\n    \"sym_share\": {share:.3}\n  }}\n}}\n",
+        cascade_rate / udp_1w_rate
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solve.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
     }
 }
 

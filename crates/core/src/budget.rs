@@ -7,6 +7,8 @@
 //! consumes one step; exhaustion yields the `Unknown`/timeout outcome rather
 //! than an unsound answer.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Raised when the step or time budget is exhausted. Decision procedures
@@ -29,6 +31,11 @@ pub struct Budget {
     /// Check the clock only every N ticks to keep ticking cheap.
     clock_stride: u64,
     ticks: u64,
+    /// Cooperative cancellation: when any of the shared flags flips, the
+    /// next strided check reports exhaustion. Cloned budgets share the
+    /// flags (`Arc`), so a portfolio race can abort its losing backend
+    /// while still honoring a caller-supplied flag.
+    cancel: Vec<Arc<AtomicBool>>,
 }
 
 impl Budget {
@@ -58,7 +65,18 @@ impl Budget {
             deadline: None,
             clock_stride: 4096,
             ticks: 0,
+            cancel: Vec::new(),
         }
+    }
+
+    /// Attach a cooperative cancellation flag: once any thread sets it, the
+    /// next strided check fails with [`Exhausted`]. Cancellation latency is
+    /// therefore bounded by the clock stride (4096 ticks), keeping the
+    /// per-tick cost unchanged. Flags accumulate — attaching a second one
+    /// composes with (never replaces) the first.
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel.push(flag);
+        self
     }
 
     /// Consume one step; fails when either budget is exhausted.
@@ -75,6 +93,10 @@ impl Budget {
         self.steps_left -= 1;
         self.ticks += 1;
         if self.ticks % self.clock_stride == 0 {
+            if self.cancel.iter().any(|c| c.load(Ordering::Relaxed)) {
+                self.steps_left = 0;
+                return Err(Exhausted);
+            }
             if let Some(d) = self.deadline {
                 if Instant::now() >= d {
                     self.steps_left = 0;
@@ -125,5 +147,20 @@ mod tests {
         let mut b = Budget::new(None, Some(Duration::from_millis(0)));
         b.clock_stride = 1;
         assert_eq!(b.tick(), Err(Exhausted));
+    }
+
+    #[test]
+    fn cancellation_flag_trips_within_a_stride() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut b = Budget::unlimited().with_cancel(flag.clone());
+        for _ in 0..5000 {
+            assert!(b.tick().is_ok());
+        }
+        flag.store(true, Ordering::Relaxed);
+        let mut tripped = 0u64;
+        while b.tick().is_ok() {
+            tripped += 1;
+            assert!(tripped <= 4096, "cancellation missed the strided check");
+        }
     }
 }

@@ -190,8 +190,10 @@ pub fn decide_with(
 }
 
 /// Output schemas must agree attribute-wise (by name — types are advisory,
-/// e.g. aggregate outputs infer as Unknown).
-fn schemas_compatible(catalog: &Catalog, sid1: SchemaId, sid2: SchemaId) -> bool {
+/// e.g. aggregate outputs infer as Unknown). Public so alternative backends
+/// (the `udp-solve` portfolio) apply the exact same admissibility rule as
+/// `decide` and cannot diverge on `SchemaMismatch` verdicts.
+pub fn schemas_compatible(catalog: &Catalog, sid1: SchemaId, sid2: SchemaId) -> bool {
     let s1 = catalog.schema(sid1);
     let s2 = catalog.schema(sid2);
     let names = |s: &crate::schema::Schema| -> Vec<String> {

@@ -44,17 +44,17 @@ pub mod cache;
 pub mod scheduler;
 pub mod stats;
 
-pub use stats::ServiceStats;
+pub use stats::{BackendStats, ServiceStats};
+pub use udp_solve::SolveMode;
 
 use cache::Lru;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use udp_core::budget::Budget;
 use udp_core::ctx::Options;
-use udp_core::expr::{Expr, VarGen};
 use udp_core::fingerprint::{canonical_form_nf, fingerprint_form, Fingerprint};
-use udp_core::spnf::{normalize_with, Nf};
-use udp_core::{DecideConfig, Verdict};
+use udp_core::spnf::Nf;
+use udp_core::Verdict;
+use udp_solve::{BackendOutcome, SolveConfig};
 use udp_sql::ast::Query;
 use udp_sql::{Dialect, Frontend, ParseError, VerifyError};
 
@@ -80,6 +80,11 @@ pub struct SessionConfig {
     /// cache is disabled (canonicalization is otherwise skipped for
     /// `cache_capacity == 0`, since it costs a full SPNF normalization).
     pub fingerprints: bool,
+    /// Portfolio mode for producing verdicts (see [`SolveMode`]): the UDP
+    /// pipeline alone, the symbolic SPJ backend alone, or the two composed
+    /// as cascade / race / crosscheck. All modes agree on definite verdicts,
+    /// which is what keeps the fingerprint cache mode-agnostic.
+    pub mode: SolveMode,
 }
 
 impl Default for SessionConfig {
@@ -93,6 +98,7 @@ impl Default for SessionConfig {
             dialect: Dialect::Paper,
             record_trace: false,
             fingerprints: false,
+            mode: SolveMode::Udp,
         }
     }
 }
@@ -109,6 +115,12 @@ impl SessionConfig {
         self.dialect = dialect;
         self
     }
+
+    /// Set the portfolio mode.
+    pub fn with_mode(mut self, mode: SolveMode) -> Self {
+        self.mode = mode;
+        self
+    }
 }
 
 /// Result of one goal processed by a session.
@@ -122,6 +134,14 @@ pub struct GoalReport {
     pub cached: bool,
     /// Canonical fingerprints of (lhs, rhs), when lowering succeeded.
     pub fingerprints: Option<(Fingerprint, Fingerprint)>,
+    /// Backend that settled the goal (`None` for cache hits and front-end
+    /// errors).
+    pub settled_by: Option<&'static str>,
+    /// Crosscheck mode only: a definite symbolic/UDP disagreement. The
+    /// structured signal for tooling (the fuzzer's failure classifier, the
+    /// corpus sweep's strict gate) — `outcome` additionally carries it as an
+    /// error for rendering and exit codes.
+    pub disagreement: Option<String>,
     /// End-to-end wall time for this goal (lowering + cache probe + decide).
     pub wall: Duration,
 }
@@ -234,19 +254,12 @@ impl Session {
         Ok((fingerprint_form(&form1), fingerprint_form(&form2)))
     }
 
-    /// SPNF-normalize a lowered goal pair: the right side's output variable
-    /// is aligned onto the left's (as `decide` does internally), then both
-    /// bodies are normalized with one shared variable generator.
+    /// SPNF-normalize a lowered goal pair. Delegates to
+    /// [`udp_solve::normalize_pair`] — the cache key and every portfolio
+    /// backend must see the same normal forms, so there is exactly one
+    /// normalization in the workspace.
     fn normalize_goal(q1: &udp_core::QueryU, q2: &udp_core::QueryU) -> (Nf, Nf) {
-        let body2 = if q2.out == q1.out {
-            q2.body.clone()
-        } else {
-            q2.body.subst(q2.out, &Expr::Var(q1.out))
-        };
-        let mut gen = VarGen::above(q1.body.max_var().max(body2.max_var()).max(q1.out.0) + 1);
-        let nf1 = normalize_with(&q1.body, &mut gen);
-        let nf2 = normalize_with(&body2, &mut gen);
-        (nf1, nf2)
+        udp_solve::normalize_pair(q1, q2)
     }
 
     /// Canonical cache key of a lowered + normalized goal pair.
@@ -263,13 +276,16 @@ impl Session {
         )
     }
 
-    /// Per-goal decide configuration (fresh budget each goal; the budget's
-    /// wall clock starts at its first tick, so pre-building it here is safe).
-    fn decide_config(&self) -> DecideConfig {
-        DecideConfig {
-            budget: Some(Budget::new(self.config.steps, self.config.wall)),
+    /// Per-goal solve configuration (each backend builds a fresh budget from
+    /// these limits; a budget's wall clock starts at its first tick, so
+    /// pre-building configs here is safe).
+    fn solve_config(&self) -> SolveConfig {
+        SolveConfig {
+            steps: self.config.steps,
+            wall: self.config.wall,
             options: self.config.options.clone(),
             record_trace: self.config.record_trace,
+            ..SolveConfig::default()
         }
     }
 
@@ -312,6 +328,8 @@ impl Session {
                     outcome: Err(e),
                     cached: false,
                     fingerprints: None,
+                    settled_by: None,
+                    disagreement: None,
                     wall,
                 };
             }
@@ -346,21 +364,56 @@ impl Session {
                     outcome: Ok(verdict),
                     cached: true,
                     fingerprints,
+                    settled_by: None,
+                    disagreement: None,
                     wall,
                 };
             }
         }
 
-        let verdict = udp_core::decide::decide_normalized_with(
-            &fe.catalog,
-            &fe.constraints,
-            q1.out,
-            q1.schema,
-            q2.schema,
-            &nf1,
-            &nf2,
-            self.decide_config(),
-        );
+        // Portfolio run: the configured backend composition produces one
+        // pipeline-compatible verdict (all modes agree on definite
+        // decisions, so the cache key stays mode-agnostic).
+        let goal = udp_solve::Goal {
+            catalog: &fe.catalog,
+            constraints: &fe.constraints,
+            out: q1.out,
+            schema1: q1.schema,
+            schema2: q2.schema,
+            nf1: &nf1,
+            nf2: &nf2,
+            config: self.solve_config(),
+        };
+        let solved = udp_solve::solve_normalized(&goal, self.config.mode);
+        {
+            let mut stats = self.stats.lock().unwrap();
+            for a in &solved.attempts {
+                stats.record_backend(
+                    a.backend,
+                    a.outcome.is_definite(),
+                    a.outcome == BackendOutcome::Proved,
+                    a.wall,
+                    a.backend == solved.settled_by,
+                );
+            }
+        }
+        // A crosscheck disagreement means one of the engines is wrong; it
+        // must surface as a hard error, never be cached or reported as a
+        // verdict.
+        if let Some(d) = solved.disagreement {
+            let wall = started.elapsed();
+            self.stats.lock().unwrap().record(wall, false, false, true);
+            return GoalReport {
+                index,
+                outcome: Err(format!("backend disagreement: {d}")),
+                cached: false,
+                fingerprints,
+                settled_by: None,
+                disagreement: Some(d),
+                wall,
+            };
+        }
+        let verdict = solved.verdict;
         // A Timeout is budget exhaustion, not a fact about the goal: caching
         // it would pin a transient, scheduling-dependent answer for every
         // canonically equal goal in the session. Let those re-run.
@@ -380,6 +433,8 @@ impl Session {
             outcome: Ok(verdict),
             cached: false,
             fingerprints,
+            settled_by: Some(solved.settled_by),
+            disagreement: None,
             wall,
         }
     }

@@ -1,10 +1,72 @@
 //! Aggregate measurements for a verification session.
 
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Number of log₂ latency buckets (bucket `i` covers `[2^i, 2^(i+1))` µs;
 /// the last bucket absorbs everything slower).
 pub const LATENCY_BUCKETS: usize = 24;
+
+/// Log₂ bucket index for a wall time.
+fn bucket_of(wall: Duration) -> usize {
+    let us = wall.as_micros().max(1) as u64;
+    (63 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+}
+
+/// Latency percentile estimate from a log₂ histogram (`q` in `0.0..=1.0`),
+/// as the upper bound of the bucket containing the q-quantile.
+fn percentile_us(hist: &[u64; LATENCY_BUCKETS], q: f64) -> u64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+    let mut seen = 0;
+    for (i, &n) in hist.iter().enumerate() {
+        seen += n;
+        if seen >= rank.max(1) {
+            return 1u64 << (i + 1);
+        }
+    }
+    1u64 << LATENCY_BUCKETS
+}
+
+/// Per-backend breakdown of the portfolio attempts a session has made
+/// (cache hits never reach a backend and are not counted here).
+#[derive(Debug, Clone, Default)]
+pub struct BackendStats {
+    /// Attempts routed to this backend.
+    pub calls: u64,
+    /// Attempts that produced a definite verdict (Proved / Disproved).
+    pub definite: u64,
+    /// …of which Proved.
+    pub proved: u64,
+    /// Unknown fall-throughs (fragment rejection or budget exhaustion).
+    pub unknown: u64,
+    /// Attempts whose answer became the goal's final verdict.
+    pub settled: u64,
+    /// Total wall time spent inside this backend.
+    pub wall: Duration,
+    /// Log₂ histogram of per-attempt latency in microseconds.
+    pub latency_us: [u64; LATENCY_BUCKETS],
+}
+
+impl BackendStats {
+    /// Latency percentile estimate for this backend's attempts.
+    pub fn latency_percentile_us(&self, q: f64) -> u64 {
+        percentile_us(&self.latency_us, q)
+    }
+
+    /// Share of attempts settled definitely by this backend (0.0 when it
+    /// was never called).
+    pub fn definite_rate(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.definite as f64 / self.calls as f64
+        }
+    }
+}
 
 /// Running aggregate over every goal a [`crate::Session`] has processed.
 #[derive(Debug, Clone, Default)]
@@ -15,7 +77,8 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Goals that ran the full decision procedure.
     pub cache_misses: u64,
-    /// Goals rejected by the front end (parse/lower errors).
+    /// Goals rejected by the front end (parse/lower errors) or flagged by a
+    /// crosscheck disagreement.
     pub errors: u64,
     /// Goals whose verdict was `Proved`.
     pub proved: u64,
@@ -26,6 +89,8 @@ pub struct ServiceStats {
     pub batch_wall: Duration,
     /// Log₂ histogram of per-goal latency in microseconds.
     pub latency_us: [u64; LATENCY_BUCKETS],
+    /// Per-backend portfolio breakdown, keyed by backend name.
+    pub backends: BTreeMap<&'static str, BackendStats>,
 }
 
 impl ServiceStats {
@@ -43,9 +108,33 @@ impl ServiceStats {
             self.proved += 1;
         }
         self.goal_wall += wall;
-        let us = wall.as_micros().max(1) as u64;
-        let bucket = (63 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
-        self.latency_us[bucket] += 1;
+        self.latency_us[bucket_of(wall)] += 1;
+    }
+
+    /// Record one backend attempt from a portfolio run.
+    pub(crate) fn record_backend(
+        &mut self,
+        backend: &'static str,
+        definite: bool,
+        proved: bool,
+        wall: Duration,
+        settled: bool,
+    ) {
+        let b = self.backends.entry(backend).or_default();
+        b.calls += 1;
+        if definite {
+            b.definite += 1;
+        } else {
+            b.unknown += 1;
+        }
+        if proved {
+            b.proved += 1;
+        }
+        if settled {
+            b.settled += 1;
+        }
+        b.wall += wall;
+        b.latency_us[bucket_of(wall)] += 1;
     }
 
     /// Cache hit rate over goals that reached the cache (0.0 when none did).
@@ -71,24 +160,13 @@ impl ServiceStats {
     /// Latency percentile estimate from the histogram (`q` in `0.0..=1.0`),
     /// as the upper bound of the bucket containing the q-quantile.
     pub fn latency_percentile_us(&self, q: f64) -> u64 {
-        let total: u64 = self.latency_us.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
-        let mut seen = 0;
-        for (i, &n) in self.latency_us.iter().enumerate() {
-            seen += n;
-            if seen >= rank.max(1) {
-                return 1u64 << (i + 1);
-            }
-        }
-        1u64 << LATENCY_BUCKETS
+        percentile_us(&self.latency_us, q)
     }
 
-    /// Human-readable one-stop report.
+    /// Human-readable one-stop report (one extra line per backend the
+    /// portfolio touched).
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "{} goals in {:.3} s ({:.1} goals/s) | {} proved, {} errors | \
              cache: {} hits / {} misses ({:.1}% hit rate) | \
              latency p50 < {} µs, p99 < {} µs",
@@ -102,7 +180,21 @@ impl ServiceStats {
             self.hit_rate() * 100.0,
             self.latency_percentile_us(0.5),
             self.latency_percentile_us(0.99),
-        )
+        );
+        for (name, b) in &self.backends {
+            out.push_str(&format!(
+                "\nbackend {name}: {} calls ({} definite, {} proved, {} unknown), \
+                 settled {} | p50 < {} µs, p99 < {} µs",
+                b.calls,
+                b.definite,
+                b.proved,
+                b.unknown,
+                b.settled,
+                b.latency_percentile_us(0.5),
+                b.latency_percentile_us(0.99),
+            ));
+        }
+        out
     }
 }
 
@@ -143,5 +235,26 @@ mod tests {
         let r = s.render();
         assert!(r.contains("goals/s"), "{r}");
         assert!(r.contains("hit rate"), "{r}");
+    }
+
+    #[test]
+    fn backend_breakdown_tracks_calls_and_percentiles() {
+        let mut s = ServiceStats::default();
+        s.record_backend("sym", true, true, Duration::from_micros(4), true);
+        s.record_backend("sym", false, false, Duration::from_micros(8), false);
+        s.record_backend("udp", true, false, Duration::from_micros(900), true);
+        let sym = &s.backends["sym"];
+        assert_eq!(sym.calls, 2);
+        assert_eq!(sym.definite, 1);
+        assert_eq!(sym.proved, 1);
+        assert_eq!(sym.unknown, 1);
+        assert_eq!(sym.settled, 1);
+        assert!(sym.definite_rate() > 0.49 && sym.definite_rate() < 0.51);
+        let udp = &s.backends["udp"];
+        assert_eq!(udp.calls, 1);
+        assert!(udp.latency_percentile_us(0.5) >= 512);
+        let r = s.render();
+        assert!(r.contains("backend sym:"), "{r}");
+        assert!(r.contains("backend udp:"), "{r}");
     }
 }

@@ -1,0 +1,185 @@
+//! Portfolio-mode regression tests.
+//!
+//! The fingerprint cache keys on the canonical goal pair only — NOT on the
+//! backend mode. That is sound precisely because every mode produces the
+//! same definite verdict for the same goal (`Timeout` is never cached).
+//! These tests pin that invariant, plus the race property: output is
+//! byte-identical across 1/2/N workers and repeated runs.
+
+use std::collections::BTreeSet;
+use udp_service::{Session, SessionConfig, SolveMode};
+use udp_sql::ast::Query;
+
+const DDL: &str = "schema rs(k:int, a:int, b:int);\nschema ss(k2:int, c:int);\n\
+                   table r(rs);\ntable r2(rs);\ntable s(ss);\nkey r(k);\n";
+
+/// A workload mixing SPJ theorems (symbolically decidable), DISTINCT /
+/// EXISTS / aggregate goals (UDP-only), key-dependent goals, and
+/// non-theorems — every portfolio path gets exercised.
+fn goal_lines() -> Vec<String> {
+    let mut lines = vec![
+        // SPJ theorem: filter pushdown through a derived table.
+        "SELECT x.a AS a, y.c AS c FROM r x, s y WHERE x.k = y.k2 AND x.a = 3 \
+         == SELECT x.a AS a, y.c AS c FROM (SELECT * FROM r x2 WHERE x2.a = 3) x, s y \
+            WHERE x.k = y.k2"
+            .to_string(),
+        // SPJ theorem: join commutativity under alias renaming.
+        "SELECT u.a AS a FROM r u, r2 w WHERE u.k = w.k \
+         == SELECT p.a AS a FROM r2 q, r p WHERE p.k = q.k"
+            .to_string(),
+        // SPJ non-theorem: different constants.
+        "SELECT x.a AS a FROM r x WHERE x.a = 1 == SELECT y.a AS a FROM r y WHERE y.a = 2"
+            .to_string(),
+        // SPJ non-theorem: self-join multiplicity.
+        "SELECT x.a AS a FROM r x == SELECT x.a AS a FROM r x, r2 y WHERE x.a = y.a".to_string(),
+        // Outside the symbolic fragment: DISTINCT.
+        "SELECT DISTINCT x.a AS a FROM r x == SELECT DISTINCT y.a AS a FROM r y".to_string(),
+        // Outside the symbolic fragment: correlated EXISTS.
+        "SELECT DISTINCT x.a AS a FROM r x WHERE EXISTS (SELECT * FROM s y WHERE y.k2 = x.k) \
+         == SELECT DISTINCT x.a AS a FROM r x, s y WHERE y.k2 = x.k"
+            .to_string(),
+        // Outside the symbolic fragment: grouped aggregate.
+        "SELECT x.k AS k, SUM(x.a) AS t FROM r x GROUP BY x.k \
+         == SELECT q.k AS k, SUM(q.a) AS t FROM r q GROUP BY q.k"
+            .to_string(),
+        // Key-dependent theorem (canonize rewrites via the key identity).
+        "SELECT x.a AS a FROM r x == SELECT x.a AS a FROM r x, r y WHERE x.k = y.k".to_string(),
+        // UNION ALL commutation.
+        "SELECT x.a AS v FROM r x UNION ALL SELECT z.a AS v FROM r2 z \
+         == SELECT z.a AS v FROM r2 z UNION ALL SELECT x.a AS v FROM r x"
+            .to_string(),
+    ];
+    // Alias-renamed clones of the first goals — the cache's bread and
+    // butter, ensuring hits occur in every mode.
+    lines.push(
+        "SELECT q.a AS a, w.c AS c FROM r q, s w WHERE q.k = w.k2 AND q.a = 3 \
+         == SELECT q.a AS a, w.c AS c FROM (SELECT * FROM r v2 WHERE v2.a = 3) q, s w \
+            WHERE q.k = w.k2"
+            .to_string(),
+    );
+    lines
+}
+
+fn session(mode: SolveMode, workers: usize, cache: usize) -> Session {
+    let config = SessionConfig {
+        workers,
+        cache_capacity: cache,
+        steps: Some(2_000_000),
+        wall: None, // steps-only: decisions must be deterministic
+        mode,
+        ..SessionConfig::default()
+    };
+    Session::new(DDL, config).unwrap()
+}
+
+fn goals(session: &Session) -> Vec<(Query, Query)> {
+    goal_lines()
+        .iter()
+        .map(|l| session.parse_goal(l).unwrap())
+        .collect()
+}
+
+fn decisions(mode: SolveMode, cache: usize) -> Vec<String> {
+    let s = session(mode, 1, cache);
+    let gs = goals(&s);
+    s.verify_batch(&gs)
+        .iter()
+        .map(|r| r.render_verdict())
+        .collect()
+}
+
+/// Satellite regression: the fingerprint cache keys on the goal only, never
+/// on the backend mode — sound because cascade / race / crosscheck and
+/// plain UDP always produce identical definite verdicts.
+#[test]
+fn all_modes_agree_so_the_cache_stays_mode_agnostic() {
+    let baseline = decisions(SolveMode::Udp, 0);
+    assert!(baseline.iter().any(|d| d == "Proved"));
+    assert!(baseline.iter().any(|d| d.contains("NotProved")));
+    for mode in [SolveMode::Cascade, SolveMode::Race, SolveMode::Crosscheck] {
+        assert_eq!(decisions(mode, 0), baseline, "mode {mode} diverged");
+        // …and with the cache enabled (hits replay earlier verdicts).
+        assert_eq!(
+            decisions(mode, 4096),
+            baseline,
+            "mode {mode} diverged with caching"
+        );
+    }
+}
+
+/// A verdict cached by one mode's run must serve later identical goals with
+/// the exact same decision the UDP pipeline computes — i.e. cache entries
+/// are interchangeable across modes.
+#[test]
+fn cascade_cache_hits_replay_udp_identical_verdicts() {
+    let udp_baseline = decisions(SolveMode::Udp, 0);
+    let s = session(SolveMode::Cascade, 1, 4096);
+    let gs = goals(&s);
+    let first = s.verify_batch(&gs);
+    let second = s.verify_batch(&gs);
+    for ((a, b), base) in first.iter().zip(&second).zip(&udp_baseline) {
+        assert_eq!(&a.render_verdict(), base);
+        assert_eq!(&b.render_verdict(), base);
+        // The repeat run is served from cache (timeouts are never cached,
+        // and this workload has none under the step budget).
+        assert!(b.cached, "expected a cache hit: {}", b.render_verdict());
+        assert_eq!(b.settled_by, None, "cache hits bypass every backend");
+    }
+}
+
+/// Satellite property: race-mode output is byte-identical across 1/2/N
+/// workers and across repeated runs (the winning backend may vary with
+/// scheduling; the rendered verdict may not).
+#[test]
+fn race_output_is_byte_identical_across_workers_and_runs() {
+    let n = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(8);
+    let mut outputs = BTreeSet::new();
+    for workers in [1, 2, n] {
+        for run in 0..3 {
+            let s = session(SolveMode::Race, workers, 0);
+            let gs = goals(&s);
+            let rendered: Vec<String> = s
+                .verify_batch(&gs)
+                .iter()
+                .map(|r| r.render_verdict())
+                .collect();
+            outputs.insert(rendered.join("\n"));
+            assert_eq!(
+                outputs.len(),
+                1,
+                "race output diverged at workers={workers} run={run}"
+            );
+        }
+    }
+}
+
+/// Cascade mode reports the symbolic backend as the settler for
+/// SPJ-fragment goals and UDP for the rest; the per-backend stats add up.
+#[test]
+fn cascade_settlement_and_stats_add_up() {
+    let s = session(SolveMode::Cascade, 1, 0);
+    let gs = goals(&s);
+    let reports = s.verify_batch(&gs);
+    let sym_settled = reports
+        .iter()
+        .filter(|r| r.settled_by == Some("sym"))
+        .count();
+    let udp_settled = reports
+        .iter()
+        .filter(|r| r.settled_by == Some("udp"))
+        .count();
+    assert!(sym_settled >= 3, "sym settled {sym_settled}");
+    assert!(udp_settled >= 3, "udp settled {udp_settled}");
+    assert_eq!(sym_settled + udp_settled, reports.len());
+
+    let stats = s.stats();
+    let sym = &stats.backends["sym"];
+    let udp = &stats.backends["udp"];
+    assert_eq!(sym.calls as usize, reports.len(), "sym tries every goal");
+    assert_eq!(udp.calls, sym.unknown, "udp runs only on sym fall-throughs");
+    assert_eq!(sym.settled as usize, sym_settled);
+    assert_eq!(udp.settled as usize, udp_settled);
+    assert!(stats.render().contains("backend sym:"));
+}

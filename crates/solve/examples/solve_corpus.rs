@@ -1,0 +1,130 @@
+//! Corpus sweep through the `udp-solve` portfolio.
+//!
+//! ```text
+//! solve_corpus [--backend udp|sym|cascade|race|crosscheck] [--strict] [--quiet]
+//! ```
+//!
+//! Runs every corpus rule through a `udp_service::Session` in the selected
+//! mode and prints the decision plus the settling backend per rule. In
+//! `crosscheck` mode any symbolic/UDP disagreement is a hard failure; with
+//! `--strict` the process exits non-zero on disagreements or on decisions
+//! drifting from the plain-UDP baseline. The summary reports the symbolic
+//! settlement share — the cascade's "UDP never ran" fraction.
+
+use udp_corpus::{all_rules, Expectation};
+use udp_service::{Session, SessionConfig, SolveMode};
+
+fn config(expect: Expectation, dialect: udp_sql::Dialect, mode: SolveMode) -> SessionConfig {
+    // Budgets and skip rules mirror the bench-side sweep in
+    // `crates/bench/benches/throughput.rs` (`corpus_cascade_share`) so its
+    // recorded `sym_share` measures the same population — keep in lockstep.
+    SessionConfig {
+        workers: 1,
+        cache_capacity: 0,
+        // The deliberate-timeout pair exhausts any budget; keep the sweep
+        // fast (mirrors the corpus_check example's budgets).
+        steps: Some(if expect == Expectation::Timeout {
+            300_000
+        } else {
+            5_000_000
+        }),
+        wall: Some(std::time::Duration::from_secs(25)),
+        dialect,
+        mode,
+        ..SessionConfig::default()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strict = args.iter().any(|a| a == "--strict");
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let mode = args
+        .iter()
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            SolveMode::parse(s).unwrap_or_else(|| {
+                eprintln!("unknown backend `{s}`");
+                std::process::exit(64);
+            })
+        })
+        .unwrap_or(SolveMode::Crosscheck);
+
+    let mut swept = 0usize;
+    let mut skipped = 0usize;
+    let mut goals = 0usize;
+    let mut sym_settled = 0usize;
+    let mut disagreements = Vec::new();
+    let mut drifts = Vec::new();
+
+    for rule in all_rules() {
+        let session = match Session::new(&rule.text, config(rule.expect, rule.dialect, mode)) {
+            Ok(s) => s,
+            Err(_) => {
+                skipped += 1;
+                if !quiet {
+                    println!("skip {:44} (out of fragment)", rule.name);
+                }
+                continue;
+            }
+        };
+        // A separate plain-UDP baseline only adds information for modes
+        // whose final verdict could differ from UDP's: `udp` compares with
+        // itself, and `crosscheck` already runs the UDP backend internally
+        // (its verdict IS the UDP one, and disagreements are flagged) — skip
+        // the redundant second sweep for both.
+        let base_reports = (mode != SolveMode::Udp && mode != SolveMode::Crosscheck).then(|| {
+            Session::new(
+                &rule.text,
+                config(rule.expect, rule.dialect, SolveMode::Udp),
+            )
+            .expect("udp baseline session")
+            .verify_program_goals()
+        });
+        let reports = session.verify_program_goals();
+        swept += 1;
+        for (i, r) in reports.iter().enumerate() {
+            goals += 1;
+            let rendered = r.render_verdict();
+            let base = base_reports.as_ref().map(|b| b[i].render_verdict());
+            if let Some(d) = &r.disagreement {
+                disagreements.push(format!("{}: backend disagreement: {d}", rule.name));
+            } else if let Some(base) = base {
+                if rendered != base && rendered != "Timeout" && base != "Timeout" {
+                    drifts.push(format!("{}: {} vs udp {}", rule.name, rendered, base));
+                }
+            }
+            if r.settled_by == Some("sym") {
+                sym_settled += 1;
+            }
+            if !quiet {
+                println!(
+                    "ok   {:44} {:28} settled-by={}",
+                    rule.name,
+                    rendered,
+                    r.settled_by.unwrap_or("-")
+                );
+            }
+        }
+    }
+
+    let share = if goals == 0 {
+        0.0
+    } else {
+        sym_settled as f64 / goals as f64
+    };
+    println!(
+        "\nmode={mode}: {swept} rules swept ({skipped} skipped), {goals} goals, \
+         sym settled {sym_settled} ({:.1}%), {} disagreements, {} drifts",
+        share * 100.0,
+        disagreements.len(),
+        drifts.len()
+    );
+    for d in disagreements.iter().chain(drifts.iter()) {
+        println!("FAIL {d}");
+    }
+    if strict && (!disagreements.is_empty() || !drifts.is_empty()) {
+        std::process::exit(1);
+    }
+}

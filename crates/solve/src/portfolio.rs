@@ -1,0 +1,271 @@
+//! The portfolio executor: compose the symbolic and UDP backends under a
+//! [`SolveMode`] and produce one pipeline-compatible [`udp_core::Verdict`].
+
+use crate::{
+    normalize_pair, Backend, BackendOutcome, BackendVerdict, Goal, SolveConfig, SolveMode,
+    SymBackend, UdpBackend,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+use udp_core::constraints::ConstraintSet;
+use udp_core::decide::{Decision, Stats};
+use udp_core::expr::VarId;
+use udp_core::schema::{Catalog, SchemaId};
+use udp_core::spnf::Nf;
+use udp_core::trace::Trace;
+use udp_core::{QueryU, Verdict};
+
+/// One backend's attempt, kept for per-backend statistics (the heavy
+/// [`udp_core::Verdict`] with its trace is dropped; the final verdict keeps
+/// its own).
+#[derive(Debug, Clone)]
+pub struct BackendAttempt {
+    /// Backend name (`"sym"` / `"udp"`).
+    pub backend: &'static str,
+    /// What it concluded.
+    pub outcome: BackendOutcome,
+    /// Wall-clock time of the attempt.
+    pub wall: Duration,
+    /// Search steps consumed.
+    pub steps: u64,
+    /// Human-readable reason string.
+    pub reason: String,
+}
+
+impl From<&BackendVerdict> for BackendAttempt {
+    fn from(v: &BackendVerdict) -> Self {
+        BackendAttempt {
+            backend: v.backend,
+            outcome: v.outcome.clone(),
+            wall: v.wall,
+            steps: v.steps,
+            reason: v.reason.clone(),
+        }
+    }
+}
+
+/// Outcome of a portfolio run.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// The final verdict, decision-compatible with the plain UDP pipeline.
+    pub verdict: Verdict,
+    /// The backend whose answer became the final verdict.
+    pub settled_by: &'static str,
+    /// Every backend attempt that completed before the portfolio settled
+    /// (in race mode the losing backend may be absent).
+    pub attempts: Vec<BackendAttempt>,
+    /// Crosscheck only: a definite symbolic/UDP disagreement. This is a
+    /// *hard error* — it means one of the engines is wrong — and callers
+    /// must surface it as a failure, never as a verdict.
+    pub disagreement: Option<String>,
+}
+
+/// Synthesize a pipeline verdict from a backend answer that carries no core
+/// verdict of its own (the symbolic backend).
+fn synthesize(goal_sizes: (usize, usize), bv: &BackendVerdict) -> Verdict {
+    let decision = match &bv.outcome {
+        BackendOutcome::Proved => Decision::Proved,
+        BackendOutcome::Disproved(r) => Decision::NotProved(r.clone()),
+        BackendOutcome::Unknown(_) => Decision::Timeout,
+    };
+    Verdict {
+        decision,
+        trace: Trace::disabled(),
+        stats: Stats {
+            size_before: goal_sizes,
+            size_after: goal_sizes,
+            steps_used: bv.steps,
+            wall: bv.wall,
+        },
+    }
+}
+
+/// Turn a backend verdict into the final report entry, preferring the
+/// backend's own core verdict (with trace) when it has one.
+fn finalize(goal: &Goal, bv: BackendVerdict, attempts: Vec<BackendAttempt>) -> SolveReport {
+    let sizes = (goal.nf1.size(), goal.nf2.size());
+    let verdict = bv.verdict.clone().unwrap_or_else(|| synthesize(sizes, &bv));
+    SolveReport {
+        verdict,
+        settled_by: bv.backend,
+        attempts,
+        disagreement: None,
+    }
+}
+
+/// Solve a normalized goal under the given portfolio mode.
+pub fn solve_normalized(goal: &Goal, mode: SolveMode) -> SolveReport {
+    match mode {
+        SolveMode::Udp => {
+            let bv = UdpBackend.prove(goal);
+            let attempts = vec![BackendAttempt::from(&bv)];
+            finalize(goal, bv, attempts)
+        }
+        SolveMode::Sym => {
+            let bv = SymBackend.prove(goal);
+            let attempts = vec![BackendAttempt::from(&bv)];
+            finalize(goal, bv, attempts)
+        }
+        SolveMode::Cascade => {
+            let sym = SymBackend.prove(goal);
+            let mut attempts = vec![BackendAttempt::from(&sym)];
+            if sym.outcome.is_definite() {
+                return finalize(goal, sym, attempts);
+            }
+            let udp = UdpBackend.prove(goal);
+            attempts.push(BackendAttempt::from(&udp));
+            finalize(goal, udp, attempts)
+        }
+        SolveMode::Race => race(goal),
+        SolveMode::Crosscheck => crosscheck(goal),
+    }
+}
+
+/// Lower-free convenience: normalize a lowered goal pair and run the
+/// portfolio (the sequential `udp-verify` path).
+pub fn solve_queries(
+    catalog: &Catalog,
+    constraints: &ConstraintSet,
+    q1: &QueryU,
+    q2: &QueryU,
+    mode: SolveMode,
+    config: SolveConfig,
+) -> SolveReport {
+    let (nf1, nf2) = normalize_pair(q1, q2);
+    let goal = Goal {
+        catalog,
+        constraints,
+        out: q1.out,
+        schema1: q1.schema,
+        schema2: q2.schema,
+        nf1: &nf1,
+        nf2: &nf2,
+        config,
+    };
+    solve_normalized(&goal, mode)
+}
+
+/// An owned copy of a goal, shareable across the race threads.
+struct OwnedGoal {
+    catalog: Catalog,
+    constraints: ConstraintSet,
+    out: VarId,
+    schema1: SchemaId,
+    schema2: SchemaId,
+    nf1: Nf,
+    nf2: Nf,
+    config: SolveConfig,
+}
+
+impl OwnedGoal {
+    fn from_goal(g: &Goal) -> Self {
+        OwnedGoal {
+            catalog: g.catalog.clone(),
+            constraints: g.constraints.clone(),
+            out: g.out,
+            schema1: g.schema1,
+            schema2: g.schema2,
+            nf1: g.nf1.clone(),
+            nf2: g.nf2.clone(),
+            config: g.config.clone(),
+        }
+    }
+
+    fn as_goal(&self) -> Goal<'_> {
+        Goal {
+            catalog: &self.catalog,
+            constraints: &self.constraints,
+            out: self.out,
+            schema1: self.schema1,
+            schema2: self.schema2,
+            nf1: &self.nf1,
+            nf2: &self.nf2,
+            config: self.config.clone(),
+        }
+    }
+}
+
+/// Race mode: both backends start in parallel; the first *definite* verdict
+/// wins, and the loser is cancelled cooperatively (its budget shares an
+/// `AtomicBool` that flips on settlement, so the abandoned search exits
+/// within one budget stride instead of running out its own limits). The
+/// reported decision is deterministic even though the winner varies —
+/// definite verdicts agree across backends (the crosscheck invariant); only
+/// the timing-flavored `attempts`/`settled_by` metadata depends on
+/// scheduling.
+fn race(goal: &Goal) -> SolveReport {
+    let cancel = Arc::new(AtomicBool::new(false));
+    let mut owned = OwnedGoal::from_goal(goal);
+    owned.config.cancel.push(Arc::clone(&cancel));
+    let owned = Arc::new(owned);
+    let (tx, rx) = mpsc::channel::<BackendVerdict>();
+    for which in ["sym", "udp"] {
+        let owned = Arc::clone(&owned);
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let g = owned.as_goal();
+            let bv = if which == "sym" {
+                SymBackend.prove(&g)
+            } else {
+                UdpBackend.prove(&g)
+            };
+            let _ = tx.send(bv);
+        });
+    }
+    drop(tx);
+    let first = rx.recv().expect("at least one backend reports");
+    let mut attempts = vec![BackendAttempt::from(&first)];
+    if first.outcome.is_definite() {
+        cancel.store(true, Ordering::Relaxed);
+        return finalize(goal, first, attempts);
+    }
+    match rx.recv() {
+        Ok(second) => {
+            attempts.push(BackendAttempt::from(&second));
+            if second.outcome.is_definite() {
+                finalize(goal, second, attempts)
+            } else {
+                // Both unknown: budget exhaustion — report via whichever has
+                // a core verdict (UDP's Timeout), else synthesize one.
+                let pick = if second.verdict.is_some() {
+                    second
+                } else {
+                    first
+                };
+                finalize(goal, pick, attempts)
+            }
+        }
+        Err(_) => finalize(goal, first, attempts),
+    }
+}
+
+/// Crosscheck mode: run both backends to completion and compare. A definite
+/// disagreement is reported in [`SolveReport::disagreement`]; the UDP
+/// verdict is still attached so diagnostics can show both sides.
+fn crosscheck(goal: &Goal) -> SolveReport {
+    let sym = SymBackend.prove(goal);
+    let udp = UdpBackend.prove(goal);
+    let attempts = vec![BackendAttempt::from(&sym), BackendAttempt::from(&udp)];
+    let disagreement = match (&sym.outcome, &udp.outcome) {
+        (BackendOutcome::Proved, BackendOutcome::Disproved(r)) => Some(format!(
+            "sym proved ({}) but udp found no proof ({r:?})",
+            sym.reason
+        )),
+        (BackendOutcome::Disproved(_), BackendOutcome::Proved) => Some(format!(
+            "sym disproved ({}) but udp proved ({})",
+            sym.reason, udp.reason
+        )),
+        _ => None,
+    };
+    // Prefer the UDP verdict (it carries the trace); fall back to a definite
+    // symbolic answer if UDP ran out of budget.
+    let mut report = if udp.outcome.is_definite() || !sym.outcome.is_definite() {
+        finalize(goal, udp, attempts)
+    } else {
+        finalize(goal, sym, attempts)
+    };
+    report.disagreement = disagreement;
+    report
+}

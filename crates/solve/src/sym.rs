@@ -1,0 +1,575 @@
+//! The symbolic SPJ/UCQ backend.
+//!
+//! Bag-semantics equivalence of unions of conjunctive queries is decidable
+//! by *isomorphism*: two UCQs are equivalent iff there is a bijection
+//! between their summands pairing each conjunctive query with an isomorphic
+//! partner (Chaudhuri–Vardi; the SPES line of work decides the same
+//! fragment symbolically). This backend reduces both sides of a goal to a
+//! canonical symbolic form and decides exactly that:
+//!
+//! 1. **Fragment check** — every SPNF summand must be a pure
+//!    select-project-join term: no squash factor (`DISTINCT` / `EXISTS`),
+//!    no negation factor (`NOT EXISTS`), no aggregate expressions. Goals
+//!    outside the fragment answer [`BackendOutcome::Unknown`].
+//! 2. **Symbolic normalization** — both normal forms run through the *same*
+//!    [`udp_core::canonize`] used by UDP (equality-closure variable
+//!    elimination, semantic-zero deletion, constraint identities), so the
+//!    two backends see literally identical canonical summands and cannot
+//!    diverge on a definite verdict.
+//! 3. **Signature-bucketed bijection search** — each summand is reduced to
+//!    an isomorphism-invariant signature (binder-schema multiset, relation
+//!    multiset of its atom list, the set of uninterpreted-predicate symbols,
+//!    and a disequality presence bit). Summands can only pair within equal
+//!    signature buckets; a bucket cardinality mismatch disproves the goal
+//!    immediately, and the remaining per-bucket matching validates candidate
+//!    pairs with the core congruence-closed isomorphism check
+//!    ([`udp_core::hom::match_terms`]) under lazy memoization.
+//!
+//! **Completeness boundary.** On constraint-free bag-semantics SPJ/UCQ
+//! goals the procedure is sound *and complete*: `Proved` and `Disproved`
+//! are both trustworthy. With integrity constraints in scope the canonize
+//! phase applies the same key/foreign-key identities as UDP, so definite
+//! answers still coincide with UDP's — but terms rewritten into squash form
+//! by the generalized Theorem 4.3 leave the fragment and the backend
+//! answers `Unknown` rather than guessing.
+
+use crate::{Backend, BackendOutcome, BackendVerdict, Goal, UnknownReason};
+use std::collections::BTreeMap;
+use std::time::Instant;
+use udp_core::budget::Exhausted;
+use udp_core::canonize::canonize_nf;
+use udp_core::ctx::Ctx;
+use udp_core::decide::{schemas_compatible, NotProvedReason};
+use udp_core::expr::{Expr, Pred, VarId};
+use udp_core::hom::{match_terms, MatchMode};
+use udp_core::schema::{RelId, SchemaId};
+use udp_core::spnf::{Nf, Term};
+
+/// The symbolic SPJ/UCQ backend (see module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SymBackend;
+
+/// Isomorphism-invariant summand signature. Only properties *preserved by
+/// every congruence-validated isomorphism* may appear here: predicate
+/// counts, for instance, are not invariant (mutually entailing closures can
+/// differ in size), but the set of uninterpreted predicate symbols and the
+/// presence of a disequality are — `match_terms` demands a congruent
+/// counterpart for each.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct TermSig {
+    /// Sorted multiset of binder schemas.
+    var_schemas: Vec<SchemaId>,
+    /// Sorted multiset of relation atoms.
+    atom_rels: Vec<RelId>,
+    /// Sorted set of `(name, negated, arity)` of lifted predicate atoms.
+    lift_keys: Vec<(String, bool, usize)>,
+    /// Does the summand carry any non-trivial disequality?
+    has_ne: bool,
+}
+
+impl TermSig {
+    fn of(t: &Term) -> TermSig {
+        let mut var_schemas: Vec<SchemaId> = t.vars.iter().map(|(_, s)| *s).collect();
+        var_schemas.sort();
+        let mut atom_rels: Vec<RelId> = t.atoms.iter().map(|a| a.rel).collect();
+        atom_rels.sort();
+        let mut lift_keys: Vec<(String, bool, usize)> = t
+            .preds
+            .iter()
+            .filter_map(|p| match p {
+                Pred::Lift {
+                    name,
+                    args,
+                    negated,
+                } => Some((name.clone(), *negated, args.len())),
+                _ => None,
+            })
+            .collect();
+        lift_keys.sort();
+        lift_keys.dedup();
+        let has_ne = t.preds.iter().any(|p| matches!(p, Pred::Ne(_, _)));
+        TermSig {
+            var_schemas,
+            atom_rels,
+            lift_keys,
+            has_ne,
+        }
+    }
+}
+
+/// Does the expression mention an aggregate anywhere? Aggregates embed a
+/// whole subquery (`agg(Σ …)`) and push the goal outside SPJ.
+fn expr_has_agg(e: &Expr) -> bool {
+    match e {
+        Expr::Agg(..) => true,
+        Expr::Var(_) | Expr::Const(_) => false,
+        Expr::Attr(b, _) => expr_has_agg(b),
+        Expr::App(_, args) => args.iter().any(expr_has_agg),
+        Expr::Record(fs) => fs.iter().any(|(_, e)| expr_has_agg(e)),
+        Expr::Concat(l, _, r) => expr_has_agg(l) || expr_has_agg(r),
+    }
+}
+
+fn pred_has_agg(p: &Pred) -> bool {
+    match p {
+        Pred::Eq(a, b) | Pred::Ne(a, b) => expr_has_agg(a) || expr_has_agg(b),
+        Pred::Lift { args, .. } => args.iter().any(expr_has_agg),
+    }
+}
+
+/// Is the normal form inside the SPJ/UCQ fragment? `Err` names the first
+/// blocking feature.
+fn fragment_check(nf: &Nf) -> Result<(), &'static str> {
+    for t in &nf.terms {
+        if t.squash.is_some() {
+            return Err("squash factor (DISTINCT / EXISTS / IN)");
+        }
+        if t.negation.is_some() {
+            return Err("negation factor (NOT EXISTS / EXCEPT)");
+        }
+        if t.preds.iter().any(pred_has_agg) || t.atoms.iter().any(|a| expr_has_agg(&a.arg)) {
+            return Err("aggregate expression");
+        }
+    }
+    Ok(())
+}
+
+impl SymBackend {
+    fn unknown(
+        reason: UnknownReason,
+        detail: String,
+        started: Instant,
+        steps: u64,
+    ) -> BackendVerdict {
+        BackendVerdict {
+            backend: "sym",
+            outcome: BackendOutcome::Unknown(reason),
+            wall: started.elapsed(),
+            steps,
+            reason: detail,
+            verdict: None,
+        }
+    }
+
+    fn definite(
+        outcome: BackendOutcome,
+        detail: String,
+        started: Instant,
+        steps: u64,
+    ) -> BackendVerdict {
+        BackendVerdict {
+            backend: "sym",
+            outcome,
+            wall: started.elapsed(),
+            steps,
+            reason: detail,
+            verdict: None,
+        }
+    }
+}
+
+impl Backend for SymBackend {
+    fn name(&self) -> &'static str {
+        "sym"
+    }
+
+    fn prove(&self, goal: &Goal) -> BackendVerdict {
+        let started = Instant::now();
+        // Cheap pre-canonize fragment screen: reject obviously out-of-SPJ
+        // goals before paying for canonization.
+        for nf in [goal.nf1, goal.nf2] {
+            if let Err(feature) = fragment_check(nf) {
+                return Self::unknown(
+                    UnknownReason::OutsideFragment,
+                    format!("outside SPJ/UCQ fragment: {feature}"),
+                    started,
+                    0,
+                );
+            }
+        }
+        if !schemas_compatible(goal.catalog, goal.schema1, goal.schema2) {
+            return Self::definite(
+                BackendOutcome::Disproved(NotProvedReason::SchemaMismatch),
+                "output schemas differ in their attribute lists".into(),
+                started,
+                0,
+            );
+        }
+
+        let mut ctx = Ctx::new(goal.catalog, goal.constraints)
+            .with_budget(goal.config.budget())
+            .with_options(goal.config.options.clone());
+        let watermark = goal.nf1.max_var().max(goal.nf2.max_var()).max(goal.out.0) + 1;
+        ctx.gen.reserve(VarId(watermark));
+        ctx.declare_free(goal.out, goal.schema1);
+
+        match decide_sym(&mut ctx, goal.nf1, goal.nf2) {
+            Ok(SymAnswer::Equivalent(detail)) => Self::definite(
+                BackendOutcome::Proved,
+                detail,
+                started,
+                ctx.budget.steps_used(),
+            ),
+            Ok(SymAnswer::Inequivalent(detail)) => Self::definite(
+                BackendOutcome::Disproved(NotProvedReason::NoProofFound),
+                detail,
+                started,
+                ctx.budget.steps_used(),
+            ),
+            Ok(SymAnswer::LeftFragment(feature)) => Self::unknown(
+                UnknownReason::OutsideFragment,
+                format!("left SPJ fragment during canonization: {feature}"),
+                started,
+                ctx.budget.steps_used(),
+            ),
+            Err(Exhausted) => Self::unknown(
+                UnknownReason::Budget,
+                "symbolic budget exhausted".into(),
+                started,
+                ctx.budget.steps_used(),
+            ),
+        }
+    }
+}
+
+enum SymAnswer {
+    Equivalent(String),
+    Inequivalent(String),
+    /// Canonization (key identities, Theorem 4.3) rewrote a summand out of
+    /// the SPJ fragment.
+    LeftFragment(&'static str),
+}
+
+/// The symbolic decision proper: canonize, bucket, and search for a summand
+/// bijection. Runs under the context budget like every core procedure.
+fn decide_sym(ctx: &mut Ctx, nf1: &Nf, nf2: &Nf) -> Result<SymAnswer, Exhausted> {
+    // Shared normalization with UDP: identical canonical summands on both
+    // paths (the verdict-compatibility invariant).
+    let ca = canonize_nf(ctx, nf1.clone(), &[], false)?;
+    let cb = canonize_nf(ctx, nf2.clone(), &[], false)?;
+    for nf in [&ca, &cb] {
+        if let Err(feature) = fragment_check(nf) {
+            return Ok(SymAnswer::LeftFragment(feature));
+        }
+    }
+    if ca.terms.len() != cb.terms.len() {
+        return Ok(SymAnswer::Inequivalent(format!(
+            "summand counts differ after canonization: {} vs {}",
+            ca.terms.len(),
+            cb.terms.len()
+        )));
+    }
+    if ca.terms.is_empty() {
+        return Ok(SymAnswer::Equivalent("both sides canonize to 0".into()));
+    }
+
+    // Signature buckets: a bijection can only pair summands whose
+    // isomorphism-invariant signatures coincide.
+    let mut buckets: BTreeMap<TermSig, (Vec<usize>, Vec<usize>)> = BTreeMap::new();
+    for (i, t) in ca.terms.iter().enumerate() {
+        buckets.entry(TermSig::of(t)).or_default().0.push(i);
+    }
+    for (j, t) in cb.terms.iter().enumerate() {
+        buckets.entry(TermSig::of(t)).or_default().1.push(j);
+    }
+    for (sig, (left, right)) in &buckets {
+        if left.len() != right.len() {
+            return Ok(SymAnswer::Inequivalent(format!(
+                "signature bucket mismatch ({} vs {} summands with schemas {:?}, relations {:?})",
+                left.len(),
+                right.len(),
+                sig.var_schemas,
+                sig.atom_rels
+            )));
+        }
+    }
+    let bucket_count = buckets.len();
+
+    // Per-bucket perfect matching; candidate pairs are validated by the
+    // core congruence-closed isomorphism check, memoized lazily.
+    for (left, right) in buckets.into_values() {
+        if !bucket_bijection(ctx, &ca, &cb, &left, &right)? {
+            return Ok(SymAnswer::Inequivalent(format!(
+                "no isomorphism bijection within a {}-summand signature bucket",
+                left.len()
+            )));
+        }
+    }
+    Ok(SymAnswer::Equivalent(format!(
+        "{} summand(s) matched across {} signature bucket(s)",
+        ca.terms.len(),
+        bucket_count
+    )))
+}
+
+/// Perfect matching between the bucket's left and right summands.
+fn bucket_bijection(
+    ctx: &mut Ctx,
+    ca: &Nf,
+    cb: &Nf,
+    left: &[usize],
+    right: &[usize],
+) -> Result<bool, Exhausted> {
+    let n = left.len();
+    let mut verdicts: Vec<Vec<Option<bool>>> = vec![vec![None; n]; n];
+    let mut used = vec![false; n];
+    assign(ctx, ca, cb, left, right, 0, &mut used, &mut verdicts)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assign(
+    ctx: &mut Ctx,
+    ca: &Nf,
+    cb: &Nf,
+    left: &[usize],
+    right: &[usize],
+    i: usize,
+    used: &mut [bool],
+    verdicts: &mut [Vec<Option<bool>>],
+) -> Result<bool, Exhausted> {
+    if i == left.len() {
+        return Ok(true);
+    }
+    for j in 0..right.len() {
+        ctx.budget.tick()?;
+        if used[j] {
+            continue;
+        }
+        let ok = match verdicts[i][j] {
+            Some(v) => v,
+            None => {
+                // Same orientation as TDP (Alg 3): the right summand is the
+                // pattern, the left the target.
+                let v = match_terms(
+                    ctx,
+                    &cb.terms[right[j]],
+                    &ca.terms[left[i]],
+                    MatchMode::Iso,
+                    &[],
+                )?
+                .is_some();
+                verdicts[i][j] = Some(v);
+                v
+            }
+        };
+        if ok {
+            used[j] = true;
+            if assign(ctx, ca, cb, left, right, i + 1, used, verdicts)? {
+                return Ok(true);
+            }
+            used[j] = false;
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveConfig;
+    use udp_core::constraints::ConstraintSet;
+    use udp_core::expr::VarId;
+    use udp_core::schema::{Catalog, Schema, Ty};
+    use udp_core::spnf::normalize;
+    use udp_core::uexpr::UExpr;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    fn setup() -> (Catalog, ConstraintSet, udp_core::schema::RelId, SchemaId) {
+        let mut cat = Catalog::new();
+        let sid = cat
+            .add_schema(Schema::new(
+                "s",
+                vec![("k".into(), Ty::Int), ("a".into(), Ty::Int)],
+                false,
+            ))
+            .unwrap();
+        let r = cat.add_relation("R", sid).unwrap();
+        (cat, ConstraintSet::new(), r, sid)
+    }
+
+    fn prove(
+        cat: &Catalog,
+        cs: &ConstraintSet,
+        e1: &UExpr,
+        e2: &UExpr,
+        sid: SchemaId,
+    ) -> BackendVerdict {
+        let nf1 = normalize(e1);
+        let nf2 = normalize(e2);
+        let goal = Goal {
+            catalog: cat,
+            constraints: cs,
+            out: v(0),
+            schema1: sid,
+            schema2: sid,
+            nf1: &nf1,
+            nf2: &nf2,
+            config: SolveConfig::default(),
+        };
+        SymBackend.prove(&goal)
+    }
+
+    #[test]
+    fn proves_join_commutativity() {
+        let (cat, cs, r, sid) = setup();
+        let q1 = UExpr::sum_over(
+            vec![(v(1), sid), (v(2), sid)],
+            UExpr::product(vec![
+                UExpr::eq(Expr::Var(v(1)), Expr::Var(v(0))),
+                UExpr::rel(r, Expr::Var(v(1))),
+                UExpr::rel(r, Expr::Var(v(2))),
+            ]),
+        );
+        let q2 = UExpr::sum_over(
+            vec![(v(3), sid), (v(4), sid)],
+            UExpr::product(vec![
+                UExpr::rel(r, Expr::Var(v(4))),
+                UExpr::rel(r, Expr::Var(v(3))),
+                UExpr::eq(Expr::Var(v(4)), Expr::Var(v(0))),
+            ]),
+        );
+        let out = prove(&cat, &cs, &q1, &q2, sid);
+        assert_eq!(out.outcome, BackendOutcome::Proved, "{}", out.reason);
+    }
+
+    #[test]
+    fn disproves_self_join_under_bag_semantics() {
+        let (cat, cs, r, sid) = setup();
+        let q1 = UExpr::sum(
+            v(1),
+            sid,
+            UExpr::mul(
+                UExpr::eq(Expr::Var(v(1)), Expr::Var(v(0))),
+                UExpr::rel(r, Expr::Var(v(1))),
+            ),
+        );
+        let q2 = UExpr::sum_over(
+            vec![(v(2), sid), (v(3), sid)],
+            UExpr::product(vec![
+                UExpr::eq(Expr::Var(v(2)), Expr::Var(v(0))),
+                UExpr::eq(Expr::var_attr(v(2), "k"), Expr::var_attr(v(3), "k")),
+                UExpr::rel(r, Expr::Var(v(2))),
+                UExpr::rel(r, Expr::Var(v(3))),
+            ]),
+        );
+        let out = prove(&cat, &cs, &q1, &q2, sid);
+        assert!(
+            matches!(out.outcome, BackendOutcome::Disproved(_)),
+            "{:?}: {}",
+            out.outcome,
+            out.reason
+        );
+    }
+
+    #[test]
+    fn distinct_is_outside_the_fragment() {
+        let (cat, cs, r, sid) = setup();
+        let q = UExpr::squash(UExpr::sum(v(1), sid, UExpr::rel(r, Expr::Var(v(1)))));
+        let out = prove(&cat, &cs, &q, &q, sid);
+        assert_eq!(
+            out.outcome,
+            BackendOutcome::Unknown(UnknownReason::OutsideFragment),
+            "{}",
+            out.reason
+        );
+        assert!(out.reason.contains("squash"), "{}", out.reason);
+    }
+
+    #[test]
+    fn union_multiplicity_is_respected() {
+        let (cat, cs, r, sid) = setup();
+        let _ = sid;
+        let rr = || UExpr::rel(r, Expr::Var(v(0)));
+        let q1 = UExpr::add(rr(), rr());
+        let q2 = rr();
+        let out = prove(&cat, &cs, &q1, &q2, sid);
+        assert!(
+            matches!(out.outcome, BackendOutcome::Disproved(_)),
+            "{:?}",
+            out.outcome
+        );
+        let out = prove(&cat, &cs, &q1, &q1, sid);
+        assert_eq!(out.outcome, BackendOutcome::Proved, "{}", out.reason);
+    }
+
+    #[test]
+    fn signature_bucketing_is_congruence_safe() {
+        // {x.a = y.a, y.a = 1} vs {x.a = 1, y.a = 1}: different predicate
+        // counts, equivalent closures — must land in the same bucket (Eq
+        // predicates are deliberately absent from the signature) and prove.
+        let (cat, cs, r, sid) = setup();
+        let q1 = UExpr::sum_over(
+            vec![(v(1), sid), (v(2), sid)],
+            UExpr::product(vec![
+                UExpr::eq(Expr::Var(v(1)), Expr::Var(v(0))),
+                UExpr::eq(Expr::var_attr(v(1), "a"), Expr::var_attr(v(2), "a")),
+                UExpr::eq(Expr::var_attr(v(2), "a"), Expr::int(1)),
+                UExpr::rel(r, Expr::Var(v(1))),
+                UExpr::rel(r, Expr::Var(v(2))),
+            ]),
+        );
+        let q2 = UExpr::sum_over(
+            vec![(v(3), sid), (v(4), sid)],
+            UExpr::product(vec![
+                UExpr::eq(Expr::Var(v(3)), Expr::Var(v(0))),
+                UExpr::eq(Expr::var_attr(v(3), "a"), Expr::int(1)),
+                UExpr::eq(Expr::var_attr(v(4), "a"), Expr::int(1)),
+                UExpr::rel(r, Expr::Var(v(3))),
+                UExpr::rel(r, Expr::Var(v(4))),
+            ]),
+        );
+        let out = prove(&cat, &cs, &q1, &q2, sid);
+        assert_eq!(out.outcome, BackendOutcome::Proved, "{}", out.reason);
+    }
+
+    #[test]
+    fn schema_mismatch_is_definite() {
+        let (mut cat, cs, r, sid) = setup();
+        let other = cat
+            .add_schema(Schema::new("t", vec![("z".into(), Ty::Int)], false))
+            .unwrap();
+        let nf1 = normalize(&UExpr::rel(r, Expr::Var(v(0))));
+        let nf2 = nf1.clone();
+        let goal = Goal {
+            catalog: &cat,
+            constraints: &cs,
+            out: v(0),
+            schema1: sid,
+            schema2: other,
+            nf1: &nf1,
+            nf2: &nf2,
+            config: SolveConfig::default(),
+        };
+        let out = SymBackend.prove(&goal);
+        assert_eq!(
+            out.outcome,
+            BackendOutcome::Disproved(NotProvedReason::SchemaMismatch)
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        let (cat, cs, r, sid) = setup();
+        let q = UExpr::sum(v(1), sid, UExpr::rel(r, Expr::Var(v(1))));
+        let nf = normalize(&q);
+        let goal = Goal {
+            catalog: &cat,
+            constraints: &cs,
+            out: v(0),
+            schema1: sid,
+            schema2: sid,
+            nf1: &nf,
+            nf2: &nf,
+            config: SolveConfig {
+                steps: Some(1),
+                wall: None,
+                ..SolveConfig::default()
+            },
+        };
+        let out = SymBackend.prove(&goal);
+        assert_eq!(out.outcome, BackendOutcome::Unknown(UnknownReason::Budget));
+    }
+}

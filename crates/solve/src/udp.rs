@@ -1,0 +1,53 @@
+//! The existing UDP pipeline adapted as a [`Backend`].
+
+use crate::{Backend, BackendOutcome, BackendVerdict, Goal, UnknownReason};
+use udp_core::decide::{decide_normalized_with, DecideConfig, Decision};
+
+/// Algorithm 2 (UDP) behind the backend interface: canonize under the full
+/// constraint machinery, then search for a term pairing via TDP. Sound on
+/// the whole supported fragment; `Unknown` only on budget exhaustion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UdpBackend;
+
+impl Backend for UdpBackend {
+    fn name(&self) -> &'static str {
+        "udp"
+    }
+
+    fn prove(&self, goal: &Goal) -> BackendVerdict {
+        let config = DecideConfig {
+            budget: Some(goal.config.budget()),
+            options: goal.config.options.clone(),
+            record_trace: goal.config.record_trace,
+        };
+        let verdict = decide_normalized_with(
+            goal.catalog,
+            goal.constraints,
+            goal.out,
+            goal.schema1,
+            goal.schema2,
+            goal.nf1,
+            goal.nf2,
+            config,
+        );
+        let (outcome, reason) = match &verdict.decision {
+            Decision::Proved => (BackendOutcome::Proved, "UDP proof found".to_string()),
+            Decision::NotProved(r) => (
+                BackendOutcome::Disproved(r.clone()),
+                format!("UDP search exhausted without a proof ({r:?})"),
+            ),
+            Decision::Timeout => (
+                BackendOutcome::Unknown(UnknownReason::Budget),
+                "UDP budget exhausted".to_string(),
+            ),
+        };
+        BackendVerdict {
+            backend: self.name(),
+            outcome,
+            wall: verdict.stats.wall,
+            steps: verdict.stats.steps_used,
+            reason,
+            verdict: Some(verdict),
+        }
+    }
+}

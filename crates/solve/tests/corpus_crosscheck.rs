@@ -1,0 +1,125 @@
+//! Corpus-wide backend validation: the symbolic backend must never
+//! contradict UDP on any rule file, and the cascade must settle a
+//! measurable share of SPJ-fragment rules without invoking UDP.
+
+use udp_corpus::{all_rules, Expectation, Rule};
+use udp_service::{Session, SessionConfig, SolveMode};
+
+fn config(rule: &Rule, mode: SolveMode) -> SessionConfig {
+    SessionConfig {
+        workers: 1,
+        cache_capacity: 0,
+        // The deliberate-timeout pair exhausts any budget; keep CI fast.
+        steps: Some(if rule.expect == Expectation::Timeout {
+            150_000
+        } else {
+            20_000_000
+        }),
+        wall: Some(std::time::Duration::from_secs(30)),
+        dialect: rule.dialect,
+        mode,
+        ..SessionConfig::default()
+    }
+}
+
+/// Every corpus rule, swept under `crosscheck`: zero symbolic/UDP
+/// disagreements, and the final decisions coincide with plain-UDP runs
+/// (`Timeout` excepted — budget exhaustion is not a fact about the goal).
+#[test]
+fn symbolic_never_contradicts_udp_on_the_corpus() {
+    let rules = all_rules();
+    assert!(
+        rules.len() >= 102,
+        "full corpus expected, got {}",
+        rules.len()
+    );
+    let mut checked = 0usize;
+    let mut skipped = 0usize;
+    let mut failures = Vec::new();
+    for rule in &rules {
+        let cross = match Session::new(&rule.text, config(rule, SolveMode::Crosscheck)) {
+            Ok(s) => s,
+            Err(_) => {
+                // Out-of-fragment rule (window functions): never reaches a
+                // backend in any mode.
+                skipped += 1;
+                continue;
+            }
+        };
+        let udp = Session::new(&rule.text, config(rule, SolveMode::Udp)).unwrap();
+        let rc = cross.verify_program_goals();
+        let ru = udp.verify_program_goals();
+        assert_eq!(rc.len(), ru.len(), "{}", rule.name);
+        for (c, u) in rc.iter().zip(&ru) {
+            match (&c.outcome, &u.outcome) {
+                (Err(e), _) if e.contains("backend disagreement") => {
+                    failures.push(format!("{}: {e}", rule.name));
+                }
+                (Ok(vc), Ok(vu)) => {
+                    let timeout = |d: &udp_core::Decision| *d == udp_core::Decision::Timeout;
+                    if vc.decision != vu.decision
+                        && !timeout(&vc.decision)
+                        && !timeout(&vu.decision)
+                    {
+                        failures.push(format!(
+                            "{}: crosscheck {:?} vs udp {:?}",
+                            rule.name, vc.decision, vu.decision
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        checked += 1;
+    }
+    assert!(
+        failures.is_empty(),
+        "backend disagreements on the corpus:\n{}",
+        failures.join("\n")
+    );
+    assert!(
+        checked >= 100,
+        "swept only {checked} rules ({skipped} skipped)"
+    );
+}
+
+/// Under `cascade`, the symbolic backend must settle a measurable share of
+/// the corpus — the SPJ-fragment rules — without UDP ever being invoked for
+/// them. (The precise share is recorded by the `throughput` bench in
+/// `BENCH_solve.json`; this test pins the floor.)
+#[test]
+fn cascade_settles_spj_rules_symbolically() {
+    let mut sym_settled = 0usize;
+    let mut udp_settled = 0usize;
+    let mut sym_rules = Vec::new();
+    for rule in all_rules() {
+        let session = match Session::new(&rule.text, config(&rule, SolveMode::Cascade)) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        for r in session.verify_program_goals() {
+            match r.settled_by {
+                Some("sym") => {
+                    sym_settled += 1;
+                    sym_rules.push(rule.name.clone());
+                }
+                Some("udp") => udp_settled += 1,
+                _ => {}
+            }
+        }
+        let stats = session.stats();
+        // Cascade invariant: UDP runs only on goals the symbolic backend
+        // could not settle.
+        let sym = &stats.backends["sym"];
+        let udp_calls = stats.backends.get("udp").map_or(0, |b| b.calls);
+        assert_eq!(
+            udp_calls, sym.unknown,
+            "{}: udp invoked off the sym fall-through path",
+            rule.name
+        );
+    }
+    assert!(
+        sym_settled >= 5,
+        "symbolic backend settled only {sym_settled} goals (udp: {udp_settled}): {sym_rules:?}"
+    );
+}

@@ -1,0 +1,179 @@
+//! Portfolio executor behavior: cascade short-circuiting, race determinism,
+//! crosscheck attempt accounting, and decision compatibility across modes.
+
+use udp_core::constraints::ConstraintSet;
+use udp_core::expr::{Expr, VarId};
+use udp_core::schema::{Catalog, Schema, SchemaId, Ty};
+use udp_core::spnf::normalize;
+use udp_core::uexpr::UExpr;
+use udp_core::Decision;
+use udp_solve::{solve_normalized, Goal, SolveConfig, SolveMode};
+
+fn v(i: u32) -> VarId {
+    VarId(i)
+}
+
+struct Fixture {
+    catalog: Catalog,
+    cs: ConstraintSet,
+    r: udp_core::schema::RelId,
+    sid: SchemaId,
+}
+
+fn fixture() -> Fixture {
+    let mut catalog = Catalog::new();
+    let sid = catalog
+        .add_schema(Schema::new(
+            "s",
+            vec![("k".into(), Ty::Int), ("a".into(), Ty::Int)],
+            false,
+        ))
+        .unwrap();
+    let r = catalog.add_relation("R", sid).unwrap();
+    Fixture {
+        catalog,
+        cs: ConstraintSet::new(),
+        r,
+        sid,
+    }
+}
+
+/// `Σ_x [x = out] R(x) × R(y)` — join commutativity shape, SPJ.
+fn spj_pair(f: &Fixture) -> (UExpr, UExpr) {
+    let q1 = UExpr::sum_over(
+        vec![(v(1), f.sid), (v(2), f.sid)],
+        UExpr::product(vec![
+            UExpr::eq(Expr::Var(v(1)), Expr::Var(v(0))),
+            UExpr::rel(f.r, Expr::Var(v(1))),
+            UExpr::rel(f.r, Expr::Var(v(2))),
+        ]),
+    );
+    let q2 = UExpr::sum_over(
+        vec![(v(3), f.sid), (v(4), f.sid)],
+        UExpr::product(vec![
+            UExpr::rel(f.r, Expr::Var(v(4))),
+            UExpr::rel(f.r, Expr::Var(v(3))),
+            UExpr::eq(Expr::Var(v(4)), Expr::Var(v(0))),
+        ]),
+    );
+    (q1, q2)
+}
+
+/// A DISTINCT (squash) pair — outside the symbolic fragment.
+fn squash_pair(f: &Fixture) -> (UExpr, UExpr) {
+    let q = |i: u32| {
+        UExpr::squash(UExpr::sum(
+            v(i),
+            f.sid,
+            UExpr::mul(
+                UExpr::eq(Expr::var_attr(v(i), "a"), Expr::var_attr(v(0), "a")),
+                UExpr::rel(f.r, Expr::Var(v(i))),
+            ),
+        ))
+    };
+    (q(1), q(2))
+}
+
+fn run(f: &Fixture, e1: &UExpr, e2: &UExpr, mode: SolveMode) -> udp_solve::SolveReport {
+    let nf1 = normalize(e1);
+    let nf2 = normalize(e2);
+    let goal = Goal {
+        catalog: &f.catalog,
+        constraints: &f.cs,
+        out: v(0),
+        schema1: f.sid,
+        schema2: f.sid,
+        nf1: &nf1,
+        nf2: &nf2,
+        config: SolveConfig {
+            wall: None, // steps-only: deterministic
+            ..SolveConfig::default()
+        },
+    };
+    solve_normalized(&goal, mode)
+}
+
+#[test]
+fn cascade_skips_udp_inside_the_fragment() {
+    let f = fixture();
+    let (q1, q2) = spj_pair(&f);
+    let report = run(&f, &q1, &q2, SolveMode::Cascade);
+    assert_eq!(report.verdict.decision, Decision::Proved);
+    assert_eq!(report.settled_by, "sym");
+    assert_eq!(report.attempts.len(), 1, "UDP must not have been invoked");
+}
+
+#[test]
+fn cascade_falls_through_on_unknown() {
+    let f = fixture();
+    let (q1, q2) = squash_pair(&f);
+    let report = run(&f, &q1, &q2, SolveMode::Cascade);
+    assert_eq!(report.verdict.decision, Decision::Proved);
+    assert_eq!(report.settled_by, "udp");
+    assert_eq!(report.attempts.len(), 2);
+    assert_eq!(report.attempts[0].backend, "sym");
+    assert!(!report.attempts[0].outcome.is_definite());
+}
+
+#[test]
+fn crosscheck_always_runs_both_and_agrees() {
+    let f = fixture();
+    for pair in [spj_pair(&f), squash_pair(&f)] {
+        let report = run(&f, &pair.0, &pair.1, SolveMode::Crosscheck);
+        assert!(report.disagreement.is_none(), "{:?}", report.disagreement);
+        assert_eq!(report.attempts.len(), 2);
+        assert_eq!(report.verdict.decision, Decision::Proved);
+    }
+}
+
+#[test]
+fn all_modes_agree_on_decisions() {
+    let f = fixture();
+    let pairs = [spj_pair(&f), squash_pair(&f)];
+    // A non-theorem: R vs R × R (self-join changes multiplicities).
+    let q1 = UExpr::sum(
+        v(1),
+        f.sid,
+        UExpr::mul(
+            UExpr::eq(Expr::Var(v(1)), Expr::Var(v(0))),
+            UExpr::rel(f.r, Expr::Var(v(1))),
+        ),
+    );
+    let q2 = UExpr::sum_over(
+        vec![(v(2), f.sid), (v(3), f.sid)],
+        UExpr::product(vec![
+            UExpr::eq(Expr::Var(v(2)), Expr::Var(v(0))),
+            UExpr::rel(f.r, Expr::Var(v(2))),
+            UExpr::rel(f.r, Expr::Var(v(3))),
+        ]),
+    );
+    for (e1, e2) in pairs.iter().chain([&(q1, q2)]) {
+        let udp = run(&f, e1, e2, SolveMode::Udp).verdict.decision;
+        for mode in [SolveMode::Cascade, SolveMode::Race, SolveMode::Crosscheck] {
+            let got = run(&f, e1, e2, mode).verdict.decision;
+            assert_eq!(got, udp, "mode {mode} diverged");
+        }
+    }
+}
+
+#[test]
+fn race_decision_is_deterministic_across_repeated_runs() {
+    let f = fixture();
+    let pairs = [spj_pair(&f), squash_pair(&f)];
+    for (e1, e2) in &pairs {
+        let first = run(&f, e1, e2, SolveMode::Race).verdict.decision;
+        for _ in 0..20 {
+            let again = run(&f, e1, e2, SolveMode::Race).verdict.decision;
+            assert_eq!(again, first, "race decision flapped");
+        }
+    }
+}
+
+#[test]
+fn solve_mode_parses_all_cli_names() {
+    for mode in SolveMode::ALL {
+        assert_eq!(SolveMode::parse(mode.name()), Some(mode));
+    }
+    assert_eq!(SolveMode::parse("nope"), None);
+    assert_eq!(SolveMode::default(), SolveMode::Udp);
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! udp-serve SCHEMA.sql [--jobs N] [--extended] [--full] [--timeout SECS] [--steps N]
 //!                      [--cache-size N] [--stats] [--fingerprints]
+//!                      [--backend udp|sym|cascade|race|crosscheck]
 //! ```
 //!
 //! `SCHEMA.sql` declares the shared catalog (schema/table/key/foreign
@@ -21,8 +22,12 @@
 //! across worker counts and cache states. Blank lines flush the pending
 //! chunk through the parallel scheduler (responses still appear in order);
 //! EOF flushes the rest. `--stats` prints a throughput/cache/latency summary
-//! to stderr at exit; `--fingerprints` appends each side's canonical
-//! fingerprint to response lines (they are stable across runs).
+//! (plus a per-backend breakdown when a portfolio mode ran) to stderr at
+//! exit; `--fingerprints` appends each side's canonical fingerprint to
+//! response lines (they are stable across runs). `--backend` selects the
+//! `udp-solve` portfolio mode — decisions are identical across modes (and
+//! byte-identical across worker counts), only cost and cross-validation
+//! strength differ; a `crosscheck` disagreement reports as an error line.
 //!
 //! Exit codes: `0` every goal proved, `2` some goal was not proved, `1`
 //! input/schema errors, `64` usage errors.
@@ -50,6 +55,12 @@ fn main() -> ExitCode {
             "--cache-size" => config.cache_capacity = parse_num(it.next(), "--cache-size"),
             "--extended" => config.dialect = udp_sql::Dialect::Extended,
             "--full" => config.dialect = udp_sql::Dialect::Full,
+            "--backend" => {
+                config.mode = it
+                    .next()
+                    .and_then(|s| udp_service::SolveMode::parse(s))
+                    .unwrap_or_else(|| usage("missing or unknown value for --backend"));
+            }
             "--stats" => show_stats = true,
             "--fingerprints" => {
                 show_fingerprints = true;
@@ -193,7 +204,8 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: udp-serve SCHEMA.sql [--jobs N] [--extended] [--full] [--timeout SECS] [--steps N] \
-         [--cache-size N] [--stats] [--fingerprints]"
+         [--cache-size N] [--stats] [--fingerprints] \
+         [--backend udp|sym|cascade|race|crosscheck]"
     );
     std::process::exit(64);
 }

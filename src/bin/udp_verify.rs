@@ -3,22 +3,31 @@
 //! ```text
 //! udp-verify FILE.sql [--trace] [--check-trace] [--counterexample]
 //!                     [--spnf] [--extended] [--full] [--timeout SECS] [--jobs N]
+//!                     [--backend udp|sym|cascade|race|crosscheck] [--stats]
 //! ```
 //!
 //! Reads an input program (schema/table/key/foreign key/view/index
-//! declarations plus `verify q1 == q2;` goals), runs UDP on each goal, and
-//! reports the verdict. `--trace` prints the recorded proof script,
-//! `--check-trace` replays it through the independent checker,
-//! `--counterexample` hunts for a refuting database when no proof is found,
-//! `--spnf` prints each goal's lowered U-expressions in sum-product normal
-//! form, `--extended` enables the Sec 6.4 dialect extensions (set-semantics
-//! UNION, INTERSECT, VALUES, CASE, NATURAL JOIN), `--full` additionally
-//! enables the udp-ext fragment extensions (NULL semantics, outer joins,
-//! ORDER BY stripping — stripped clauses surface as warnings on stderr),
-//! and `--jobs N` verifies
-//! the goals on an `N`-worker `udp-service` session with fingerprint
-//! caching (diagnostic modes — `--spnf`, `--check-trace`,
-//! `--counterexample` — stay sequential so they can share one frontend).
+//! declarations plus `verify q1 == q2;` goals), runs the configured proving
+//! backend on each goal, and reports the verdict. `--trace` prints the
+//! recorded proof script, `--check-trace` replays it through the independent
+//! checker, `--counterexample` hunts for a refuting database when no proof
+//! is found, `--spnf` prints each goal's lowered U-expressions in
+//! sum-product normal form, `--extended` enables the Sec 6.4 dialect
+//! extensions (set-semantics UNION, INTERSECT, VALUES, CASE, NATURAL JOIN),
+//! `--full` additionally enables the udp-ext fragment extensions (NULL
+//! semantics, outer joins, ORDER BY stripping — stripped clauses surface as
+//! warnings on stderr), and `--jobs N` verifies the goals on an `N`-worker
+//! `udp-service` session with fingerprint caching (diagnostic modes —
+//! `--spnf`, `--check-trace`, `--counterexample` — stay sequential so they
+//! can share one frontend).
+//!
+//! `--backend` selects the `udp-solve` portfolio mode: the UDP pipeline
+//! alone (default), the symbolic SPJ/UCQ backend alone, or the two composed
+//! as `cascade` (symbolic first, UDP on Unknown), `race` (parallel, first
+//! definite verdict wins), or `crosscheck` (both always; any definite
+//! disagreement is a hard error). `--stats` prints a per-backend summary
+//! (calls, definite verdicts, Unknown fall-throughs, p50/p99) to stderr at
+//! exit.
 //!
 //! The frontend (parse + catalog) is built once and reused by every mode;
 //! each goal is lowered exactly once on the sequential path, feeding both
@@ -28,6 +37,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 use udp_core::budget::Budget;
 use udp_core::DecideConfig;
+use udp_solve::SolveMode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +49,8 @@ fn main() -> ExitCode {
     let mut dialect = udp_sql::Dialect::Paper;
     let mut timeout = 30u64;
     let mut jobs = 1usize;
+    let mut mode = SolveMode::Udp;
+    let mut show_stats = false;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -52,6 +64,13 @@ fn main() -> ExitCode {
             "--extended" => dialect = udp_sql::Dialect::Extended,
             "--full" => dialect = udp_sql::Dialect::Full,
             "--spnf" => spnf = true,
+            "--stats" => show_stats = true,
+            "--backend" => {
+                mode = it
+                    .next()
+                    .and_then(|s| SolveMode::parse(s))
+                    .unwrap_or_else(|| usage("missing or unknown value for --backend"));
+            }
             "--timeout" => {
                 timeout = it
                     .next()
@@ -83,9 +102,16 @@ fn main() -> ExitCode {
         }
     };
 
+    // Trace replay validates an actual UDP proof script; goals settled by
+    // the symbolic backend carry no trace, so the check would be vacuous
+    // (and race-mode output nondeterministic). Force the UDP path.
+    if check_trace && mode != SolveMode::Udp {
+        eprintln!("note: --check-trace replays UDP proof traces; ignoring --backend {mode}");
+        mode = SolveMode::Udp;
+    }
     let sequential_only = spnf || check_trace || counterexample;
     if jobs > 1 && !sequential_only {
-        return run_parallel(&text, dialect, jobs, timeout, trace);
+        return run_parallel(&text, dialect, jobs, timeout, trace, mode, show_stats);
     }
     if jobs > 1 {
         eprintln!("note: --spnf/--check-trace/--counterexample run sequentially; ignoring --jobs");
@@ -134,8 +160,15 @@ fn main() -> ExitCode {
         record_trace: trace,
         ..Default::default()
     };
+    let solve_config = udp_solve::SolveConfig {
+        steps: Some(20_000_000),
+        wall: Some(Duration::from_secs(timeout)),
+        record_trace: trace,
+        ..Default::default()
+    };
 
     let mut results = Vec::with_capacity(goals.len());
+    let mut cli_stats = CliStats::default();
     for (i, goal) in goals.iter().enumerate() {
         let (q1, q2) = match udp_sql::lower_goal(&mut fe, goal) {
             Ok(pair) => pair,
@@ -150,7 +183,31 @@ fn main() -> ExitCode {
                 println!("goal {} {side}: λ{}. {nf}", i + 1, q.out);
             }
         }
-        let verdict = udp_core::decide_with(&fe.catalog, &fe.constraints, &q1, &q2, config.clone());
+        // The historical UDP mode keeps the direct `decide_with` path (its
+        // stats report pre-SPNF sizes); portfolio modes route through
+        // udp-solve over the same lowered pair.
+        let verdict = if mode == SolveMode::Udp {
+            let v = udp_core::decide_with(&fe.catalog, &fe.constraints, &q1, &q2, config.clone());
+            cli_stats.note("udp", true, v.stats.wall);
+            v
+        } else {
+            let report = udp_solve::solve_queries(
+                &fe.catalog,
+                &fe.constraints,
+                &q1,
+                &q2,
+                mode,
+                solve_config.clone(),
+            );
+            if let Some(d) = report.disagreement {
+                eprintln!("goal {}: backend disagreement: {d}", i + 1);
+                return ExitCode::FAILURE;
+            }
+            for a in &report.attempts {
+                cli_stats.note(a.backend, a.backend == report.settled_by, a.wall);
+            }
+            report.verdict
+        };
         results.push(verdict);
     }
 
@@ -163,6 +220,9 @@ fn main() -> ExitCode {
         if !v.decision.is_proved() {
             all_proved = false;
         }
+    }
+    if show_stats {
+        eprintln!("{}", cli_stats.render(results.len()));
     }
 
     if check_trace && all_proved {
@@ -204,6 +264,35 @@ fn main() -> ExitCode {
     }
 }
 
+/// Minimal per-backend aggregation for the sequential `--stats` summary
+/// (the parallel path reports the richer `ServiceStats` instead).
+#[derive(Default)]
+struct CliStats {
+    backends: std::collections::BTreeMap<&'static str, (u64, u64, Duration)>,
+}
+
+impl CliStats {
+    fn note(&mut self, backend: &'static str, settled: bool, wall: Duration) {
+        let e = self.backends.entry(backend).or_default();
+        e.0 += 1;
+        if settled {
+            e.1 += 1;
+        }
+        e.2 += wall;
+    }
+
+    fn render(&self, goals: usize) -> String {
+        let mut out = format!("{goals} goal(s)");
+        for (name, (calls, settled, wall)) in &self.backends {
+            out.push_str(&format!(
+                " | backend {name}: {calls} calls, settled {settled}, {:.2} ms",
+                wall.as_secs_f64() * 1e3
+            ));
+        }
+        out
+    }
+}
+
 /// Batch mode: verify the program's goals on an N-worker service session
 /// with fingerprint caching. Output format matches the sequential path.
 fn run_parallel(
@@ -212,6 +301,8 @@ fn run_parallel(
     jobs: usize,
     timeout: u64,
     trace: bool,
+    mode: SolveMode,
+    show_stats: bool,
 ) -> ExitCode {
     let config = udp_service::SessionConfig {
         workers: jobs,
@@ -219,6 +310,7 @@ fn run_parallel(
         wall: Some(Duration::from_secs(timeout)),
         dialect,
         record_trace: trace,
+        mode,
         ..Default::default()
     };
     let session = match udp_service::Session::new(text, config) {
@@ -251,6 +343,9 @@ fn run_parallel(
             }
         }
     }
+    if show_stats {
+        eprintln!("{}", session.stats().render());
+    }
     if all_proved {
         ExitCode::SUCCESS
     } else {
@@ -276,7 +371,8 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: udp-verify FILE.sql [--trace] [--check-trace] [--counterexample] \
-         [--spnf] [--extended] [--full] [--timeout SECS] [--jobs N]"
+         [--spnf] [--extended] [--full] [--timeout SECS] [--jobs N] \
+         [--backend udp|sym|cascade|race|crosscheck] [--stats]"
     );
     std::process::exit(64);
 }
