@@ -35,7 +35,7 @@ fn bench_ablation(c: &mut Criterion) {
                     let config = DecideConfig {
                         budget: Some(Budget::new(Some(5_000_000), None)),
                         options: opts.clone(),
-                        record_trace: false,
+                        ..Default::default()
                     };
                     // Ablated configurations may legitimately fail to prove;
                     // we measure the work either way.

@@ -10,11 +10,18 @@
 //! writes a machine-readable `BENCH_solve.json` — workload rates for the
 //! `udp` and `cascade` backends and the corpus share the symbolic backend
 //! settles without UDP — so the perf trajectory is recorded run over run.
+//!
+//! The observability self-profile rides along: it measures the `udp-obs`
+//! recorder's overhead (enabled vs the default disabled handle, uncached
+//! 1-worker workload) and runs a stage-attribution sweep over the corpus,
+//! writing `BENCH_obs.json` (per-stage shares and the goal-path coverage
+//! fraction, expected ≥ 0.90).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 use udp_corpus::{all_rules, Expectation};
+use udp_obs::Recorder;
 use udp_service::{Session, SessionConfig, SolveMode};
 use udp_sql::ast::Query;
 
@@ -69,12 +76,22 @@ fn session_with(workers: usize, cache: usize) -> Session {
 }
 
 fn session_with_mode(workers: usize, cache: usize, mode: SolveMode) -> Session {
+    session_with_recorder(workers, cache, mode, Recorder::disabled())
+}
+
+fn session_with_recorder(
+    workers: usize,
+    cache: usize,
+    mode: SolveMode,
+    recorder: Recorder,
+) -> Session {
     let config = SessionConfig {
         workers,
         cache_capacity: cache,
         steps: Some(2_000_000),
         wall: Some(Duration::from_secs(10)),
         mode,
+        recorder,
         ..SessionConfig::default()
     };
     Session::new(DDL, config).unwrap()
@@ -134,6 +151,103 @@ fn bench_throughput(c: &mut Criterion) {
     }
 
     write_solve_summary(base);
+    write_obs_summary();
+}
+
+/// Best-of-`reps` workload rate (goals/s) under a given recorder, 1 worker,
+/// no cache — the configuration where per-goal instrumentation cost is most
+/// visible (nothing amortizes over threads or cache hits).
+fn obs_rate(reps: usize, recorder: &Recorder) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let session = session_with_recorder(1, 0, SolveMode::Udp, recorder.clone());
+        let goals = workload(&session, GOALS);
+        let t0 = Instant::now();
+        let reports = session.verify_batch(&goals);
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(reports.len(), GOALS);
+        best = best.max(GOALS as f64 / secs);
+    }
+    best
+}
+
+/// Stage-attribution sweep over the evaluation corpus under one shared
+/// enabled recorder (cascade mode, so both backends appear), returning the
+/// goal count and the aggregated snapshot.
+fn corpus_obs_sweep(recorder: &Recorder) -> usize {
+    let mut goals = 0usize;
+    for rule in all_rules() {
+        let config = SessionConfig {
+            workers: 1,
+            cache_capacity: 0,
+            steps: Some(if rule.expect == Expectation::Timeout {
+                300_000
+            } else {
+                5_000_000
+            }),
+            wall: Some(Duration::from_secs(25)),
+            dialect: rule.dialect,
+            mode: SolveMode::Cascade,
+            recorder: recorder.clone(),
+            ..SessionConfig::default()
+        };
+        let session = match Session::new(&rule.text, config) {
+            Ok(s) => s,
+            Err(_) => continue, // out-of-fragment rule
+        };
+        goals += session.verify_program_goals().len();
+    }
+    goals
+}
+
+/// Observability self-profile: instrumentation overhead (enabled vs the
+/// default disabled handle on the uncached workload) and a corpus-wide
+/// stage-attribution run, recorded as `BENCH_obs.json` at the workspace
+/// root. `coverage` is the share of measured per-goal wall time attributed
+/// to exclusive goal-path stages — the acceptance floor is 0.90.
+fn write_obs_summary() {
+    const REPS: usize = 3;
+    let disabled_rate = obs_rate(REPS, &Recorder::disabled());
+    let enabled = Recorder::enabled();
+    let enabled_rate = obs_rate(REPS, &enabled);
+    let overhead = 1.0 - enabled_rate / disabled_rate;
+
+    let corpus_recorder = Recorder::enabled();
+    let corpus_goals = corpus_obs_sweep(&corpus_recorder);
+    let snap = corpus_recorder.snapshot();
+    let coverage = snap.coverage();
+    println!(
+        "obs summary: disabled {disabled_rate:.0} goals/s, enabled {enabled_rate:.0} goals/s \
+         ({:+.1}% overhead); corpus: {corpus_goals} goals, stage coverage {:.1}%",
+        overhead * 100.0,
+        coverage * 100.0
+    );
+
+    let mut stages = String::new();
+    for s in &snap.stages {
+        if s.calls == 0 {
+            continue;
+        }
+        if !stages.is_empty() {
+            stages.push_str(",\n");
+        }
+        stages.push_str(&format!(
+            "    {{\"stage\": \"{}\", \"calls\": {}, \"wall_us\": {:.1}, \"share\": {:.4}, \"goal_path\": {}}}",
+            s.stage.name(),
+            s.calls,
+            s.wall_us(),
+            snap.share(s.stage),
+            s.stage.in_goal_path()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"goals\": {GOALS},\n    \"disabled_goals_per_sec\": {disabled_rate:.1},\n    \"enabled_goals_per_sec\": {enabled_rate:.1},\n    \"enabled_overhead\": {overhead:.4}\n  }},\n  \"corpus\": {{\n    \"goals\": {corpus_goals},\n    \"goal_wall_us\": {:.1},\n    \"coverage\": {coverage:.4},\n    \"stages\": [\n{stages}\n    ]\n  }}\n}}\n",
+        snap.goal_wall_us()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    }
 }
 
 /// Single-measurement workload rate under a portfolio mode (1 worker, no

@@ -37,7 +37,7 @@ pub fn run_corpus(options: Options) -> CorpusRun {
             let config = DecideConfig {
                 budget: Some(corpus_budget(rule.expect)),
                 options: options.clone(),
-                record_trace: false,
+                ..Default::default()
             };
             let outcome = run_rule(&rule, config);
             (rule, outcome)

@@ -31,6 +31,9 @@ pub struct Budget {
     /// Check the clock only every N ticks to keep ticking cheap.
     clock_stride: u64,
     ticks: u64,
+    /// When the first tick happened (the same instant the deadline is
+    /// materialized from); `None` until then.
+    started: Option<Instant>,
     /// Cooperative cancellation: when any of the shared flags flips, the
     /// next strided check reports exhaustion. Cloned budgets share the
     /// flags (`Arc`), so a portfolio race can abort its losing backend
@@ -65,6 +68,7 @@ impl Budget {
             deadline: None,
             clock_stride: 4096,
             ticks: 0,
+            started: None,
             cancel: Vec::new(),
         }
     }
@@ -86,8 +90,10 @@ impl Budget {
             return Err(Exhausted);
         }
         if self.ticks == 0 {
+            let now = Instant::now();
+            self.started = Some(now);
             if let Some(w) = self.wall {
-                self.deadline = Some(Instant::now() + w);
+                self.deadline = Some(now + w);
             }
         }
         self.steps_left -= 1;
@@ -110,6 +116,12 @@ impl Budget {
     /// Steps consumed so far (feeds the Fig 7 stats).
     pub fn steps_used(&self) -> u64 {
         self.ticks
+    }
+
+    /// Wall time elapsed since the first tick (zero before any tick) —
+    /// the per-goal wall the observability layer attributes to a stage.
+    pub fn elapsed(&self) -> Duration {
+        self.started.map_or(Duration::ZERO, |s| s.elapsed())
     }
 }
 
@@ -140,6 +152,15 @@ mod tests {
             assert!(b.tick().is_ok());
         }
         assert_eq!(b.steps_used(), 10_000);
+    }
+
+    #[test]
+    fn elapsed_starts_at_first_tick() {
+        let mut b = Budget::steps(10);
+        assert_eq!(b.elapsed(), Duration::ZERO);
+        b.tick().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(b.elapsed() >= Duration::from_millis(1));
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub fn canonize_nf(
     if !ctx.opts.canonize {
         return Ok(nf);
     }
+    // Clone the handle so the span guard doesn't borrow `ctx` across the
+    // mutable uses below (a disabled handle makes this span free).
+    let recorder = ctx.recorder.clone();
+    let _span = recorder.span(udp_obs::Stage::CanonizeCore);
     let nf = if under_squash {
         nf.flatten_under_squash()
     } else {
@@ -221,6 +225,7 @@ pub fn canonize_term(
 
 /// Build the congruence closure from ambient + term equalities.
 pub fn build_congruence(ctx: &Ctx, t: &Term, ambient: &[Pred]) -> Congruence {
+    let _span = ctx.recorder.span(udp_obs::Stage::Congruence);
     let mut cc = Congruence::new();
     if ctx.opts.congruence {
         cc.assert_preds(ambient.iter());

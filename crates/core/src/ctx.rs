@@ -58,6 +58,9 @@ pub struct Ctx<'a> {
     pub budget: Budget,
     /// Proof-trace sink (disabled unless requested).
     pub trace: Trace,
+    /// Stage-metrics sink for the nested canonize-core / congruence spans
+    /// (disabled — and free — unless requested).
+    pub recorder: udp_obs::Recorder,
     /// Feature switches (ablations).
     pub opts: Options,
     /// Memoized verdicts of semantic aggregate-body comparisons.
@@ -79,6 +82,7 @@ impl<'a> Ctx<'a> {
             gen: VarGen::new(),
             budget: Budget::standard(),
             trace: Trace::disabled(),
+            recorder: udp_obs::Recorder::disabled(),
             opts: Options::default(),
             agg_cache: HashMap::new(),
             free_schemas: HashMap::new(),
@@ -105,6 +109,12 @@ impl<'a> Ctx<'a> {
     /// Enable proof-trace recording.
     pub fn with_trace(mut self) -> Self {
         self.trace = Trace::enabled();
+        self
+    }
+
+    /// Attach a stage-metrics recorder (see [`udp_obs::Recorder`]).
+    pub fn with_recorder(mut self, recorder: udp_obs::Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 }

@@ -112,6 +112,9 @@ pub struct DecideConfig {
     pub options: Options,
     /// Record a replayable proof trace.
     pub record_trace: bool,
+    /// Stage-metrics sink for the nested canonize-core / congruence spans
+    /// (defaults to the free disabled handle).
+    pub recorder: udp_obs::Recorder,
 }
 
 /// Decide whether `q1 ≡ q2` under `cs`, with default configuration.
@@ -156,7 +159,8 @@ pub fn decide_with(
 
     let mut ctx = Ctx::new(catalog, cs)
         .with_budget(config.budget.unwrap_or_default())
-        .with_options(config.options);
+        .with_options(config.options)
+        .with_recorder(config.recorder.clone());
     ctx.trace = trace;
     let watermark = q1.body.max_var().max(body2.max_var()).max(q1.out.0) + 1;
     ctx.gen.reserve(VarId(watermark));
@@ -249,7 +253,8 @@ pub fn decide_normalized_with(
 
     let mut ctx = Ctx::new(catalog, cs)
         .with_budget(config.budget.unwrap_or_default())
-        .with_options(config.options);
+        .with_options(config.options)
+        .with_recorder(config.recorder.clone());
     ctx.trace = trace;
     let watermark = nf1.max_var().max(nf2.max_var()).max(out.0) + 1;
     ctx.gen.reserve(VarId(watermark));

@@ -107,6 +107,9 @@ impl FullError {
 /// Desugar one query: outer joins eliminated, predicates 3VL-encoded. The
 /// result is extended-fragment AST that lowers unchanged.
 pub fn desugar_query(fe: &Frontend, q: &Query) -> Result<Query, ExtError> {
+    // Single global writer for the `desugar` stage (one record per query,
+    // two per goal); the frontend's default recorder is disabled and free.
+    let _span = fe.recorder.span(udp_obs::Stage::Desugar);
     let eliminated = outer::eliminate(fe, q)?;
     encode::encode_query(fe, &eliminated)
 }

@@ -1,0 +1,177 @@
+//! Schema and invariant validator for `--metrics-json` snapshots (CI).
+//!
+//! Usage: `validate-metrics [--min-coverage F] PATH`
+//!
+//! Checks, against schema version 1:
+//! * required top-level keys with the right types;
+//! * `stages` lists every known stage name exactly once, in order;
+//! * every share is in `[0, 1.5]` (race portfolios can exceed 1.0 in sum,
+//!   single attempts cannot meaningfully exceed goal wall by 50%);
+//! * `coverage` equals the sum of `goal_path: true` shares (±0.02);
+//! * `coverage >= min_coverage` (default 0.9) whenever goals were proved
+//!   uncached — i.e. `goals > 0` and prove-stage calls exist;
+//! * `open_spans == 0` (span balance at quiescence);
+//! * every backend entry carries the full key set.
+//!
+//! Exit code 0 on success, 1 with a message on the first violation.
+
+use udp_obs::json::{parse, Value};
+use udp_obs::Stage;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("validate-metrics: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn need<'v>(obj: &'v Value, key: &str) -> &'v Value {
+    obj.get(key)
+        .unwrap_or_else(|| fail(&format!("missing key \"{key}\"")))
+}
+
+fn need_num(obj: &Value, key: &str) -> f64 {
+    need(obj, key)
+        .as_f64()
+        .unwrap_or_else(|| fail(&format!("key \"{key}\" is not a number")))
+}
+
+fn main() {
+    let mut min_coverage = 0.9_f64;
+    let mut path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--min-coverage" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| fail("--min-coverage needs a value"));
+                min_coverage = v
+                    .parse()
+                    .unwrap_or_else(|_| fail("--min-coverage needs a float"));
+            }
+            _ => path = Some(arg),
+        }
+    }
+    let path = path.unwrap_or_else(|| fail("usage: validate-metrics [--min-coverage F] PATH"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc = parse(&text).unwrap_or_else(|e| fail(&format!("invalid JSON: {e}")));
+
+    if need_num(&doc, "schema_version") as u64 != 1 {
+        fail("schema_version != 1");
+    }
+    let goals = need_num(&doc, "goals");
+    let goal_wall_us = need_num(&doc, "goal_wall_us");
+    let coverage = need_num(&doc, "coverage");
+    let open_spans = need_num(&doc, "open_spans");
+    if open_spans != 0.0 {
+        fail(&format!(
+            "open_spans = {open_spans}, want 0 (span imbalance)"
+        ));
+    }
+
+    let stages = need(&doc, "stages")
+        .as_array()
+        .unwrap_or_else(|| fail("\"stages\" is not an array"));
+    if stages.len() != Stage::COUNT {
+        fail(&format!(
+            "stages has {} entries, want {}",
+            stages.len(),
+            Stage::COUNT
+        ));
+    }
+    let mut path_share_sum = 0.0;
+    let mut prove_calls = 0u64;
+    for (i, entry) in stages.iter().enumerate() {
+        let name = need(entry, "stage")
+            .as_str()
+            .unwrap_or_else(|| fail("stage name is not a string"));
+        let stage =
+            Stage::parse(name).unwrap_or_else(|| fail(&format!("unknown stage \"{name}\"")));
+        if stage.as_index() != i {
+            fail(&format!("stage \"{name}\" out of order (index {i})"));
+        }
+        let share = need_num(entry, "share");
+        if !(0.0..=1.5).contains(&share) {
+            fail(&format!("stage \"{name}\" share {share} outside [0, 1.5]"));
+        }
+        let calls = need_num(entry, "calls");
+        need_num(entry, "wall_us");
+        need_num(entry, "steps");
+        need_num(entry, "p50_us");
+        need_num(entry, "p99_us");
+        let goal_path = need(entry, "goal_path")
+            .as_bool()
+            .unwrap_or_else(|| fail("goal_path is not a bool"));
+        if goal_path != stage.in_goal_path() {
+            fail(&format!("stage \"{name}\" goal_path flag mismatch"));
+        }
+        if goal_path {
+            path_share_sum += share;
+        }
+        if matches!(stage, Stage::SymProve | Stage::UdpProve) {
+            prove_calls += calls as u64;
+        }
+        let hist = need(entry, "hist")
+            .as_array()
+            .unwrap_or_else(|| fail("hist is not an array"));
+        if hist.len() != udp_obs::LATENCY_BUCKETS {
+            fail(&format!("stage \"{name}\" hist has {} buckets", hist.len()));
+        }
+    }
+    if (coverage - path_share_sum).abs() > 0.02 {
+        fail(&format!(
+            "coverage {coverage} disagrees with goal-path share sum {path_share_sum}"
+        ));
+    }
+    if goals > 0.0 && prove_calls > 0 && coverage < min_coverage {
+        fail(&format!(
+            "coverage {coverage:.3} below minimum {min_coverage} over {goals} goals"
+        ));
+    }
+    if goals > 0.0 && goal_wall_us <= 0.0 {
+        fail("goals > 0 but goal_wall_us <= 0");
+    }
+
+    let backends = need(&doc, "backends")
+        .as_array()
+        .unwrap_or_else(|| fail("\"backends\" is not an array"));
+    for b in backends {
+        let name = need(b, "name")
+            .as_str()
+            .unwrap_or_else(|| fail("backend name is not a string"));
+        for key in [
+            "calls", "definite", "proved", "unknown", "settled", "wall_us", "p50_us", "p99_us",
+        ] {
+            if b.get(key).and_then(Value::as_f64).is_none() {
+                fail(&format!("backend \"{name}\" missing numeric \"{key}\""));
+            }
+        }
+    }
+
+    let slow = need(&doc, "slow_goals")
+        .as_array()
+        .unwrap_or_else(|| fail("\"slow_goals\" is not an array"));
+    for g in slow {
+        need(g, "label");
+        need_num(g, "wall_us");
+        for s in need(g, "stages")
+            .as_array()
+            .unwrap_or_else(|| fail("slow goal stages is not an array"))
+        {
+            let name = need(s, "stage")
+                .as_str()
+                .unwrap_or_else(|| fail("slow goal stage name is not a string"));
+            if Stage::parse(name).is_none() {
+                fail(&format!("slow goal references unknown stage \"{name}\""));
+            }
+        }
+    }
+
+    println!(
+        "validate-metrics: OK ({path}: {} goals, coverage {:.1}%, {} backends, {} slow goals)",
+        goals as u64,
+        coverage * 100.0,
+        backends.len(),
+        slow.len()
+    );
+}

@@ -1,0 +1,39 @@
+//! # udp-obs: stage-level observability for the verification pipeline
+//!
+//! A zero-dependency instrumentation core shared by every layer of the
+//! workspace. It provides:
+//!
+//! * [`Stage`] — the taxonomy of pipeline phases (parse → desugar → lower →
+//!   canonize → fingerprint → cache lookup → prove → counterexample), split
+//!   into *goal-path* stages whose shares sum to a coverage metric and
+//!   *detail* stages that overlap them (see [`stage`]);
+//! * [`Recorder`] — a cloneable handle to shared per-stage tables (calls,
+//!   nanosecond wall, Budget steps, log₂ latency histograms). The default
+//!   [`Recorder::disabled`] handle makes every operation a single branch:
+//!   no clock reads, no atomics, so leaving instrumentation threaded
+//!   through hot paths costs nothing (<2% on the throughput bench);
+//! * [`GoalObs`] — a per-goal span collector producing stage waterfalls,
+//!   folded into a bounded slowest-goals list on completion;
+//! * [`Histogram`] — the log₂ latency histogram previously private to
+//!   `udp-service`'s stats, now shared by stage cells and backend rollups;
+//! * [`MetricsSnapshot`] — a stable, versioned JSON rendering
+//!   (`--metrics-json`) plus human-readable tables (`--stats-every`,
+//!   `--trace-goals`), and [`json`] — a small parser to round-trip and
+//!   validate those snapshots without serde.
+//!
+//! The crate sits at the bottom of the dependency stack (below `udp-core`)
+//! and is deliberately free of workspace and external dependencies; the
+//! `validate-metrics` bin checks snapshot schema and invariants in CI.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod json;
+pub mod recorder;
+pub mod snapshot;
+pub mod stage;
+
+pub use hist::{bucket_of, bucket_of_us, Histogram, LATENCY_BUCKETS};
+pub use recorder::{GoalObs, Recorder, Span, DEFAULT_SLOW_CAPACITY};
+pub use snapshot::{BackendSummary, GoalTrace, MetricsSnapshot, StageSnapshot};
+pub use stage::Stage;

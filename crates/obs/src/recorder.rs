@@ -1,0 +1,383 @@
+//! The [`Recorder`]: a cloneable, thread-safe handle aggregating stage
+//! timings, plus the per-goal span collector ([`GoalObs`]).
+//!
+//! ## Cost contract
+//!
+//! A disabled recorder (the default everywhere) must be *free*: every
+//! operation is one `Option` branch — no clock reads, no atomics, no
+//! allocation. The throughput bench verifies <2% overhead on the uncached
+//! workload. An enabled recorder uses relaxed atomics per stage cell and a
+//! mutex only on goal completion (the bounded slow-goal list).
+//!
+//! ## Single-writer discipline
+//!
+//! Every stage occurrence is recorded by exactly one layer (see
+//! [`crate::Stage`] and DESIGN.md §8): goal-path stages by the goal driver
+//! via [`GoalObs`], library-internal stages (`parse`, `canonize-core`,
+//! `congruence`, …) by the owning crate via [`Recorder::span`] /
+//! [`Recorder::record`]. [`GoalObs::time_local`] exists for the driver to
+//! put a stage into the goal's waterfall when a lower layer already records
+//! it globally (lowering, desugaring) — double-counting a stage in the
+//! global tables would break the coverage invariant.
+
+use crate::hist::{bucket_of_us, Histogram, LATENCY_BUCKETS};
+use crate::snapshot::{GoalTrace, MetricsSnapshot, StageSnapshot};
+use crate::stage::Stage;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default capacity of the slowest-goal list.
+pub const DEFAULT_SLOW_CAPACITY: usize = 32;
+
+/// Per-stage aggregation cell (relaxed atomics; exactness across threads is
+/// restored at snapshot time by quiescence, which every caller has when it
+/// snapshots after its batch joins).
+struct StageCell {
+    calls: AtomicU64,
+    wall_ns: AtomicU64,
+    steps: AtomicU64,
+    hist: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl StageCell {
+    fn new() -> StageCell {
+        StageCell {
+            calls: AtomicU64::new(0),
+            wall_ns: AtomicU64::new(0),
+            steps: AtomicU64::new(0),
+            hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, wall: Duration, steps: u64) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.wall_ns
+            .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+        if steps > 0 {
+            self.steps.fetch_add(steps, Ordering::Relaxed);
+        }
+        let us = (wall.as_nanos() / 1_000) as u64;
+        self.hist[bucket_of_us(us.max(1))].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Bounded list of the slowest goals, kept sorted by descending wall time.
+struct SlowGoals {
+    capacity: usize,
+    goals: Vec<GoalTrace>,
+}
+
+impl SlowGoals {
+    fn push(&mut self, trace: GoalTrace) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.goals.len() == self.capacity
+            && trace.wall_ns <= self.goals.last().map_or(0, |g| g.wall_ns)
+        {
+            return;
+        }
+        let at = self.goals.partition_point(|g| g.wall_ns >= trace.wall_ns);
+        self.goals.insert(at, trace);
+        self.goals.truncate(self.capacity);
+    }
+}
+
+struct Inner {
+    stages: [StageCell; Stage::COUNT],
+    goals: AtomicU64,
+    goal_wall_ns: AtomicU64,
+    /// Live span guards (enter − exit); the span-balance invariant says
+    /// this is 0 whenever no stage is executing.
+    open_spans: AtomicI64,
+    slow: Mutex<SlowGoals>,
+}
+
+/// Cloneable handle to the stage-metrics aggregation tables. The default
+/// handle is *disabled* and free (see the module docs); an enabled handle
+/// shares its tables with every clone, so one recorder can observe a whole
+/// worker pool, many sessions, or a corpus sweep at once.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// The free no-op handle (what every config defaults to).
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// An enabled recorder keeping up to [`DEFAULT_SLOW_CAPACITY`] slowest
+    /// goal waterfalls.
+    pub fn enabled() -> Recorder {
+        Recorder::with_slow_capacity(DEFAULT_SLOW_CAPACITY)
+    }
+
+    /// An enabled recorder keeping up to `capacity` slowest goal traces.
+    pub fn with_slow_capacity(capacity: usize) -> Recorder {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                stages: std::array::from_fn(|_| StageCell::new()),
+                goals: AtomicU64::new(0),
+                goal_wall_ns: AtomicU64::new(0),
+                open_spans: AtomicI64::new(0),
+                slow: Mutex::new(SlowGoals {
+                    capacity,
+                    goals: Vec::new(),
+                }),
+            })),
+        }
+    }
+
+    /// Is this handle recording?
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record one completed stage occurrence with a known duration.
+    pub fn record(&self, stage: Stage, wall: Duration, steps: u64) {
+        if let Some(inner) = &self.inner {
+            inner.stages[stage.as_index()].record(wall, steps);
+        }
+    }
+
+    /// Open a stage span; the guard records the elapsed time when dropped.
+    /// Disabled recorders return an inert guard without reading the clock.
+    pub fn span(&self, stage: Stage) -> Span<'_> {
+        match &self.inner {
+            Some(inner) => {
+                inner.open_spans.fetch_add(1, Ordering::Relaxed);
+                Span {
+                    live: Some((inner, stage, Instant::now())),
+                }
+            }
+            None => Span { live: None },
+        }
+    }
+
+    /// Time a closure as one stage occurrence.
+    pub fn time<R>(&self, stage: Stage, f: impl FnOnce() -> R) -> R {
+        let _span = self.span(stage);
+        f()
+    }
+
+    /// Start collecting one goal's stage waterfall.
+    pub fn goal(&self) -> GoalObs {
+        GoalObs {
+            inner: self.inner.clone(),
+            stages: Vec::new(),
+        }
+    }
+
+    /// Number of currently open span guards (0 at quiescence — the
+    /// span-balance invariant).
+    pub fn open_spans(&self) -> i64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.open_spans.load(Ordering::Relaxed))
+    }
+
+    /// Snapshot the aggregation tables. Cheap enough to call repeatedly
+    /// (the in-flight `--stats-every` summaries); exact at quiescence.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let Some(inner) = &self.inner else {
+            return MetricsSnapshot::empty();
+        };
+        let stages = Stage::ALL
+            .into_iter()
+            .map(|stage| {
+                let cell = &inner.stages[stage.as_index()];
+                let mut buckets = [0u64; LATENCY_BUCKETS];
+                for (b, a) in buckets.iter_mut().zip(cell.hist.iter()) {
+                    *b = a.load(Ordering::Relaxed);
+                }
+                StageSnapshot {
+                    stage,
+                    calls: cell.calls.load(Ordering::Relaxed),
+                    wall_ns: cell.wall_ns.load(Ordering::Relaxed),
+                    steps: cell.steps.load(Ordering::Relaxed),
+                    hist: Histogram::from_buckets(buckets),
+                }
+            })
+            .collect();
+        MetricsSnapshot {
+            enabled: true,
+            goals: inner.goals.load(Ordering::Relaxed),
+            goal_wall_ns: inner.goal_wall_ns.load(Ordering::Relaxed),
+            open_spans: inner.open_spans.load(Ordering::Relaxed),
+            stages,
+            slow_goals: inner.slow.lock().unwrap().goals.clone(),
+        }
+    }
+}
+
+/// RAII stage-span guard; records on drop. Every enter therefore has a
+/// matching exit, including on early returns and `?` propagation.
+pub struct Span<'a> {
+    live: Option<(&'a Inner, Stage, Instant)>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some((inner, stage, started)) = self.live.take() {
+            inner.stages[stage.as_index()].record(started.elapsed(), 0);
+            inner.open_spans.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Per-goal span collector: a local (lock-free) waterfall of stage timings
+/// that is folded into the global tables — and, if slow enough, the top-N
+/// list — on [`GoalObs::finish`]. Obtained from [`Recorder::goal`]; inert
+/// when the recorder is disabled.
+pub struct GoalObs {
+    inner: Option<Arc<Inner>>,
+    stages: Vec<(Stage, Duration, u64)>,
+}
+
+impl GoalObs {
+    /// Is the underlying recorder enabled? (Lets drivers skip label
+    /// rendering and other observation-only work.)
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Time a closure as one stage occurrence: waterfall + global tables.
+    pub fn time<R>(&mut self, stage: Stage, f: impl FnOnce() -> R) -> R {
+        if self.inner.is_none() {
+            return f();
+        }
+        let started = Instant::now();
+        let r = f();
+        self.add(stage, started.elapsed(), 0);
+        r
+    }
+
+    /// Time a closure into the waterfall **only** — for stages a lower
+    /// layer already records globally (lowering inside `udp-sql`,
+    /// desugaring inside `udp-ext`). Recording those globally here too
+    /// would double-count them.
+    pub fn time_local<R>(&mut self, stage: Stage, f: impl FnOnce() -> R) -> R {
+        if self.inner.is_none() {
+            return f();
+        }
+        let started = Instant::now();
+        let r = f();
+        self.stages.push((stage, started.elapsed(), 0));
+        r
+    }
+
+    /// Add an occurrence with an externally measured duration (backend
+    /// attempt timings reported by the portfolio): waterfall + global.
+    pub fn add(&mut self, stage: Stage, wall: Duration, steps: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner.stages[stage.as_index()].record(wall, steps);
+        self.stages.push((stage, wall, steps));
+    }
+
+    /// Complete the goal: fold into the goal counters and offer the
+    /// waterfall to the slowest-goal list. The label is lazy so disabled
+    /// recorders never pay for rendering it.
+    pub fn finish(self, label: impl FnOnce() -> String, wall: Duration, steps: u64) {
+        let Some(inner) = &self.inner else { return };
+        let wall_ns = wall.as_nanos() as u64;
+        inner.goals.fetch_add(1, Ordering::Relaxed);
+        inner.goal_wall_ns.fetch_add(wall_ns, Ordering::Relaxed);
+        let mut slow = inner.slow.lock().unwrap();
+        slow.push(GoalTrace {
+            label: label(),
+            wall_ns,
+            steps,
+            stages: self
+                .stages
+                .iter()
+                .map(|(s, d, st)| (*s, d.as_nanos() as u64, *st))
+                .collect(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.record(Stage::Lower, Duration::from_micros(5), 3);
+        let x = r.time(Stage::Parse, || 42);
+        assert_eq!(x, 42);
+        let mut g = r.goal();
+        g.add(Stage::UdpProve, Duration::from_micros(9), 1);
+        g.finish(|| "g".into(), Duration::from_micros(10), 1);
+        let snap = r.snapshot();
+        assert!(!snap.enabled);
+        assert_eq!(snap.goals, 0);
+        assert!(snap.stages.is_empty());
+    }
+
+    #[test]
+    fn record_and_span_aggregate_per_stage() {
+        let r = Recorder::enabled();
+        r.record(Stage::Lower, Duration::from_micros(10), 7);
+        r.record(Stage::Lower, Duration::from_micros(20), 3);
+        {
+            let _s = r.span(Stage::Congruence);
+            assert_eq!(r.open_spans(), 1);
+        }
+        assert_eq!(r.open_spans(), 0);
+        let snap = r.snapshot();
+        let lower = snap.stage(Stage::Lower).unwrap();
+        assert_eq!(lower.calls, 2);
+        assert_eq!(lower.steps, 10);
+        assert!(lower.wall_ns >= 30_000);
+        assert_eq!(lower.hist.total(), 2);
+        assert_eq!(snap.stage(Stage::Congruence).unwrap().calls, 1);
+    }
+
+    #[test]
+    fn clones_share_tables() {
+        let r = Recorder::enabled();
+        let r2 = r.clone();
+        r2.record(Stage::Parse, Duration::from_micros(1), 0);
+        assert_eq!(r.snapshot().stage(Stage::Parse).unwrap().calls, 1);
+    }
+
+    #[test]
+    fn goal_waterfalls_feed_the_slow_list_in_order() {
+        let r = Recorder::with_slow_capacity(2);
+        for (name, us) in [("a", 10), ("b", 300), ("c", 50)] {
+            let mut g = r.goal();
+            g.add(Stage::UdpProve, Duration::from_micros(us), us);
+            g.finish(|| name.into(), Duration::from_micros(us + 1), us);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.goals, 3);
+        let labels: Vec<&str> = snap.slow_goals.iter().map(|g| g.label.as_str()).collect();
+        assert_eq!(labels, ["b", "c"]); // top-2 by wall, descending
+        assert_eq!(snap.stage(Stage::UdpProve).unwrap().calls, 3);
+    }
+
+    #[test]
+    fn span_guard_records_on_early_drop() {
+        let r = Recorder::enabled();
+        fn inner(r: &Recorder) -> Result<(), ()> {
+            let _s = r.span(Stage::CanonizeCore);
+            Err(()) // early exit still closes the span
+        }
+        let _ = inner(&r);
+        assert_eq!(r.open_spans(), 0);
+        assert_eq!(r.snapshot().stage(Stage::CanonizeCore).unwrap().calls, 1);
+    }
+}

@@ -1,0 +1,392 @@
+//! Point-in-time views of a [`crate::Recorder`]'s tables, and the stable
+//! machine-readable JSON rendering behind `--metrics-json`.
+//!
+//! The JSON schema (version 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "goals": 240,
+//!   "goal_wall_us": 18234.5,
+//!   "coverage": 0.97,
+//!   "open_spans": 0,
+//!   "stages": [
+//!     {"stage": "lower", "calls": 240, "wall_us": 512.3, "share": 0.028,
+//!      "steps": 0, "p50_us": 2, "p99_us": 16, "goal_path": true,
+//!      "hist": [0, 12, ...]},
+//!     ...
+//!   ],
+//!   "backends": [
+//!     {"name": "udp", "calls": 230, "definite": 228, "proved": 200,
+//!      "unknown": 2, "settled": 210, "wall_us": 15000.0,
+//!      "p50_us": 64, "p99_us": 1024}
+//!   ],
+//!   "slow_goals": [
+//!     {"label": "goal 17", "wall_us": 900.1, "steps": 4821,
+//!      "stages": [{"stage": "canonize", "wall_us": 120.0, "steps": 0}, ...]}
+//!   ]
+//! }
+//! ```
+//!
+//! `stages` always lists all [`Stage::ALL`] entries in pipeline order, even
+//! at zero calls, so consumers can index by position or by name. Shares are
+//! fractions of `goal_wall_us`; only `goal_path: true` shares may be summed
+//! (their sum is `coverage` — see [`crate::stage`]).
+
+use crate::hist::Histogram;
+use crate::stage::Stage;
+
+/// Aggregated totals for one stage.
+#[derive(Debug, Clone)]
+pub struct StageSnapshot {
+    /// Which stage.
+    pub stage: Stage,
+    /// Completed occurrences.
+    pub calls: u64,
+    /// Total wall time, nanoseconds. (Accumulated in ns — µs truncation
+    /// on short stages would visibly under-report coverage.)
+    pub wall_ns: u64,
+    /// Total Budget steps attributed to this stage.
+    pub steps: u64,
+    /// Per-occurrence latency histogram.
+    pub hist: Histogram,
+}
+
+impl StageSnapshot {
+    /// Total wall time in (fractional) microseconds.
+    pub fn wall_us(&self) -> f64 {
+        self.wall_ns as f64 / 1_000.0
+    }
+}
+
+/// One goal's recorded waterfall: `(stage, wall_ns, steps)` in the order
+/// the stages ran.
+#[derive(Debug, Clone)]
+pub struct GoalTrace {
+    /// Driver-assigned label (e.g. `"goal 17"` or a corpus rule name).
+    pub label: String,
+    /// End-to-end wall time of the goal, nanoseconds.
+    pub wall_ns: u64,
+    /// Budget steps the goal consumed.
+    pub steps: u64,
+    /// The stage waterfall.
+    pub stages: Vec<(Stage, u64, u64)>,
+}
+
+/// Per-backend rollup carried alongside the stage tables in the JSON
+/// snapshot. `udp-service` builds these from its `ServiceStats`; the
+/// sequential `udp-verify` path builds them from its own tallies.
+#[derive(Debug, Clone, Default)]
+pub struct BackendSummary {
+    /// Backend name (`"udp"`, `"sym"`).
+    pub name: String,
+    /// Attempts.
+    pub calls: u64,
+    /// Attempts returning a definite verdict.
+    pub definite: u64,
+    /// Attempts returning `Proved`.
+    pub proved: u64,
+    /// Attempts returning `Unknown`.
+    pub unknown: u64,
+    /// Goals this backend settled for the portfolio.
+    pub settled: u64,
+    /// Total attempt wall time, microseconds.
+    pub wall_us: f64,
+    /// Median attempt latency (histogram upper bound), µs.
+    pub p50_us: u64,
+    /// 99th-percentile attempt latency, µs.
+    pub p99_us: u64,
+}
+
+/// A point-in-time copy of a recorder's aggregation tables.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Whether the recorder was enabled (disabled handles snapshot empty).
+    pub enabled: bool,
+    /// Goals finished (`GoalObs::finish` calls).
+    pub goals: u64,
+    /// Total per-goal wall time, nanoseconds.
+    pub goal_wall_ns: u64,
+    /// Open span guards at snapshot time (0 at quiescence).
+    pub open_spans: i64,
+    /// All stages in [`Stage::ALL`] order; empty when disabled.
+    pub stages: Vec<StageSnapshot>,
+    /// Slowest goals, descending by wall time.
+    pub slow_goals: Vec<GoalTrace>,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot of a disabled recorder.
+    pub fn empty() -> MetricsSnapshot {
+        MetricsSnapshot {
+            enabled: false,
+            goals: 0,
+            goal_wall_ns: 0,
+            open_spans: 0,
+            stages: Vec::new(),
+            slow_goals: Vec::new(),
+        }
+    }
+
+    /// Look up one stage's totals.
+    pub fn stage(&self, stage: Stage) -> Option<&StageSnapshot> {
+        self.stages.get(stage.as_index())
+    }
+
+    /// Total per-goal wall time in (fractional) microseconds.
+    pub fn goal_wall_us(&self) -> f64 {
+        self.goal_wall_ns as f64 / 1_000.0
+    }
+
+    /// `stage`'s share of total goal wall time (0 when no goal time).
+    pub fn share(&self, stage: Stage) -> f64 {
+        if self.goal_wall_ns == 0 {
+            return 0.0;
+        }
+        self.stage(stage)
+            .map_or(0.0, |s| s.wall_ns as f64 / self.goal_wall_ns as f64)
+    }
+
+    /// Fraction of goal wall time attributed to goal-path stages — the
+    /// "did we account for where the time went?" number. Sums only the
+    /// non-overlapping stages, so 1.0 is the ideal; race-mode portfolios
+    /// can exceed it (attempts overlap in real time).
+    pub fn coverage(&self) -> f64 {
+        Stage::ALL
+            .into_iter()
+            .filter(|s| s.in_goal_path())
+            .map(|s| self.share(s))
+            .sum()
+    }
+
+    /// Render the version-1 metrics JSON (see the module docs).
+    pub fn to_json(&self, backends: &[BackendSummary]) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str("  \"schema_version\": 1,\n");
+        out.push_str(&format!("  \"goals\": {},\n", self.goals));
+        out.push_str(&format!(
+            "  \"goal_wall_us\": {},\n",
+            fmt_f64(self.goal_wall_us())
+        ));
+        out.push_str(&format!("  \"coverage\": {},\n", fmt_f64(self.coverage())));
+        out.push_str(&format!("  \"open_spans\": {},\n", self.open_spans));
+        out.push_str("  \"stages\": [\n");
+        for (i, s) in self.stages.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"stage\": {}, \"calls\": {}, \"wall_us\": {}, \"share\": {}, \
+                 \"steps\": {}, \"p50_us\": {}, \"p99_us\": {}, \"goal_path\": {}, \
+                 \"hist\": [{}]}}{}\n",
+                json_str(s.stage.name()),
+                s.calls,
+                fmt_f64(s.wall_us()),
+                fmt_f64(self.share(s.stage)),
+                s.steps,
+                s.hist.percentile_us(0.5),
+                s.hist.percentile_us(0.99),
+                s.stage.in_goal_path(),
+                s.hist
+                    .buckets()
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                if i + 1 < self.stages.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"backends\": [\n");
+        for (i, b) in backends.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"calls\": {}, \"definite\": {}, \"proved\": {}, \
+                 \"unknown\": {}, \"settled\": {}, \"wall_us\": {}, \"p50_us\": {}, \
+                 \"p99_us\": {}}}{}\n",
+                json_str(&b.name),
+                b.calls,
+                b.definite,
+                b.proved,
+                b.unknown,
+                b.settled,
+                fmt_f64(b.wall_us),
+                b.p50_us,
+                b.p99_us,
+                if i + 1 < backends.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"slow_goals\": [\n");
+        for (i, g) in self.slow_goals.iter().enumerate() {
+            let stages = g
+                .stages
+                .iter()
+                .map(|(s, ns, steps)| {
+                    format!(
+                        "{{\"stage\": {}, \"wall_us\": {}, \"steps\": {}}}",
+                        json_str(s.name()),
+                        fmt_f64(*ns as f64 / 1_000.0),
+                        steps
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "    {{\"label\": {}, \"wall_us\": {}, \"steps\": {}, \"stages\": [{}]}}{}\n",
+                json_str(&g.label),
+                fmt_f64(g.wall_ns as f64 / 1_000.0),
+                g.steps,
+                stages,
+                if i + 1 < self.slow_goals.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Human-readable stage table (the `--stats` / `--stats-every` view).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "obs: {} goals, {:.1}ms goal wall, coverage {:.1}%\n",
+            self.goals,
+            self.goal_wall_us() / 1_000.0,
+            self.coverage() * 100.0
+        ));
+        for s in &self.stages {
+            if s.calls == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<21} {:>8} calls  {:>10.1}us  {:>5.1}%  p50 {:>6}us  p99 {:>6}us{}\n",
+                s.stage.name(),
+                s.calls,
+                s.wall_us(),
+                self.share(s.stage) * 100.0,
+                s.hist.percentile_us(0.5),
+                s.hist.percentile_us(0.99),
+                if s.stage.in_goal_path() {
+                    ""
+                } else {
+                    "  (detail)"
+                }
+            ));
+        }
+        out
+    }
+
+    /// Render the top-`n` slowest goals with their stage waterfalls
+    /// (the `--trace-goals N` view).
+    pub fn render_slow_goals(&self, n: usize) -> String {
+        let mut out = String::new();
+        for g in self.slow_goals.iter().take(n) {
+            out.push_str(&format!(
+                "slow goal: {} ({:.1}us, {} steps)\n",
+                g.label,
+                g.wall_ns as f64 / 1_000.0,
+                g.steps
+            ));
+            for (stage, ns, steps) in &g.stages {
+                let share = if g.wall_ns > 0 {
+                    *ns as f64 / g.wall_ns as f64 * 100.0
+                } else {
+                    0.0
+                };
+                out.push_str(&format!(
+                    "    {:<21} {:>10.1}us  {:>5.1}%{}\n",
+                    stage.name(),
+                    *ns as f64 / 1_000.0,
+                    share,
+                    if *steps > 0 {
+                        format!("  {steps} steps")
+                    } else {
+                        String::new()
+                    }
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Format a float with enough precision for round-trips and no `NaN`/`inf`
+/// leaking into the JSON.
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    let s = format!("{v:.3}");
+    s
+}
+
+/// JSON-escape a string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use std::time::Duration;
+
+    #[test]
+    fn shares_and_coverage_come_from_goal_path_stages() {
+        let r = Recorder::enabled();
+        let mut g = r.goal();
+        g.add(Stage::Lower, Duration::from_micros(25), 0);
+        g.add(Stage::UdpProve, Duration::from_micros(50), 100);
+        // Nested detail time must not inflate coverage.
+        r.record(Stage::Congruence, Duration::from_micros(40), 0);
+        g.finish(|| "g0".into(), Duration::from_micros(100), 100);
+        let snap = r.snapshot();
+        assert!((snap.share(Stage::Lower) - 0.25).abs() < 0.01);
+        assert!((snap.coverage() - 0.75).abs() < 0.01);
+        assert!(snap.share(Stage::Congruence) > 0.3); // reported...
+        assert!(snap.coverage() < 0.8); // ...but not summed
+    }
+
+    #[test]
+    fn json_has_all_stages_and_escapes_labels() {
+        let r = Recorder::enabled();
+        let mut g = r.goal();
+        g.add(Stage::Canonize, Duration::from_micros(5), 0);
+        g.finish(|| "a \"quoted\" goal".into(), Duration::from_micros(10), 0);
+        let json = r.snapshot().to_json(&[BackendSummary {
+            name: "udp".into(),
+            calls: 1,
+            ..Default::default()
+        }]);
+        for s in Stage::ALL {
+            assert!(json.contains(&format!("\"{}\"", s.name())), "{}", s);
+        }
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"name\": \"udp\""));
+    }
+
+    #[test]
+    fn render_views_do_not_panic_on_empty() {
+        let snap = MetricsSnapshot::empty();
+        assert!(snap.render().contains("0 goals"));
+        assert_eq!(snap.render_slow_goals(5), "");
+        assert_eq!(snap.coverage(), 0.0);
+    }
+}

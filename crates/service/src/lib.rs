@@ -54,6 +54,7 @@ use udp_core::ctx::Options;
 use udp_core::fingerprint::{canonical_form_nf, fingerprint_form, Fingerprint};
 use udp_core::spnf::Nf;
 use udp_core::Verdict;
+use udp_obs::{Recorder, Stage};
 use udp_solve::{BackendOutcome, SolveConfig};
 use udp_sql::ast::Query;
 use udp_sql::{Dialect, Frontend, ParseError, VerifyError};
@@ -85,6 +86,10 @@ pub struct SessionConfig {
     /// as cascade / race / crosscheck. All modes agree on definite verdicts,
     /// which is what keeps the fingerprint cache mode-agnostic.
     pub mode: SolveMode,
+    /// Stage-metrics recorder threaded through the whole goal path (parse,
+    /// desugar, lower, canonize, fingerprint, cache, backends, queue wait).
+    /// The default disabled handle makes every instrumentation point free.
+    pub recorder: Recorder,
 }
 
 impl Default for SessionConfig {
@@ -99,6 +104,7 @@ impl Default for SessionConfig {
             record_trace: false,
             fingerprints: false,
             mode: SolveMode::Udp,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -119,6 +125,12 @@ impl SessionConfig {
     /// Set the portfolio mode.
     pub fn with_mode(mut self, mode: SolveMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Attach a stage-metrics recorder (see [`udp_obs::Recorder`]).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 }
@@ -144,6 +156,9 @@ pub struct GoalReport {
     pub disagreement: Option<String>,
     /// End-to-end wall time for this goal (lowering + cache probe + decide).
     pub wall: Duration,
+    /// Search steps consumed by the goal's backend attempts (0 for cache
+    /// hits and front-end errors).
+    pub steps: u64,
 }
 
 impl GoalReport {
@@ -178,16 +193,20 @@ impl Session {
     /// desugared through `udp-ext` here; goals are desugared per
     /// verification (they may arrive later via [`Session::verify_batch`]).
     pub fn new(program: &str, config: SessionConfig) -> Result<Session, VerifyError> {
-        let mut base = udp_sql::prepare_program_in(program, config.dialect)?;
+        let mut base = config.recorder.time(Stage::Parse, || {
+            udp_sql::prepare_program_in(program, config.dialect)
+        })?;
         if config.dialect == Dialect::Full {
+            base.recorder = config.recorder.clone();
             udp_ext::desugar_views(&mut base).map_err(|e| VerifyError::Desugar(e.to_string()))?;
         }
         Ok(Session::from_frontend(base, config))
     }
 
     /// Wrap an already-prepared frontend.
-    pub fn from_frontend(base: Frontend, config: SessionConfig) -> Session {
+    pub fn from_frontend(mut base: Frontend, config: SessionConfig) -> Session {
         let capacity = config.cache_capacity;
+        base.recorder = config.recorder.clone();
         Session {
             base,
             config,
@@ -209,7 +228,7 @@ impl Session {
     /// Parse a standalone goal line (`q1 == q2`, optionally wrapped as
     /// `verify … ;`) under the session dialect.
     pub fn parse_goal(&self, line: &str) -> Result<(Query, Query), ParseError> {
-        udp_sql::parse_goal_in(line, self.config.dialect)
+        udp_sql::parse_goal_rec(line, self.config.dialect, &self.config.recorder)
     }
 
     /// Verify every goal declared in the session program.
@@ -285,6 +304,7 @@ impl Session {
             wall: self.config.wall,
             options: self.config.options.clone(),
             record_trace: self.config.record_trace,
+            recorder: self.config.recorder.clone(),
             ..SolveConfig::default()
         }
     }
@@ -314,15 +334,23 @@ impl Session {
         goal: &(Query, Query),
     ) -> GoalReport {
         let started = Instant::now();
-        let front_end = self
-            .desugar_if_full(fe, goal)
+        let mut obs = self.config.recorder.goal();
+        // Desugaring and lowering record their *global* stage totals inside
+        // `udp-ext` / `udp-sql` (the single-writer rule — see `udp_obs`);
+        // `time_local` adds them to this goal's waterfall only.
+        let front_end = obs
+            .time_local(Stage::Desugar, || self.desugar_if_full(fe, goal))
             .map_err(|e| e.to_string())
-            .and_then(|goal| udp_sql::lower_goal(fe, &goal).map_err(|e| e.to_string()));
+            .and_then(|goal| {
+                obs.time_local(Stage::Lower, || udp_sql::lower_goal(fe, &goal))
+                    .map_err(|e| e.to_string())
+            });
         let (q1, q2) = match front_end {
             Ok(pair) => pair,
             Err(e) => {
                 let wall = started.elapsed();
                 self.stats.lock().unwrap().record(wall, false, false, true);
+                obs.finish(|| format!("goal {index} (front-end error)"), wall, 0);
                 return GoalReport {
                     index,
                     outcome: Err(e),
@@ -331,34 +359,39 @@ impl Session {
                     settled_by: None,
                     disagreement: None,
                     wall,
+                    steps: 0,
                 };
             }
         };
         // Normalize each side exactly once: the SPNF forms feed both the
         // canonical cache key and (on a miss) the decision procedure via
         // `decide_normalized_with`.
-        let (nf1, nf2) = Self::normalize_goal(&q1, &q2);
+        let (nf1, nf2) = obs.time(Stage::Canonize, || Self::normalize_goal(&q1, &q2));
 
         // Canonical forms resolve schemas by content and relations by name,
         // so keys agree across worker frontends (whose anonymous-schema ids
         // diverge as they lower different goals). Canonical rendering is
         // skipped entirely when nothing consumes it.
         let caching = self.config.cache_capacity > 0;
-        let key = if caching || self.config.fingerprints {
-            Some(Self::canonical_key(fe, &q1, &q2, &nf1, &nf2))
+        let (key, fingerprints) = if caching || self.config.fingerprints {
+            obs.time(Stage::Fingerprint, || {
+                let key = Self::canonical_key(fe, &q1, &q2, &nf1, &nf2);
+                let fps = (fingerprint_form(&key.0), fingerprint_form(&key.1));
+                (Some(key), Some(fps))
+            })
         } else {
-            None
+            (None, None)
         };
-        let fingerprints = key
-            .as_ref()
-            .map(|(a, b)| (fingerprint_form(a), fingerprint_form(b)));
 
         if caching {
-            let hit = self.cache.lock().unwrap().get(key.as_ref().unwrap());
+            let hit = obs.time(Stage::CacheLookup, || {
+                self.cache.lock().unwrap().get(key.as_ref().unwrap())
+            });
             if let Some(verdict) = hit {
                 let wall = started.elapsed();
                 let proved = verdict.decision.is_proved();
                 self.stats.lock().unwrap().record(wall, true, proved, false);
+                obs.finish(|| format!("goal {index} (cache hit)"), wall, 0);
                 return GoalReport {
                     index,
                     outcome: Ok(verdict),
@@ -367,6 +400,7 @@ impl Session {
                     settled_by: None,
                     disagreement: None,
                     wall,
+                    steps: 0,
                 };
             }
         }
@@ -385,6 +419,7 @@ impl Session {
             config: self.solve_config(),
         };
         let solved = udp_solve::solve_normalized(&goal, self.config.mode);
+        let mut steps = 0u64;
         {
             let mut stats = self.stats.lock().unwrap();
             for a in &solved.attempts {
@@ -397,12 +432,22 @@ impl Session {
                 );
             }
         }
+        for a in &solved.attempts {
+            let stage = if a.backend == "sym" {
+                Stage::SymProve
+            } else {
+                Stage::UdpProve
+            };
+            obs.add(stage, a.wall, a.steps);
+            steps += a.steps;
+        }
         // A crosscheck disagreement means one of the engines is wrong; it
         // must surface as a hard error, never be cached or reported as a
         // verdict.
         if let Some(d) = solved.disagreement {
             let wall = started.elapsed();
             self.stats.lock().unwrap().record(wall, false, false, true);
+            obs.finish(|| format!("goal {index} (disagreement)"), wall, steps);
             return GoalReport {
                 index,
                 outcome: Err(format!("backend disagreement: {d}")),
@@ -411,6 +456,7 @@ impl Session {
                 settled_by: None,
                 disagreement: Some(d),
                 wall,
+                steps,
             };
         }
         let verdict = solved.verdict;
@@ -428,6 +474,7 @@ impl Session {
             .lock()
             .unwrap()
             .record(wall, false, verdict.decision.is_proved(), false);
+        obs.finish(|| format!("goal {index}"), wall, steps);
         GoalReport {
             index,
             outcome: Ok(verdict),
@@ -436,6 +483,7 @@ impl Session {
             settled_by: Some(solved.settled_by),
             disagreement: None,
             wall,
+            steps,
         }
     }
 }

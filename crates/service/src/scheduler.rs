@@ -9,17 +9,32 @@
 use crate::{GoalReport, Session};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
+use udp_obs::Stage;
 use udp_sql::ast::Query;
 
 /// Run `goals` through the session's worker pool, preserving input order.
+///
+/// Queue wait (batch submission → a worker picking a goal up) is recorded
+/// as the `queue-wait` stage once per goal, *in both branches*: sequential
+/// execution is just a one-worker queue, and recording it there too keeps
+/// per-stage call counts identical across worker counts (an invariant the
+/// metrics tests pin down).
 pub(crate) fn run_batch(session: &Session, goals: &[(Query, Query)]) -> Vec<GoalReport> {
     let workers = session.config().workers.max(1).min(goals.len().max(1));
+    let recorder = session.config().recorder.clone();
+    let batch_start = Instant::now();
     if workers <= 1 {
         let mut fe = session.base_clone();
         return goals
             .iter()
             .enumerate()
-            .map(|(i, g)| session.process_goal(&mut fe, i, g))
+            .map(|(i, g)| {
+                if recorder.is_enabled() {
+                    recorder.record(Stage::QueueWait, batch_start.elapsed(), 0);
+                }
+                session.process_goal(&mut fe, i, g)
+            })
             .collect();
     }
 
@@ -30,12 +45,16 @@ pub(crate) fn run_batch(session: &Session, goals: &[(Query, Query)]) -> Vec<Goal
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
+            let recorder = recorder.clone();
             scope.spawn(move || {
                 let mut fe = session.base_clone();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= goals.len() {
                         break;
+                    }
+                    if recorder.is_enabled() {
+                        recorder.record(Stage::QueueWait, batch_start.elapsed(), 0);
                     }
                     let report = session.process_goal(&mut fe, i, &goals[i]);
                     if tx.send((i, report)).is_err() {

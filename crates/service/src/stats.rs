@@ -1,35 +1,15 @@
 //! Aggregate measurements for a verification session.
+//!
+//! Latency bucketing and percentile estimation live in [`udp_obs`] (shared
+//! with the stage recorder, so service stats and stage metrics can never
+//! disagree on bucket boundaries); this module aggregates them per goal and
+//! per backend.
 
 use std::collections::BTreeMap;
 use std::time::Duration;
+use udp_obs::{BackendSummary, Histogram};
 
-/// Number of log₂ latency buckets (bucket `i` covers `[2^i, 2^(i+1))` µs;
-/// the last bucket absorbs everything slower).
-pub const LATENCY_BUCKETS: usize = 24;
-
-/// Log₂ bucket index for a wall time.
-fn bucket_of(wall: Duration) -> usize {
-    let us = wall.as_micros().max(1) as u64;
-    (63 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
-}
-
-/// Latency percentile estimate from a log₂ histogram (`q` in `0.0..=1.0`),
-/// as the upper bound of the bucket containing the q-quantile.
-fn percentile_us(hist: &[u64; LATENCY_BUCKETS], q: f64) -> u64 {
-    let total: u64 = hist.iter().sum();
-    if total == 0 {
-        return 0;
-    }
-    let rank = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
-    let mut seen = 0;
-    for (i, &n) in hist.iter().enumerate() {
-        seen += n;
-        if seen >= rank.max(1) {
-            return 1u64 << (i + 1);
-        }
-    }
-    1u64 << LATENCY_BUCKETS
-}
+pub use udp_obs::LATENCY_BUCKETS;
 
 /// Per-backend breakdown of the portfolio attempts a session has made
 /// (cache hits never reach a backend and are not counted here).
@@ -48,13 +28,13 @@ pub struct BackendStats {
     /// Total wall time spent inside this backend.
     pub wall: Duration,
     /// Log₂ histogram of per-attempt latency in microseconds.
-    pub latency_us: [u64; LATENCY_BUCKETS],
+    pub latency_us: Histogram,
 }
 
 impl BackendStats {
     /// Latency percentile estimate for this backend's attempts.
     pub fn latency_percentile_us(&self, q: f64) -> u64 {
-        percentile_us(&self.latency_us, q)
+        self.latency_us.percentile_us(q)
     }
 
     /// Share of attempts settled definitely by this backend (0.0 when it
@@ -88,14 +68,16 @@ pub struct ServiceStats {
     /// not the per-goal sum).
     pub batch_wall: Duration,
     /// Log₂ histogram of per-goal latency in microseconds.
-    pub latency_us: [u64; LATENCY_BUCKETS],
+    pub latency_us: Histogram,
     /// Per-backend portfolio breakdown, keyed by backend name.
     pub backends: BTreeMap<&'static str, BackendStats>,
 }
 
 impl ServiceStats {
-    /// Record one finished goal.
-    pub(crate) fn record(&mut self, wall: Duration, cached: bool, proved: bool, error: bool) {
+    /// Record one finished goal. Public so drivers that bypass
+    /// [`crate::Session`] (the sequential `udp-verify` path) can aggregate
+    /// with the exact same classification.
+    pub fn record(&mut self, wall: Duration, cached: bool, proved: bool, error: bool) {
         self.goals += 1;
         if error {
             self.errors += 1;
@@ -108,11 +90,11 @@ impl ServiceStats {
             self.proved += 1;
         }
         self.goal_wall += wall;
-        self.latency_us[bucket_of(wall)] += 1;
+        self.latency_us.record(wall);
     }
 
     /// Record one backend attempt from a portfolio run.
-    pub(crate) fn record_backend(
+    pub fn record_backend(
         &mut self,
         backend: &'static str,
         definite: bool,
@@ -134,7 +116,7 @@ impl ServiceStats {
             b.settled += 1;
         }
         b.wall += wall;
-        b.latency_us[bucket_of(wall)] += 1;
+        b.latency_us.record(wall);
     }
 
     /// Cache hit rate over goals that reached the cache (0.0 when none did).
@@ -160,7 +142,26 @@ impl ServiceStats {
     /// Latency percentile estimate from the histogram (`q` in `0.0..=1.0`),
     /// as the upper bound of the bucket containing the q-quantile.
     pub fn latency_percentile_us(&self, q: f64) -> u64 {
-        percentile_us(&self.latency_us, q)
+        self.latency_us.percentile_us(q)
+    }
+
+    /// The per-backend breakdown as [`udp_obs::BackendSummary`] rows, the
+    /// shape the metrics JSON snapshot embeds.
+    pub fn backend_summaries(&self) -> Vec<BackendSummary> {
+        self.backends
+            .iter()
+            .map(|(name, b)| BackendSummary {
+                name: (*name).to_string(),
+                calls: b.calls,
+                definite: b.definite,
+                proved: b.proved,
+                unknown: b.unknown,
+                settled: b.settled,
+                wall_us: b.wall.as_nanos() as f64 / 1_000.0,
+                p50_us: b.latency_percentile_us(0.5),
+                p99_us: b.latency_percentile_us(0.99),
+            })
+            .collect()
     }
 
     /// Human-readable one-stop report (one extra line per backend the
@@ -256,5 +257,20 @@ mod tests {
         let r = s.render();
         assert!(r.contains("backend sym:"), "{r}");
         assert!(r.contains("backend udp:"), "{r}");
+    }
+
+    #[test]
+    fn backend_summaries_mirror_the_breakdown() {
+        let mut s = ServiceStats::default();
+        s.record_backend("sym", true, true, Duration::from_micros(4), true);
+        s.record_backend("udp", false, false, Duration::from_micros(40), false);
+        let rows = s.backend_summaries();
+        assert_eq!(rows.len(), 2);
+        let sym = rows.iter().find(|r| r.name == "sym").unwrap();
+        assert_eq!(sym.calls, 1);
+        assert_eq!(sym.proved, 1);
+        assert!(sym.wall_us > 3.0);
+        let udp = rows.iter().find(|r| r.name == "udp").unwrap();
+        assert_eq!(udp.unknown, 1);
     }
 }

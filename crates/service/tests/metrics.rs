@@ -1,0 +1,213 @@
+//! Integration tests for the `udp-obs` stage instrumentation threaded
+//! through a service session:
+//!
+//! * per-stage call counts and histogram totals are identical across
+//!   worker counts (the scheduler records `queue-wait` in both branches
+//!   precisely to keep this invariant);
+//! * goal waterfalls never attribute more goal-path time than the goal's
+//!   measured wall, and session-wide coverage stays in `(0, 1]`;
+//! * the metrics JSON snapshot round-trips through the bundled parser;
+//! * `GoalReport::steps` carries the prover's step count.
+
+use std::time::Duration;
+use udp_obs::{json, Recorder, Stage};
+use udp_service::{Session, SessionConfig, SolveMode};
+
+const DDL: &str = "schema rs(k:int, a:int, b:int);\nschema ss(k2:int, c:int);\n\
+                   table r(rs);\ntable s(ss);\nkey r(k);\n";
+
+const GOAL_LINES: [&str; 6] = [
+    "SELECT x.a AS a FROM r x WHERE x.k = 1 == SELECT x.a AS a FROM r x WHERE x.k = 1",
+    "SELECT u.a AS a, w.c AS c FROM r u, s w WHERE u.k = w.k2 AND u.a = 3 \
+     == SELECT u.a AS a, w.c AS c FROM (SELECT * FROM r v WHERE v.a = 3) u, s w \
+        WHERE u.k = w.k2",
+    "SELECT DISTINCT x.a AS a FROM r x WHERE EXISTS (SELECT * FROM s y WHERE y.k2 = x.k) \
+     == SELECT DISTINCT x.a AS a FROM r x, s y WHERE y.k2 = x.k",
+    "SELECT x.k AS k, SUM(x.a) AS t FROM r x GROUP BY x.k \
+     == SELECT q.k AS k, SUM(q.a) AS t FROM r q GROUP BY q.k",
+    "SELECT x.a AS a FROM r x WHERE x.a = 2 == SELECT y.a AS a FROM r y WHERE y.a = 7",
+    "SELECT x.a AS a FROM r x WHERE x.b = 5 == SELECT y.a AS a FROM r y WHERE y.b = 5",
+];
+
+fn run_session(workers: usize, cache: usize, mode: SolveMode) -> (Recorder, Session) {
+    let recorder = Recorder::enabled();
+    let config = SessionConfig {
+        workers,
+        cache_capacity: cache,
+        steps: Some(2_000_000),
+        wall: Some(Duration::from_secs(10)),
+        mode,
+        recorder: recorder.clone(),
+        ..SessionConfig::default()
+    };
+    let session = Session::new(DDL, config).unwrap();
+    let goals: Vec<_> = GOAL_LINES
+        .iter()
+        .map(|l| session.parse_goal(l).unwrap())
+        .collect();
+    let reports = session.verify_batch(&goals);
+    assert_eq!(reports.len(), GOAL_LINES.len());
+    (recorder, session)
+}
+
+/// Per-stage call counts and histogram totals must not depend on how many
+/// workers processed the batch (caching off so every goal runs the prover).
+#[test]
+fn stage_counts_are_identical_across_worker_counts() {
+    let snapshots: Vec<_> = [1usize, 2, 4]
+        .iter()
+        .map(|&w| run_session(w, 0, SolveMode::Cascade).0.snapshot())
+        .collect();
+    let base = &snapshots[0];
+    assert_eq!(base.goals, GOAL_LINES.len() as u64);
+    for snap in &snapshots[1..] {
+        assert_eq!(snap.goals, base.goals);
+        for stage in Stage::ALL {
+            let a = base.stage(stage).unwrap();
+            let b = snap.stage(stage).unwrap();
+            assert_eq!(
+                a.calls, b.calls,
+                "stage `{stage}` call count must not depend on worker count"
+            );
+            assert_eq!(
+                a.hist.total(),
+                b.hist.total(),
+                "stage `{stage}` histogram total must not depend on worker count"
+            );
+            assert_eq!(a.steps, b.steps, "stage `{stage}` step totals must agree");
+        }
+        assert_eq!(snap.open_spans, 0, "no span may stay open at quiescence");
+    }
+    // Every goal passes each exclusive pipeline stage exactly once; with
+    // caching off and fingerprints unrequested, the fingerprint and cache
+    // stages are skipped entirely (their cost would be pure waste).
+    for stage in [Stage::Lower, Stage::Canonize, Stage::QueueWait] {
+        assert_eq!(
+            base.stage(stage).unwrap().calls,
+            GOAL_LINES.len() as u64,
+            "stage `{stage}` must run once per goal"
+        );
+    }
+    for stage in [Stage::Fingerprint, Stage::CacheLookup] {
+        assert_eq!(
+            base.stage(stage).unwrap().calls,
+            0,
+            "stage `{stage}` must be skipped when nothing consumes it"
+        );
+    }
+}
+
+/// A goal's recorded goal-path stage time can never exceed its measured
+/// wall, and overall coverage stays within `(0, 1]` (plus timer slack).
+#[test]
+fn waterfalls_are_bounded_and_coverage_is_sane() {
+    let (recorder, _session) = run_session(2, 0, SolveMode::Cascade);
+    let snap = recorder.snapshot();
+    assert!(!snap.slow_goals.is_empty(), "slow-goal list must populate");
+    for trace in &snap.slow_goals {
+        let path_sum: u64 = trace
+            .stages
+            .iter()
+            .filter(|(s, _, _)| s.in_goal_path())
+            .map(|(_, ns, _)| *ns)
+            .sum();
+        assert!(
+            path_sum <= trace.wall_ns,
+            "goal `{}`: stage sum {path_sum}ns exceeds wall {}ns",
+            trace.label,
+            trace.wall_ns
+        );
+    }
+    let coverage = snap.coverage();
+    assert!(
+        coverage > 0.0 && coverage <= 1.001,
+        "coverage {coverage} out of range"
+    );
+}
+
+/// The JSON snapshot survives a round trip through the bundled parser with
+/// its headline numbers intact.
+#[test]
+fn metrics_json_round_trips() {
+    let (recorder, session) = run_session(1, 64, SolveMode::Cascade);
+    let snap = recorder.snapshot();
+    let text = snap.to_json(&session.stats().backend_summaries());
+    let v = json::parse(&text).expect("snapshot must be valid JSON");
+    assert_eq!(v.get("schema_version").and_then(|x| x.as_u64()), Some(1));
+    assert_eq!(
+        v.get("goals").and_then(|x| x.as_u64()),
+        Some(GOAL_LINES.len() as u64)
+    );
+    assert_eq!(v.get("open_spans").and_then(|x| x.as_u64()), Some(0));
+    let stages = v.get("stages").and_then(|x| x.as_array()).unwrap();
+    assert_eq!(stages.len(), Stage::COUNT);
+    for (entry, stage) in stages.iter().zip(Stage::ALL) {
+        assert_eq!(
+            entry.get("stage").and_then(|x| x.as_str()),
+            Some(stage.name()),
+            "stages must serialize in pipeline order"
+        );
+        assert_eq!(
+            entry
+                .get("hist")
+                .and_then(|x| x.as_array())
+                .map(|a| a.len()),
+            Some(udp_obs::LATENCY_BUCKETS)
+        );
+    }
+    let json_cov = v.get("coverage").and_then(|x| x.as_f64()).unwrap();
+    assert!((json_cov - snap.coverage()).abs() < 0.005);
+    let backends = v.get("backends").and_then(|x| x.as_array()).unwrap();
+    assert!(
+        backends
+            .iter()
+            .any(|b| b.get("name").and_then(|x| x.as_str()) == Some("udp")),
+        "cascade run must report the udp backend"
+    );
+}
+
+/// `GoalReport::steps` mirrors what the backends consumed: nonzero for a
+/// goal the prover actually ran, zero for a cache hit.
+#[test]
+fn goal_reports_carry_step_counts() {
+    let recorder = Recorder::enabled();
+    let config = SessionConfig {
+        workers: 1,
+        cache_capacity: 64,
+        steps: Some(2_000_000),
+        wall: Some(Duration::from_secs(10)),
+        recorder: recorder.clone(),
+        ..SessionConfig::default()
+    };
+    let session = Session::new(DDL, config).unwrap();
+    let line = "SELECT x.a AS a FROM r x WHERE x.k = 1 == SELECT x.a AS a FROM r x WHERE x.k = 1";
+    let goal = session.parse_goal(line).unwrap();
+    let reports = session.verify_batch(&[goal.clone(), goal]);
+    assert!(!reports[0].cached);
+    assert!(reports[0].steps > 0, "prover run must consume steps");
+    assert!(reports[1].cached);
+    assert_eq!(reports[1].steps, 0, "cache hits consume no prover steps");
+}
+
+/// The disabled recorder records nothing — its snapshot stays empty even
+/// after a full batch (the zero-cost default every caller gets implicitly).
+#[test]
+fn disabled_recorder_stays_empty() {
+    let config = SessionConfig {
+        workers: 2,
+        cache_capacity: 0,
+        steps: Some(2_000_000),
+        wall: Some(Duration::from_secs(10)),
+        ..SessionConfig::default()
+    };
+    let session = Session::new(DDL, config).unwrap();
+    let goals: Vec<_> = GOAL_LINES
+        .iter()
+        .map(|l| session.parse_goal(l).unwrap())
+        .collect();
+    session.verify_batch(&goals);
+    let snap = session.config().recorder.snapshot();
+    assert!(!snap.enabled);
+    assert_eq!(snap.goals, 0);
+    assert!(snap.stages.iter().all(|s| s.calls == 0));
+}

@@ -80,6 +80,9 @@ pub struct SolveConfig {
     /// backend as soon as a definite verdict arrives — caller-supplied
     /// flags keep working alongside it.
     pub cancel: Vec<Arc<AtomicBool>>,
+    /// Stage-metrics sink passed down to backends (nested canonize-core /
+    /// congruence spans). The default disabled handle is free.
+    pub recorder: udp_obs::Recorder,
 }
 
 impl Default for SolveConfig {
@@ -90,6 +93,7 @@ impl Default for SolveConfig {
             options: Options::default(),
             record_trace: false,
             cancel: Vec::new(),
+            recorder: udp_obs::Recorder::disabled(),
         }
     }
 }

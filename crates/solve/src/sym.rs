@@ -198,7 +198,8 @@ impl Backend for SymBackend {
 
         let mut ctx = Ctx::new(goal.catalog, goal.constraints)
             .with_budget(goal.config.budget())
-            .with_options(goal.config.options.clone());
+            .with_options(goal.config.options.clone())
+            .with_recorder(goal.config.recorder.clone());
         let watermark = goal.nf1.max_var().max(goal.nf2.max_var()).max(goal.out.0) + 1;
         ctx.gen.reserve(VarId(watermark));
         ctx.declare_free(goal.out, goal.schema1);

@@ -19,6 +19,7 @@ impl Backend for UdpBackend {
             budget: Some(goal.config.budget()),
             options: goal.config.options.clone(),
             record_trace: goal.config.record_trace,
+            recorder: goal.config.recorder.clone(),
         };
         let verdict = decide_normalized_with(
             goal.catalog,

@@ -23,6 +23,10 @@ pub struct Frontend {
     pub views: HashMap<String, Query>,
     /// `verify` goals in program order.
     pub goals: Vec<(Query, Query)>,
+    /// Stage-metrics sink: lowering (and, via `udp-ext`, desugaring) record
+    /// through this handle, which drivers replace with an enabled recorder.
+    /// The default disabled handle is free.
+    pub recorder: udp_obs::Recorder,
 }
 
 /// Errors from catalog construction.

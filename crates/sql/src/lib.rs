@@ -102,6 +102,30 @@ pub fn prepare_program(input: &str) -> Result<Frontend, VerifyError> {
     prepare_program_in(input, Dialect::Paper)
 }
 
+/// [`prepare_program_in`] with an observability recorder: program parsing
+/// and catalog construction are recorded as one `parse` stage occurrence,
+/// and the returned frontend carries the recorder so lowering (and
+/// desugaring, via `udp-ext`) report through it.
+pub fn prepare_program_rec(
+    input: &str,
+    dialect: Dialect,
+    recorder: udp_obs::Recorder,
+) -> Result<Frontend, VerifyError> {
+    let mut fe = recorder.time(udp_obs::Stage::Parse, || prepare_program_in(input, dialect))?;
+    fe.recorder = recorder;
+    Ok(fe)
+}
+
+/// [`parse_goal_in`] with an observability recorder: the goal-line parse is
+/// recorded as one `parse` stage occurrence.
+pub fn parse_goal_rec(
+    line: &str,
+    dialect: Dialect,
+    recorder: &udp_obs::Recorder,
+) -> Result<(ast::Query, ast::Query), ParseError> {
+    recorder.time(udp_obs::Stage::Parse, || parse_goal_in(line, dialect))
+}
+
 /// Lower one goal pair against a prepared frontend, with a fresh variable
 /// generator (goals are independent verification problems). The frontend
 /// gains any anonymous subquery schemas the goal needs.
@@ -109,6 +133,11 @@ pub fn lower_goal(
     fe: &mut Frontend,
     goal: &(ast::Query, ast::Query),
 ) -> Result<(udp_core::QueryU, udp_core::QueryU), VerifyError> {
+    // Single global writer for the `lower` stage: every driver (sequential
+    // CLI, batch service) funnels through here, so recording at this level
+    // counts each goal's lowering exactly once.
+    let recorder = fe.recorder.clone();
+    let _span = recorder.span(udp_obs::Stage::Lower);
     let mut gen = udp_core::expr::VarGen::new();
     let q1 = lower_query(fe, &mut gen, &goal.0).map_err(VerifyError::Lower)?;
     let q2 = lower_query(fe, &mut gen, &goal.1).map_err(VerifyError::Lower)?;

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! udp-serve SCHEMA.sql [--jobs N] [--extended] [--full] [--timeout SECS] [--steps N]
-//!                      [--cache-size N] [--stats] [--fingerprints]
+//!                      [--cache-size N] [--stats] [--stats-every N] [--fingerprints]
 //!                      [--backend udp|sym|cascade|race|crosscheck]
+//!                      [--metrics-json PATH] [--trace-goals N]
 //! ```
 //!
 //! `SCHEMA.sql` declares the shared catalog (schema/table/key/foreign
@@ -23,11 +24,20 @@
 //! chunk through the parallel scheduler (responses still appear in order);
 //! EOF flushes the rest. `--stats` prints a throughput/cache/latency summary
 //! (plus a per-backend breakdown when a portfolio mode ran) to stderr at
-//! exit; `--fingerprints` appends each side's canonical fingerprint to
-//! response lines (they are stable across runs). `--backend` selects the
-//! `udp-solve` portfolio mode — decisions are identical across modes (and
-//! byte-identical across worker counts), only cost and cross-validation
-//! strength differ; a `crosscheck` disagreement reports as an error line.
+//! exit; `--stats-every N` prints the same running summary to stderr after
+//! every N flushed chunks (long-lived sessions get periodic progress without
+//! waiting for EOF); `--fingerprints` appends each side's canonical
+//! fingerprint to response lines (they are stable across runs). `--backend`
+//! selects the `udp-solve` portfolio mode — decisions are identical across
+//! modes (and byte-identical across worker counts), only cost and
+//! cross-validation strength differ; a `crosscheck` disagreement reports as
+//! an error line.
+//!
+//! Observability: `--metrics-json PATH` enables the `udp-obs` stage
+//! recorder and writes the machine-readable snapshot to `PATH` at exit;
+//! `--trace-goals N` prints the N slowest goals with their stage waterfalls
+//! to stderr at exit. All metrics output goes to stderr or `PATH`, so the
+//! stdout protocol stays byte-identical.
 //!
 //! Exit codes: `0` every goal proved, `2` some goal was not proved, `1`
 //! input/schema errors, `64` usage errors.
@@ -35,6 +45,7 @@
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::time::Duration;
+use udp_obs::Recorder;
 use udp_service::{GoalReport, Session, SessionConfig};
 
 fn main() -> ExitCode {
@@ -42,7 +53,10 @@ fn main() -> ExitCode {
     let mut file = None;
     let mut config = SessionConfig::default();
     let mut show_stats = false;
+    let mut stats_every = 0usize;
     let mut show_fingerprints = false;
+    let mut metrics_json: Option<String> = None;
+    let mut trace_goals = 0usize;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -62,10 +76,19 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| usage("missing or unknown value for --backend"));
             }
             "--stats" => show_stats = true,
+            "--stats-every" => stats_every = parse_num(it.next(), "--stats-every"),
             "--fingerprints" => {
                 show_fingerprints = true;
                 config.fingerprints = true;
             }
+            "--metrics-json" => {
+                metrics_json = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage("missing value for --metrics-json")),
+                );
+            }
+            "--trace-goals" => trace_goals = parse_num(it.next(), "--trace-goals"),
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag `{other}`")),
             other if file.is_none() => file = Some(other.to_string()),
@@ -82,6 +105,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let recorder = if metrics_json.is_some() || trace_goals > 0 {
+        Recorder::with_slow_capacity(trace_goals.max(udp_obs::DEFAULT_SLOW_CAPACITY))
+    } else {
+        Recorder::disabled()
+    };
+    config.recorder = recorder.clone();
     let session = match Session::new(&text, config) {
         Ok(s) => s,
         Err(e) => {
@@ -95,6 +124,7 @@ fn main() -> ExitCode {
     let mut seq = 0usize;
     let mut all_proved = true;
     let mut any_error = false;
+    let mut chunks_flushed = 0usize;
 
     // Startup batch: goals declared in the schema file itself.
     let program_goals = session.program_goals();
@@ -115,10 +145,10 @@ fn main() -> ExitCode {
         Result<(udp_sql::ast::Query, udp_sql::ast::Query), String>,
     );
     let mut pending: Vec<ParsedLine> = Vec::new();
-    let flush = |pending: &mut Vec<ParsedLine>,
-                 out: &mut dyn Write,
-                 all_proved: &mut bool,
-                 any_error: &mut bool| {
+    let mut flush = |pending: &mut Vec<ParsedLine>,
+                     out: &mut dyn Write,
+                     all_proved: &mut bool,
+                     any_error: &mut bool| {
         let goals: Vec<_> = pending
             .iter()
             .filter_map(|(_, g)| g.as_ref().ok().cloned())
@@ -138,6 +168,13 @@ fn main() -> ExitCode {
             }
         }
         let _ = out.flush();
+        chunks_flushed += 1;
+        if stats_every > 0 && chunks_flushed % stats_every == 0 {
+            eprintln!(
+                "[stats after {chunks_flushed} chunks] {}",
+                session.stats().render()
+            );
+        }
     };
 
     let stdin = std::io::stdin();
@@ -165,6 +202,19 @@ fn main() -> ExitCode {
 
     if show_stats {
         eprintln!("{}", session.stats().render());
+    }
+    if recorder.is_enabled() {
+        let snapshot = recorder.snapshot();
+        if trace_goals > 0 {
+            eprint!("{}", snapshot.render_slow_goals(trace_goals));
+        }
+        if let Some(path) = &metrics_json {
+            let json = snapshot.to_json(&session.stats().backend_summaries());
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("error writing metrics to `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if any_error {
         ExitCode::FAILURE
@@ -204,8 +254,8 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: udp-serve SCHEMA.sql [--jobs N] [--extended] [--full] [--timeout SECS] [--steps N] \
-         [--cache-size N] [--stats] [--fingerprints] \
-         [--backend udp|sym|cascade|race|crosscheck]"
+         [--cache-size N] [--stats] [--stats-every N] [--fingerprints] \
+         [--backend udp|sym|cascade|race|crosscheck] [--metrics-json PATH] [--trace-goals N]"
     );
     std::process::exit(64);
 }

@@ -4,6 +4,7 @@
 //! udp-verify FILE.sql [--trace] [--check-trace] [--counterexample]
 //!                     [--spnf] [--extended] [--full] [--timeout SECS] [--jobs N]
 //!                     [--backend udp|sym|cascade|race|crosscheck] [--stats]
+//!                     [--metrics-json PATH] [--trace-goals N]
 //! ```
 //!
 //! Reads an input program (schema/table/key/foreign key/view/index
@@ -29,14 +30,23 @@
 //! (calls, definite verdicts, Unknown fall-throughs, p50/p99) to stderr at
 //! exit.
 //!
+//! Observability: `--metrics-json PATH` enables the `udp-obs` stage
+//! recorder and writes the machine-readable snapshot (schema version 1 —
+//! per-stage totals, shares, p50/p99, per-backend breakdowns) to `PATH` on
+//! exit; `--trace-goals N` prints the N slowest goals with their stage
+//! waterfalls to stderr. Either flag turns recording on; with neither, the
+//! instrumentation stays in its free disabled mode.
+//!
 //! The frontend (parse + catalog) is built once and reused by every mode;
 //! each goal is lowered exactly once on the sequential path, feeding both
 //! the `--spnf` printer and the decision procedure.
 
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use udp_core::budget::Budget;
 use udp_core::DecideConfig;
+use udp_obs::{Recorder, Stage};
+use udp_service::ServiceStats;
 use udp_solve::SolveMode;
 
 fn main() -> ExitCode {
@@ -51,6 +61,8 @@ fn main() -> ExitCode {
     let mut jobs = 1usize;
     let mut mode = SolveMode::Udp;
     let mut show_stats = false;
+    let mut metrics_json: Option<String> = None;
+    let mut trace_goals = 0usize;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -83,6 +95,19 @@ fn main() -> ExitCode {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("missing value for --jobs"));
             }
+            "--metrics-json" => {
+                metrics_json = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage("missing value for --metrics-json")),
+                );
+            }
+            "--trace-goals" => {
+                trace_goals = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --trace-goals"));
+            }
             "--help" | "-h" => {
                 usage("");
             }
@@ -101,6 +126,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Either observability flag enables the recorder; otherwise every
+    // instrumentation point in the pipeline stays a no-op.
+    let recorder = if metrics_json.is_some() || trace_goals > 0 {
+        Recorder::with_slow_capacity(trace_goals.max(udp_obs::DEFAULT_SLOW_CAPACITY))
+    } else {
+        Recorder::disabled()
+    };
 
     // Trace replay validates an actual UDP proof script; goals settled by
     // the symbolic backend carry no trace, so the check would be vacuous
@@ -111,7 +143,18 @@ fn main() -> ExitCode {
     }
     let sequential_only = spnf || check_trace || counterexample;
     if jobs > 1 && !sequential_only {
-        return run_parallel(&text, dialect, jobs, timeout, trace, mode, show_stats);
+        return run_parallel(
+            &text,
+            dialect,
+            jobs,
+            timeout,
+            trace,
+            mode,
+            show_stats,
+            recorder,
+            metrics_json.as_deref(),
+            trace_goals,
+        );
     }
     if jobs > 1 {
         eprintln!("note: --spnf/--check-trace/--counterexample run sequentially; ignoring --jobs");
@@ -121,36 +164,30 @@ fn main() -> ExitCode {
     // the SPNF printer and the decision procedure. The full dialect routes
     // through udp-ext (outer-join elimination + NULL encoding) and may
     // carry parser warnings (stripped ORDER BY clauses).
-    let mut fe = if dialect == udp_sql::Dialect::Full {
-        match udp_ext::prepare_program(&text) {
-            Ok((fe, warnings)) => {
+    let prepared = recorder.time(Stage::Parse, || {
+        if dialect == udp_sql::Dialect::Full {
+            udp_ext::prepare_program(&text).map(|(fe, warnings)| {
                 for w in &warnings {
                     eprintln!("{w}");
                 }
                 fe
-            }
-            Err(e) => {
-                if let Some(f) = e.unsupported_feature() {
-                    println!("unsupported: {f}");
-                    return ExitCode::from(3);
-                }
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
+            })
+        } else {
+            udp_sql::prepare_program_in(&text, dialect).map_err(udp_ext::FullError::Sql)
         }
-    } else {
-        match udp_sql::prepare_program_in(&text, dialect) {
-            Ok(fe) => fe,
-            Err(e) => {
-                if let Some(f) = e.unsupported_feature() {
-                    println!("unsupported: {f}");
-                    return ExitCode::from(3);
-                }
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
+    });
+    let mut fe = match prepared {
+        Ok(fe) => fe,
+        Err(e) => {
+            if let Some(f) = e.unsupported_feature() {
+                println!("unsupported: {f}");
+                return ExitCode::from(3);
             }
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
         }
     };
+    fe.recorder = recorder.clone();
     let goals = fe.goals.clone();
     let config = DecideConfig {
         budget: Some(Budget::new(
@@ -158,19 +195,30 @@ fn main() -> ExitCode {
             Some(Duration::from_secs(timeout)),
         )),
         record_trace: trace,
+        recorder: recorder.clone(),
         ..Default::default()
     };
     let solve_config = udp_solve::SolveConfig {
         steps: Some(20_000_000),
         wall: Some(Duration::from_secs(timeout)),
         record_trace: trace,
+        recorder: recorder.clone(),
         ..Default::default()
     };
 
+    // The sequential path aggregates into the same `ServiceStats` shape the
+    // service session uses, so `--stats` and the metrics snapshot report
+    // identically from either path.
+    let batch_start = Instant::now();
     let mut results = Vec::with_capacity(goals.len());
-    let mut cli_stats = CliStats::default();
+    let mut stats = ServiceStats::default();
     for (i, goal) in goals.iter().enumerate() {
-        let (q1, q2) = match udp_sql::lower_goal(&mut fe, goal) {
+        let goal_start = Instant::now();
+        let mut obs = recorder.goal();
+        // Lowering records its global stage totals inside `udp-sql`;
+        // `time_local` adds it to this goal's waterfall only.
+        let lowered = obs.time_local(Stage::Lower, || udp_sql::lower_goal(&mut fe, goal));
+        let (q1, q2) = match lowered {
             Ok(pair) => pair,
             Err(e) => {
                 eprintln!("error lowering goal {}: {e}", i + 1);
@@ -186,30 +234,58 @@ fn main() -> ExitCode {
         // The historical UDP mode keeps the direct `decide_with` path (its
         // stats report pre-SPNF sizes); portfolio modes route through
         // udp-solve over the same lowered pair.
+        let mut steps = 0u64;
         let verdict = if mode == SolveMode::Udp {
             let v = udp_core::decide_with(&fe.catalog, &fe.constraints, &q1, &q2, config.clone());
-            cli_stats.note("udp", true, v.stats.wall);
+            let definite = !matches!(v.decision, udp_core::Decision::Timeout);
+            stats.record_backend("udp", definite, v.decision.is_proved(), v.stats.wall, true);
+            obs.add(Stage::UdpProve, v.stats.wall, v.stats.steps_used);
+            steps = v.stats.steps_used;
             v
         } else {
-            let report = udp_solve::solve_queries(
-                &fe.catalog,
-                &fe.constraints,
-                &q1,
-                &q2,
-                mode,
-                solve_config.clone(),
-            );
+            // Normalize explicitly (rather than inside `solve_queries`) so
+            // the SPNF/canonize cost lands in the `canonize` stage exactly
+            // as it does on the service path.
+            let (nf1, nf2) = obs.time(Stage::Canonize, || udp_solve::normalize_pair(&q1, &q2));
+            let goal = udp_solve::Goal {
+                catalog: &fe.catalog,
+                constraints: &fe.constraints,
+                out: q1.out,
+                schema1: q1.schema,
+                schema2: q2.schema,
+                nf1: &nf1,
+                nf2: &nf2,
+                config: solve_config.clone(),
+            };
+            let report = udp_solve::solve_normalized(&goal, mode);
             if let Some(d) = report.disagreement {
                 eprintln!("goal {}: backend disagreement: {d}", i + 1);
                 return ExitCode::FAILURE;
             }
             for a in &report.attempts {
-                cli_stats.note(a.backend, a.backend == report.settled_by, a.wall);
+                stats.record_backend(
+                    a.backend,
+                    a.outcome.is_definite(),
+                    matches!(a.outcome, udp_solve::BackendOutcome::Proved),
+                    a.wall,
+                    a.backend == report.settled_by,
+                );
+                let stage = if a.backend == "sym" {
+                    Stage::SymProve
+                } else {
+                    Stage::UdpProve
+                };
+                obs.add(stage, a.wall, a.steps);
+                steps += a.steps;
             }
             report.verdict
         };
+        let wall = goal_start.elapsed();
+        stats.record(wall, false, verdict.decision.is_proved(), false);
+        obs.finish(|| format!("goal {}", i + 1), wall, steps);
         results.push(verdict);
     }
+    stats.batch_wall = batch_start.elapsed();
 
     let mut all_proved = true;
     for (i, v) in results.iter().enumerate() {
@@ -222,7 +298,7 @@ fn main() -> ExitCode {
         }
     }
     if show_stats {
-        eprintln!("{}", cli_stats.render(results.len()));
+        eprintln!("{}", stats.render());
     }
 
     if check_trace && all_proved {
@@ -243,7 +319,9 @@ fn main() -> ExitCode {
     }
 
     if counterexample && !all_proved {
-        match udp_eval::check_program_in(&text, dialect, 500) {
+        match recorder.time(Stage::Counterexample, || {
+            udp_eval::check_program_in(&text, dialect, 500)
+        }) {
             Ok(udp_eval::SearchResult::Refuted(ce)) => {
                 println!("{}", ce.render(&fe));
             }
@@ -257,6 +335,11 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Err(e) = emit_observability(&recorder, &stats, metrics_json.as_deref(), trace_goals) {
+        eprintln!("error writing metrics: {e}");
+        return ExitCode::FAILURE;
+    }
+
     if all_proved {
         ExitCode::SUCCESS
     } else {
@@ -264,37 +347,30 @@ fn main() -> ExitCode {
     }
 }
 
-/// Minimal per-backend aggregation for the sequential `--stats` summary
-/// (the parallel path reports the richer `ServiceStats` instead).
-#[derive(Default)]
-struct CliStats {
-    backends: std::collections::BTreeMap<&'static str, (u64, u64, Duration)>,
-}
-
-impl CliStats {
-    fn note(&mut self, backend: &'static str, settled: bool, wall: Duration) {
-        let e = self.backends.entry(backend).or_default();
-        e.0 += 1;
-        if settled {
-            e.1 += 1;
-        }
-        e.2 += wall;
+/// Write the `--metrics-json` snapshot and/or print the `--trace-goals`
+/// waterfalls; no-ops when the recorder is disabled.
+fn emit_observability(
+    recorder: &Recorder,
+    stats: &ServiceStats,
+    metrics_json: Option<&str>,
+    trace_goals: usize,
+) -> std::io::Result<()> {
+    if !recorder.is_enabled() {
+        return Ok(());
     }
-
-    fn render(&self, goals: usize) -> String {
-        let mut out = format!("{goals} goal(s)");
-        for (name, (calls, settled, wall)) in &self.backends {
-            out.push_str(&format!(
-                " | backend {name}: {calls} calls, settled {settled}, {:.2} ms",
-                wall.as_secs_f64() * 1e3
-            ));
-        }
-        out
+    let snapshot = recorder.snapshot();
+    if trace_goals > 0 {
+        eprint!("{}", snapshot.render_slow_goals(trace_goals));
     }
+    if let Some(path) = metrics_json {
+        std::fs::write(path, snapshot.to_json(&stats.backend_summaries()))?;
+    }
+    Ok(())
 }
 
 /// Batch mode: verify the program's goals on an N-worker service session
 /// with fingerprint caching. Output format matches the sequential path.
+#[allow(clippy::too_many_arguments)]
 fn run_parallel(
     text: &str,
     dialect: udp_sql::Dialect,
@@ -303,6 +379,9 @@ fn run_parallel(
     trace: bool,
     mode: SolveMode,
     show_stats: bool,
+    recorder: Recorder,
+    metrics_json: Option<&str>,
+    trace_goals: usize,
 ) -> ExitCode {
     let config = udp_service::SessionConfig {
         workers: jobs,
@@ -311,6 +390,7 @@ fn run_parallel(
         dialect,
         record_trace: trace,
         mode,
+        recorder: recorder.clone(),
         ..Default::default()
     };
     let session = match udp_service::Session::new(text, config) {
@@ -346,6 +426,10 @@ fn run_parallel(
     if show_stats {
         eprintln!("{}", session.stats().render());
     }
+    if let Err(e) = emit_observability(&recorder, &session.stats(), metrics_json, trace_goals) {
+        eprintln!("error writing metrics: {e}");
+        return ExitCode::FAILURE;
+    }
     if all_proved {
         ExitCode::SUCCESS
     } else {
@@ -372,7 +456,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: udp-verify FILE.sql [--trace] [--check-trace] [--counterexample] \
          [--spnf] [--extended] [--full] [--timeout SECS] [--jobs N] \
-         [--backend udp|sym|cascade|race|crosscheck] [--stats]"
+         [--backend udp|sym|cascade|race|crosscheck] [--stats] \
+         [--metrics-json PATH] [--trace-goals N]"
     );
     std::process::exit(64);
 }
