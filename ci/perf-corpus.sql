@@ -1,0 +1,96 @@
+-- Fixed workload behind the CI perf-regression gate and the trace smoke.
+--
+-- The goal mix mirrors the throughput bench's corpus-shaped workload:
+-- predicate pushdown through a join, EXISTS-to-join under DISTINCT,
+-- GROUP BY alias renames, UNION ALL commutation, and a sprinkle of
+-- non-theorems so both exit kinds of both backends appear. Deterministic
+-- counters over this file are byte-identical run to run; CI diffs them
+-- against ci/baseline-metrics.json with udp-prof-diff. Regenerate the
+-- baseline with the same udp-verify invocation CI uses (see
+-- .github/workflows/ci.yml) whenever the profile legitimately shifts.
+schema rs(k:int, a:int, b:int);
+schema ss(k2:int, c:int);
+table r(rs);
+table r2(rs);
+table s(ss);
+key r(k);
+
+verify
+SELECT x.a AS a, y.c AS c FROM r x, s y WHERE x.k = y.k2 AND x.a = 1
+==
+SELECT x.a AS a, y.c AS c FROM (SELECT * FROM r x2 WHERE x2.a = 1) x, s y WHERE x.k = y.k2;
+
+verify
+SELECT x.a AS a, y.c AS c FROM r x, s y WHERE x.k = y.k2 AND x.a = 2
+==
+SELECT x.a AS a, y.c AS c FROM (SELECT * FROM r x2 WHERE x2.a = 2) x, s y WHERE x.k = y.k2;
+
+verify
+SELECT u.a AS a, w.c AS c FROM r u, s w WHERE u.k = w.k2 AND u.a = 3
+==
+SELECT u.a AS a, w.c AS c FROM (SELECT * FROM r v WHERE v.a = 3) u, s w WHERE u.k = w.k2;
+
+verify
+SELECT DISTINCT x.a AS a FROM r x WHERE EXISTS (SELECT * FROM s y WHERE y.k2 = x.k) AND x.b = 4
+==
+SELECT DISTINCT x.a AS a FROM r x, s y WHERE y.k2 = x.k AND x.b = 4;
+
+verify
+SELECT DISTINCT x.a AS a FROM r x WHERE EXISTS (SELECT * FROM s y WHERE y.k2 = x.k) AND x.b = 5
+==
+SELECT DISTINCT x.a AS a FROM r x, s y WHERE y.k2 = x.k AND x.b = 5;
+
+verify
+SELECT x.k AS k, SUM(x.a) AS t FROM r x WHERE x.b = 6 GROUP BY x.k
+==
+SELECT q.k AS k, SUM(q.a) AS t FROM r q WHERE q.b = 6 GROUP BY q.k;
+
+verify
+SELECT x.k AS k, SUM(x.a) AS t FROM r x WHERE x.b = 7 GROUP BY x.k
+==
+SELECT q.k AS k, SUM(q.a) AS t FROM r q WHERE q.b = 7 GROUP BY q.k;
+
+verify
+SELECT x.a AS v FROM r x WHERE x.a = 8 UNION ALL SELECT z.a AS v FROM r2 z
+==
+SELECT z.a AS v FROM r2 z UNION ALL SELECT x.a AS v FROM r x WHERE x.a = 8;
+
+verify
+SELECT x.a AS v FROM r x WHERE x.a = 9 UNION ALL SELECT z.a AS v FROM r2 z
+==
+SELECT z.a AS v FROM r2 z UNION ALL SELECT x.a AS v FROM r x WHERE x.a = 9;
+
+verify
+SELECT x.a AS a FROM r x WHERE x.k = 10
+==
+SELECT x.a AS a FROM r x WHERE x.k = 10;
+
+verify
+SELECT x.a AS a FROM r x WHERE x.a = 11 AND x.b = 12
+==
+SELECT y.a AS a FROM r y WHERE y.b = 12 AND y.a = 11;
+
+verify
+SELECT x.a AS a FROM r x WHERE x.a = 13
+==
+SELECT y.a AS a FROM r y WHERE y.a = 400;
+
+verify
+SELECT x.a AS a FROM r x WHERE x.b = 14
+==
+SELECT y.a AS a FROM r y WHERE y.b = 401;
+
+verify
+SELECT DISTINCT x.a AS a FROM r x
+==
+SELECT DISTINCT y.a AS a FROM (SELECT * FROM r z) y;
+
+verify
+SELECT x.a AS a, x.b AS b FROM r x WHERE x.a = 15
+==
+SELECT y.a AS a, y.b AS b FROM r y WHERE y.a = 15 AND y.a = 15;
+
+verify
+SELECT x.a AS a FROM r x, r2 z WHERE x.k = z.k AND x.a = 16
+==
+SELECT x.a AS a FROM r2 z, r x WHERE z.k = x.k AND x.a = 16;

@@ -14,14 +14,16 @@
 //! The observability self-profile rides along: it measures the `udp-obs`
 //! recorder's overhead (enabled vs the default disabled handle, uncached
 //! 1-worker workload) and runs a stage-attribution sweep over the corpus,
-//! writing `BENCH_obs.json` (per-stage shares and the goal-path coverage
-//! fraction, expected ≥ 0.90).
+//! writing `BENCH_obs.json` — per-stage shares, the goal-path coverage
+//! fraction (expected ≥ 0.90), and the deterministic counter deltas per
+//! corpus goal family (rewrite firings, congruence traffic, symbolic
+//! matcher work attributed to literature / calcite / bugs / extensions).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
-use udp_corpus::{all_rules, Expectation};
-use udp_obs::Recorder;
+use udp_corpus::{all_rules, Expectation, Source};
+use udp_obs::{Counter, Recorder};
 use udp_service::{Session, SessionConfig, SolveMode};
 use udp_sql::ast::Query;
 
@@ -171,40 +173,75 @@ fn obs_rate(reps: usize, recorder: &Recorder) -> f64 {
     best
 }
 
+/// Corpus families in the order they sweep; labels double as the keys of
+/// the `counters` object in `BENCH_obs.json`.
+const FAMILIES: [(Source, &str); 4] = [
+    (Source::Literature, "literature"),
+    (Source::Calcite, "calcite"),
+    (Source::Bugs, "bugs"),
+    (Source::Extension, "extensions"),
+];
+
 /// Stage-attribution sweep over the evaluation corpus under one shared
-/// enabled recorder (cascade mode, so both backends appear), returning the
-/// goal count and the aggregated snapshot.
-fn corpus_obs_sweep(recorder: &Recorder) -> usize {
+/// enabled recorder (cascade mode, so both backends appear). Rules run
+/// grouped by dataset family; the counters are monotone, so the snapshot
+/// delta across a family boundary attributes rewrite firings and matcher
+/// work to that family exactly. Disproof-expected rules additionally run
+/// the bounded counterexample search so the refutation path gets a stage
+/// row. Returns the goal count and the nonzero deterministic-counter
+/// deltas per family.
+fn corpus_obs_sweep(recorder: &Recorder) -> (usize, Vec<(&'static str, Vec<(Counter, u64)>)>) {
+    let rules = all_rules();
     let mut goals = 0usize;
-    for rule in all_rules() {
-        let config = SessionConfig {
-            workers: 1,
-            cache_capacity: 0,
-            steps: Some(if rule.expect == Expectation::Timeout {
-                300_000
-            } else {
-                5_000_000
-            }),
-            wall: Some(Duration::from_secs(25)),
-            dialect: rule.dialect,
-            mode: SolveMode::Cascade,
-            recorder: recorder.clone(),
-            ..SessionConfig::default()
-        };
-        let session = match Session::new(&rule.text, config) {
-            Ok(s) => s,
-            Err(_) => continue, // out-of-fragment rule
-        };
-        goals += session.verify_program_goals().len();
+    let mut families = Vec::new();
+    let mut prev = vec![0u64; Counter::COUNT];
+    for (source, label) in FAMILIES {
+        for rule in rules.iter().filter(|r| r.source == source) {
+            let config = SessionConfig {
+                workers: 1,
+                cache_capacity: 0,
+                steps: Some(if rule.expect == Expectation::Timeout {
+                    300_000
+                } else {
+                    5_000_000
+                }),
+                wall: Some(Duration::from_secs(25)),
+                dialect: rule.dialect,
+                mode: SolveMode::Cascade,
+                recorder: recorder.clone(),
+                ..SessionConfig::default()
+            };
+            let session = match Session::new(&rule.text, config) {
+                Ok(s) => s,
+                Err(_) => continue, // out-of-fragment rule
+            };
+            goals += session.verify_program_goals().len();
+            if rule.expect == Expectation::NotProved {
+                let _ = udp_eval::check_program_in_with(&rule.text, rule.dialect, 200, recorder);
+            }
+        }
+        let snap = recorder.snapshot();
+        let mut deltas = Vec::new();
+        for (i, counter) in Counter::ALL.into_iter().enumerate() {
+            let v = snap.counter(counter);
+            let delta = v - prev[i];
+            prev[i] = v;
+            if delta > 0 && counter.is_deterministic() {
+                deltas.push((counter, delta));
+            }
+        }
+        families.push((label, deltas));
     }
-    goals
+    (goals, families)
 }
 
 /// Observability self-profile: instrumentation overhead (enabled vs the
 /// default disabled handle on the uncached workload) and a corpus-wide
 /// stage-attribution run, recorded as `BENCH_obs.json` at the workspace
 /// root. `coverage` is the share of measured per-goal wall time attributed
-/// to exclusive goal-path stages — the acceptance floor is 0.90.
+/// to exclusive goal-path stages — the acceptance floor is 0.90. The
+/// `counters` object carries the per-family deterministic deltas in the
+/// object-of-families shape `udp-prof-diff` sums for its gate.
 fn write_obs_summary() {
     const REPS: usize = 3;
     let disabled_rate = obs_rate(REPS, &Recorder::disabled());
@@ -213,7 +250,7 @@ fn write_obs_summary() {
     let overhead = 1.0 - enabled_rate / disabled_rate;
 
     let corpus_recorder = Recorder::enabled();
-    let corpus_goals = corpus_obs_sweep(&corpus_recorder);
+    let (corpus_goals, families) = corpus_obs_sweep(&corpus_recorder);
     let snap = corpus_recorder.snapshot();
     let coverage = snap.coverage();
     println!(
@@ -222,6 +259,30 @@ fn write_obs_summary() {
         overhead * 100.0,
         coverage * 100.0
     );
+    for (label, deltas) in &families {
+        let firings: u64 = deltas
+            .iter()
+            .filter(|(c, _)| c.name().starts_with("rw-"))
+            .map(|(_, v)| *v)
+            .sum();
+        let isos = deltas
+            .iter()
+            .find(|(c, _)| *c == Counter::SymIsoAttempts)
+            .map_or(0, |(_, v)| *v);
+        println!("obs corpus family {label}: {firings} rewrite firings, {isos} iso attempts");
+    }
+
+    let mut counters = String::new();
+    for (label, deltas) in &families {
+        if !counters.is_empty() {
+            counters.push_str(",\n");
+        }
+        let entries: Vec<String> = deltas
+            .iter()
+            .map(|(c, v)| format!("\"{}\": {v}", c.name()))
+            .collect();
+        counters.push_str(&format!("      \"{label}\": {{{}}}", entries.join(", ")));
+    }
 
     let mut stages = String::new();
     for s in &snap.stages {
@@ -241,7 +302,7 @@ fn write_obs_summary() {
         ));
     }
     let json = format!(
-        "{{\n  \"workload\": {{\n    \"goals\": {GOALS},\n    \"disabled_goals_per_sec\": {disabled_rate:.1},\n    \"enabled_goals_per_sec\": {enabled_rate:.1},\n    \"enabled_overhead\": {overhead:.4}\n  }},\n  \"corpus\": {{\n    \"goals\": {corpus_goals},\n    \"goal_wall_us\": {:.1},\n    \"coverage\": {coverage:.4},\n    \"stages\": [\n{stages}\n    ]\n  }}\n}}\n",
+        "{{\n  \"workload\": {{\n    \"goals\": {GOALS},\n    \"disabled_goals_per_sec\": {disabled_rate:.1},\n    \"enabled_goals_per_sec\": {enabled_rate:.1},\n    \"enabled_overhead\": {overhead:.4}\n  }},\n  \"corpus\": {{\n    \"goals\": {corpus_goals},\n    \"goal_wall_us\": {:.1},\n    \"coverage\": {coverage:.4},\n    \"counters\": {{\n{counters}\n    }},\n    \"stages\": [\n{stages}\n    ]\n  }}\n}}\n",
         snap.goal_wall_us()
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");

@@ -28,6 +28,7 @@ use crate::ctx::Ctx;
 use crate::expr::{Expr, Pred, VarId};
 use crate::spnf::{Nf, Term};
 use crate::trace::{Rule, StepData};
+use udp_obs::Counter;
 
 /// Canonize every term of `nf`. `ambient` carries equality predicates that
 /// hold in the enclosing context (outer-term predicates, used when canonizing
@@ -76,6 +77,7 @@ pub fn canonize_term(
 
     loop {
         ctx.budget.tick()?;
+        ctx.recorder.count(Counter::CanonizeIters, 1);
         t = resolve_term_attrs(ctx, t);
         t.simplify_preds();
         if t.is_zero() {
@@ -181,6 +183,7 @@ pub fn canonize_term(
             }
         }
         if absorbed {
+            ctx.recorder.count(Counter::RwSquashFlatten, 1);
             let before = t.clone();
             t.squash = None;
             let after = t.clone();
@@ -202,6 +205,7 @@ pub fn canonize_term(
     {
         let mut cc = build_congruence(ctx, &t, ambient);
         if is_squash_invariant(ctx, &t, &mut cc) {
+            ctx.recorder.count(Counter::RwSquashIntro, 1);
             ctx.trace
                 .record(Rule::SquashIntro, || StepData::TermRewrite {
                     before: t.clone(),
@@ -226,7 +230,7 @@ pub fn canonize_term(
 /// Build the congruence closure from ambient + term equalities.
 pub fn build_congruence(ctx: &Ctx, t: &Term, ambient: &[Pred]) -> Congruence {
     let _span = ctx.recorder.span(udp_obs::Stage::Congruence);
-    let mut cc = Congruence::new();
+    let mut cc = Congruence::with_recorder(ctx.recorder.clone());
     if ctx.opts.congruence {
         cc.assert_preds(ambient.iter());
         cc.assert_preds(t.preds.iter());
@@ -377,6 +381,14 @@ fn apply_elimination(
     rule: Rule,
     ambient: &[Pred],
 ) {
+    ctx.recorder.count(
+        if rule == Rule::RecordPin {
+            Counter::RwRecordPin
+        } else {
+            Counter::RwEq15Elim
+        },
+        1,
+    );
     let before = if ctx.trace.is_enabled() {
         Some(t.clone())
     } else {
@@ -428,6 +440,7 @@ fn key_chase_step(
                 };
                 if cc.same(&ai, &aj) {
                     // R(t)·R(t) = R(t) for keyed R (Def 4.1 with t = t').
+                    ctx.recorder.count(Counter::RwKeyDedup, 1);
                     t.atoms.remove(j);
                     if let Some(before) = before {
                         ctx.trace.record(Rule::KeyDedup, || StepData::TermRewrite {
@@ -438,6 +451,7 @@ fn key_chase_step(
                     }
                 } else {
                     // [t.k = t'.k]·R(t)·R(t') = [t = t']·R(t).
+                    ctx.recorder.count(Counter::RwKeyMerge, 1);
                     t.atoms.remove(j);
                     t.preds.push(Pred::Eq(ai, aj).oriented());
                     if let Some(before) = before {
@@ -471,6 +485,7 @@ fn squash_dedup_step(
             }
             let (ai, aj) = (t.atoms[i].arg.clone(), t.atoms[j].arg.clone());
             if cc.same(&ai, &aj) {
+                ctx.recorder.count(Counter::RwSquashFlatten, 1);
                 let before = if ctx.trace.is_enabled() {
                     Some(t.clone())
                 } else {
@@ -529,6 +544,7 @@ fn fk_chase_step(
             }
             let schema = ctx.catalog.relation(parent).schema;
             let u = ctx.gen.fresh();
+            ctx.recorder.count(Counter::RwFkExpand, 1);
             let before = if ctx.trace.is_enabled() {
                 Some(t.clone())
             } else {

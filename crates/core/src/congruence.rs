@@ -19,6 +19,7 @@ use crate::expr::{Expr, Pred, Value, VarId};
 use crate::schema::SchemaId;
 use crate::uexpr::UExpr;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use udp_obs::{Counter, Recorder};
 
 /// Node operator: the un-curried head symbol of an expression.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -59,6 +60,9 @@ pub struct Congruence {
     members: HashMap<usize, Vec<usize>>,
     /// Pending merges discovered during congruence propagation.
     worklist: Vec<(usize, usize)>,
+    /// Counter sink: [`Counter::TermNodes`], [`Counter::CongruenceUnions`],
+    /// [`Counter::CongruenceFinds`]. Disabled by default.
+    recorder: Recorder,
 }
 
 /// Alpha-normalize a U-expression: rename bound variables to a canonical
@@ -117,7 +121,16 @@ impl Congruence {
         Self::default()
     }
 
+    /// An empty closure tallying its traffic on `recorder`.
+    pub fn with_recorder(recorder: Recorder) -> Self {
+        Self {
+            recorder,
+            ..Self::default()
+        }
+    }
+
     fn root(&self, mut i: usize) -> usize {
+        self.recorder.count(Counter::CongruenceFinds, 1);
         while self.uf[i] != i {
             i = self.uf[i];
         }
@@ -153,6 +166,7 @@ impl Congruence {
             return existing;
         }
         let id = self.nodes.len();
+        self.recorder.count(Counter::TermNodes, 1);
         let mut vars = BTreeSet::new();
         expr.collect_vars(&mut vars);
         self.nodes.push(Node {
@@ -263,6 +277,7 @@ impl Congruence {
         if ra == rb {
             return;
         }
+        self.recorder.count(Counter::CongruenceUnions, 1);
         // Union by member count.
         let (big, small) = {
             let la = self.members.get(&ra).map_or(0, Vec::len);

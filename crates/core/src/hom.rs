@@ -104,7 +104,7 @@ fn match_terms_impl(
         return Ok(None);
     }
 
-    let mut cc_target = Congruence::new();
+    let mut cc_target = Congruence::with_recorder(ctx.recorder.clone());
     cc_target.assert_preds(ambient.iter());
     cc_target.assert_preds(target.preds.iter());
 
@@ -425,7 +425,7 @@ impl<'a> Matcher<'a> {
 
         // Forward: every mapped pattern predicate is implied by the target's
         // closure.
-        let mut cc_fwd = Congruence::new();
+        let mut cc_fwd = Congruence::with_recorder(ctx.recorder.clone());
         cc_fwd.assert_preds(ambient_preds.iter());
         cc_fwd.assert_preds(target_preds.iter());
         let target_pool: Vec<Pred> = target_preds
@@ -444,7 +444,7 @@ impl<'a> Matcher<'a> {
         // Backward (Iso only): every target predicate is implied by the
         // closure of the mapped pattern predicates.
         if self.mode == MatchMode::Iso {
-            let mut cc_back = Congruence::new();
+            let mut cc_back = Congruence::with_recorder(ctx.recorder.clone());
             cc_back.assert_preds(ambient_preds.iter());
             cc_back.assert_preds(mapped_preds.iter());
             let back_pool: Vec<Pred> = mapped_preds

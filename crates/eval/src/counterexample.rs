@@ -8,6 +8,7 @@
 use crate::db::Database;
 use crate::eval::{eval_query, EvalError};
 use crate::gen::{random_database, seeded_rng, GenConfig};
+use udp_obs::{Recorder, Stage};
 use udp_sql::ast::Query;
 use udp_sql::Frontend;
 
@@ -82,6 +83,24 @@ pub fn find_counterexample(
     find_counterexample_seeded(fe, q1, q2, 0..trials as u64, config)
 }
 
+/// [`find_counterexample`] with the stage probe threaded through: the
+/// search records [`Stage::Counterexample`] here, *inside* the crate that
+/// owns the work, so every driver — `udp-verify`, fuzz harnesses, tests —
+/// gets identical attribution instead of each wrapping the call themselves
+/// (the single-writer rule of `udp_obs`).
+pub fn find_counterexample_with(
+    fe: &Frontend,
+    q1: &Query,
+    q2: &Query,
+    trials: usize,
+    config: &GenConfig,
+    recorder: &Recorder,
+) -> SearchResult {
+    recorder.time(Stage::Counterexample, || {
+        find_counterexample_seeded(fe, q1, q2, 0..trials as u64, config)
+    })
+}
+
 /// [`find_counterexample`] over an explicit stream of generator seeds, so
 /// callers (e.g. the `udp-fuzz` harness) can vary the databases per case
 /// instead of replaying seeds `0..trials` every time.
@@ -130,15 +149,28 @@ pub fn check_program_in(
     dialect: udp_sql::Dialect,
     trials: usize,
 ) -> Result<SearchResult, String> {
+    check_program_in_with(text, dialect, trials, &Recorder::disabled())
+}
+
+/// [`check_program_in`] recording the search on `recorder`. Parsing and
+/// frontend construction are deliberately outside the probe — only the
+/// database-generation/evaluation loop is counterexample-search time.
+pub fn check_program_in_with(
+    text: &str,
+    dialect: udp_sql::Dialect,
+    trials: usize,
+    recorder: &Recorder,
+) -> Result<SearchResult, String> {
     let program = udp_sql::parse_program_with(text, dialect).map_err(|e| e.to_string())?;
     let fe = udp_sql::build_frontend(&program).map_err(|e| e.to_string())?;
     let (q1, q2) = fe.goals.first().cloned().ok_or("no verify goal")?;
-    Ok(find_counterexample(
+    Ok(find_counterexample_with(
         &fe,
         &q1,
         &q2,
         trials,
         &GenConfig::default(),
+        recorder,
     ))
 }
 

@@ -1,0 +1,267 @@
+//! Perf-regression diff gate: compare two profiling snapshots and fail on
+//! deltas beyond tolerance.
+//!
+//! Usage:
+//!   `udp-prof-diff --baseline BASE.json [--tolerance F] [--min-share F]
+//!                  [--min-count N] [--inflate NAME:FACTOR] CURRENT.json`
+//!
+//! Both inputs may be `--metrics-json` snapshots (schema version 1 or 2)
+//! or a `BENCH_obs.json` self-profile (the `corpus` section is used).
+//! Three families of checks run, each against `--tolerance` (default
+//! 0.15):
+//!
+//! * **stage shares** — compared as absolute share-point deltas, but only
+//!   for stages whose share reaches `--min-share` (default 0.02) in either
+//!   snapshot. Shares are ratios of the same run's wall clock, so they are
+//!   robust to the absolute speed of the machine;
+//! * **stage call counts** — compared relatively when the baseline has at
+//!   least `--min-count` (default 10) calls; call counts are deterministic
+//!   for a fixed input;
+//! * **deterministic counters** — the [`Counter`] taxonomy minus wall
+//!   tallies and cache-order-dependent depths, compared relatively under
+//!   the same floor. These are the sharpest signal: a rewrite-loop
+//!   regression shows up here even when wall time hides it.
+//!
+//! `--inflate NAME:FACTOR` multiplies one stage's share/calls (or one
+//! counter's value) in the *current* snapshot before diffing. CI uses it
+//! to prove the gate actually fires: an inflated run must exit non-zero.
+//!
+//! Exit code: 0 when every delta is within tolerance, 1 otherwise (or on
+//! malformed input).
+
+use std::collections::BTreeMap;
+use udp_obs::json::{parse, Value};
+use udp_obs::Counter;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("udp-prof-diff: error: {msg}");
+    std::process::exit(1);
+}
+
+/// A normalized profile: whichever file shape it came from.
+#[derive(Default)]
+struct Prof {
+    /// stage name → (calls, share of goal wall).
+    stages: BTreeMap<String, (f64, f64)>,
+    /// counter name → value.
+    counters: BTreeMap<String, f64>,
+}
+
+/// Pull the stage array out of either file shape: a metrics snapshot has
+/// a top-level `stages`; `BENCH_obs.json` nests one under `corpus`.
+fn load(path: &str) -> Prof {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc = parse(&text).unwrap_or_else(|e| fail(&format!("{path}: invalid JSON: {e}")));
+    let root = if doc.get("stages").is_some() {
+        &doc
+    } else if let Some(corpus) = doc.get("corpus") {
+        corpus
+    } else {
+        fail(&format!(
+            "{path}: neither a metrics snapshot (no \"stages\") nor a BENCH_obs profile \
+             (no \"corpus\")"
+        ));
+    };
+    let mut prof = Prof::default();
+    let stages = root
+        .get("stages")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail(&format!("{path}: \"stages\" is not an array")));
+    for entry in stages {
+        let name = entry
+            .get("stage")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| fail(&format!("{path}: stage entry without a name")));
+        let calls = entry.get("calls").and_then(Value::as_f64).unwrap_or(0.0);
+        let share = entry.get("share").and_then(Value::as_f64).unwrap_or(0.0);
+        prof.stages.insert(name.to_string(), (calls, share));
+    }
+    match root.get("counters") {
+        // Metrics snapshots: [{"counter": name, "value": v}, ...].
+        Some(Value::Array(entries)) => {
+            for entry in entries {
+                if let (Some(name), Some(v)) = (
+                    entry.get("counter").and_then(Value::as_str),
+                    entry.get("value").and_then(Value::as_f64),
+                ) {
+                    prof.counters.insert(name.to_string(), v);
+                }
+            }
+        }
+        // BENCH_obs profiles: {"family": {"counter-name": v, ...}, ...} —
+        // summed across families for the diff.
+        Some(Value::Object(families)) => {
+            for family in families.values() {
+                if let Value::Object(entries) = family {
+                    for (name, v) in entries {
+                        if let Some(v) = v.as_f64() {
+                            *prof.counters.entry(name.clone()).or_insert(0.0) += v;
+                        }
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+    prof
+}
+
+struct Gate {
+    tolerance: f64,
+    min_share: f64,
+    min_count: f64,
+    failures: u32,
+    checks: u32,
+}
+
+impl Gate {
+    /// Relative comparison for deterministic counts.
+    fn relative(&mut self, kind: &str, name: &str, base: f64, cur: f64) {
+        if base < self.min_count {
+            return;
+        }
+        self.checks += 1;
+        let delta = (cur - base) / base;
+        let ok = delta.abs() <= self.tolerance;
+        if !ok {
+            self.failures += 1;
+        }
+        println!(
+            "{} {kind:<13} {name:<21} {base:>14.0} -> {cur:>14.0}  ({:+.1}%)",
+            if ok { "  ok " } else { "FAIL " },
+            delta * 100.0
+        );
+    }
+
+    /// Absolute share-point comparison for stage wall shares.
+    fn share(&mut self, name: &str, base: f64, cur: f64) {
+        if base.max(cur) < self.min_share {
+            return;
+        }
+        self.checks += 1;
+        let delta = cur - base;
+        let ok = delta.abs() <= self.tolerance;
+        if !ok {
+            self.failures += 1;
+        }
+        println!(
+            "{} {:<13} {name:<21} {:>13.1}% -> {:>13.1}%  ({:+.1}pt)",
+            if ok { "  ok " } else { "FAIL " },
+            "stage-share",
+            base * 100.0,
+            cur * 100.0,
+            delta * 100.0
+        );
+    }
+}
+
+fn main() {
+    let mut baseline = None;
+    let mut current = None;
+    let mut tolerance = 0.15_f64;
+    let mut min_share = 0.02_f64;
+    let mut min_count = 10.0_f64;
+    let mut inflate: Vec<(String, f64)> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline = Some(take("--baseline")),
+            "--tolerance" => {
+                tolerance = take("--tolerance")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--tolerance needs a float"))
+            }
+            "--min-share" => {
+                min_share = take("--min-share")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--min-share needs a float"))
+            }
+            "--min-count" => {
+                min_count = take("--min-count")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--min-count needs a float"))
+            }
+            "--inflate" => {
+                let spec = take("--inflate");
+                let (name, factor) = spec
+                    .split_once(':')
+                    .unwrap_or_else(|| fail("--inflate wants NAME:FACTOR"));
+                let factor: f64 = factor
+                    .parse()
+                    .unwrap_or_else(|_| fail("--inflate factor must be a float"));
+                inflate.push((name.to_string(), factor));
+            }
+            _ if arg.starts_with("--") => fail(&format!("unknown flag {arg}")),
+            _ => current = Some(arg),
+        }
+    }
+    let baseline = baseline.unwrap_or_else(|| {
+        fail(
+            "usage: udp-prof-diff --baseline BASE.json [--tolerance F] [--min-share F] \
+             [--min-count N] [--inflate NAME:FACTOR] CURRENT.json",
+        )
+    });
+    let current = current.unwrap_or_else(|| fail("missing CURRENT.json argument"));
+
+    let base = load(&baseline);
+    let mut cur = load(&current);
+    for (name, factor) in &inflate {
+        if let Some((calls, share)) = cur.stages.get_mut(name) {
+            *calls *= factor;
+            *share *= factor;
+        } else if let Some(v) = cur.counters.get_mut(name) {
+            *v *= factor;
+        } else {
+            fail(&format!("--inflate target \"{name}\" not in {current}"));
+        }
+        println!("note: inflated \"{name}\" by {factor}x in {current}");
+    }
+
+    let mut gate = Gate {
+        tolerance,
+        min_share,
+        min_count,
+        failures: 0,
+        checks: 0,
+    };
+    for (name, (base_calls, base_share)) in &base.stages {
+        let (cur_calls, cur_share) = cur.stages.get(name).copied().unwrap_or((0.0, 0.0));
+        gate.share(name, *base_share, cur_share);
+        gate.relative("stage-calls", name, *base_calls, cur_calls);
+    }
+    for (name, base_v) in &base.counters {
+        // Wall-tally and cache-order counters are machine/schedule
+        // dependent; only the deterministic taxonomy gates.
+        if !Counter::parse(name).is_some_and(Counter::is_deterministic) {
+            continue;
+        }
+        let cur_v = cur.counters.get(name).copied().unwrap_or(0.0);
+        gate.relative("counter", name, *base_v, cur_v);
+    }
+
+    if gate.checks == 0 {
+        fail("nothing to compare (empty baseline or all entries under the floors)");
+    }
+    if gate.failures > 0 {
+        eprintln!(
+            "udp-prof-diff: FAIL: {} of {} checks beyond ±{:.0}% / ±{:.0}pt \
+             ({baseline} vs {current})",
+            gate.failures,
+            gate.checks,
+            tolerance * 100.0,
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "udp-prof-diff: OK ({} checks within ±{:.0}% / ±{:.0}pt, {baseline} vs {current})",
+        gate.checks,
+        tolerance * 100.0,
+        tolerance * 100.0
+    );
+}

@@ -1,22 +1,31 @@
-//! Schema and invariant validator for `--metrics-json` snapshots (CI).
+//! Schema and invariant validator for `--metrics-json` snapshots and
+//! `--trace-out` Chrome traces (CI).
 //!
 //! Usage: `validate-metrics [--min-coverage F] PATH`
+//!        `validate-metrics --trace [--min-lanes N] PATH`
 //!
-//! Checks, against schema version 1:
+//! Metrics mode checks, against schema version 2:
 //! * required top-level keys with the right types;
 //! * `stages` lists every known stage name exactly once, in order;
+//! * `counters` lists every known counter name exactly once, in order,
+//!   with a non-negative value;
 //! * every share is in `[0, 1.5]` (race portfolios can exceed 1.0 in sum,
 //!   single attempts cannot meaningfully exceed goal wall by 50%);
 //! * `coverage` equals the sum of `goal_path: true` shares (±0.02);
 //! * `coverage >= min_coverage` (default 0.9) whenever goals were proved
 //!   uncached — i.e. `goals > 0` and prove-stage calls exist;
 //! * `open_spans == 0` (span balance at quiescence);
-//! * every backend entry carries the full key set.
+//! * every backend entry carries the full key set, including the
+//!   definite/unknown exit-kind wall split.
+//!
+//! Trace mode re-parses a Chrome Trace Event export and checks the
+//! span-balance invariant (every `"E"` closes the matching `"B"`, nothing
+//! stays open) plus a minimum lane count.
 //!
 //! Exit code 0 on success, 1 with a message on the first violation.
 
 use udp_obs::json::{parse, Value};
-use udp_obs::Stage;
+use udp_obs::{validate_chrome_trace, Counter, Stage};
 
 fn fail(msg: &str) -> ! {
     eprintln!("validate-metrics: FAIL: {msg}");
@@ -36,6 +45,8 @@ fn need_num(obj: &Value, key: &str) -> f64 {
 
 fn main() {
     let mut min_coverage = 0.9_f64;
+    let mut min_lanes = 1usize;
+    let mut trace_mode = false;
     let mut path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -48,16 +59,46 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail("--min-coverage needs a float"));
             }
+            "--min-lanes" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| fail("--min-lanes needs a value"));
+                min_lanes = v
+                    .parse()
+                    .unwrap_or_else(|_| fail("--min-lanes needs an integer"));
+            }
+            "--trace" => trace_mode = true,
             _ => path = Some(arg),
         }
     }
-    let path = path.unwrap_or_else(|| fail("usage: validate-metrics [--min-coverage F] PATH"));
+    let path = path.unwrap_or_else(|| {
+        fail("usage: validate-metrics [--min-coverage F] PATH | --trace [--min-lanes N] PATH")
+    });
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+
+    if trace_mode {
+        let check = validate_chrome_trace(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        if check.lanes < min_lanes {
+            fail(&format!(
+                "{path}: {} lanes, want at least {min_lanes}",
+                check.lanes
+            ));
+        }
+        if check.spans == 0 {
+            fail(&format!("{path}: trace carries no spans"));
+        }
+        println!(
+            "validate-metrics: OK ({path}: {} lanes, {} balanced spans, {} instants)",
+            check.lanes, check.spans, check.instants
+        );
+        return;
+    }
+
     let doc = parse(&text).unwrap_or_else(|e| fail(&format!("invalid JSON: {e}")));
 
-    if need_num(&doc, "schema_version") as u64 != 1 {
-        fail("schema_version != 1");
+    if need_num(&doc, "schema_version") as u64 != 2 {
+        fail("schema_version != 2");
     }
     let goals = need_num(&doc, "goals");
     let goal_wall_us = need_num(&doc, "goal_wall_us");
@@ -132,6 +173,30 @@ fn main() {
         fail("goals > 0 but goal_wall_us <= 0");
     }
 
+    let counters = need(&doc, "counters")
+        .as_array()
+        .unwrap_or_else(|| fail("\"counters\" is not an array"));
+    if counters.len() != Counter::COUNT {
+        fail(&format!(
+            "counters has {} entries, want {}",
+            counters.len(),
+            Counter::COUNT
+        ));
+    }
+    for (i, entry) in counters.iter().enumerate() {
+        let name = need(entry, "counter")
+            .as_str()
+            .unwrap_or_else(|| fail("counter name is not a string"));
+        let counter =
+            Counter::parse(name).unwrap_or_else(|| fail(&format!("unknown counter \"{name}\"")));
+        if counter.as_index() != i {
+            fail(&format!("counter \"{name}\" out of order (index {i})"));
+        }
+        if need_num(entry, "value") < 0.0 {
+            fail(&format!("counter \"{name}\" has a negative value"));
+        }
+    }
+
     let backends = need(&doc, "backends")
         .as_array()
         .unwrap_or_else(|| fail("\"backends\" is not an array"));
@@ -140,11 +205,27 @@ fn main() {
             .as_str()
             .unwrap_or_else(|| fail("backend name is not a string"));
         for key in [
-            "calls", "definite", "proved", "unknown", "settled", "wall_us", "p50_us", "p99_us",
+            "calls",
+            "definite",
+            "proved",
+            "unknown",
+            "settled",
+            "wall_us",
+            "definite_wall_us",
+            "unknown_wall_us",
+            "p50_us",
+            "p99_us",
         ] {
             if b.get(key).and_then(Value::as_f64).is_none() {
                 fail(&format!("backend \"{name}\" missing numeric \"{key}\""));
             }
+        }
+        let wall = need_num(b, "wall_us");
+        let split = need_num(b, "definite_wall_us") + need_num(b, "unknown_wall_us");
+        if (wall - split).abs() > wall.abs() * 0.01 + 1.0 {
+            fail(&format!(
+                "backend \"{name}\": exit-kind wall split {split} disagrees with wall_us {wall}"
+            ));
         }
     }
 

@@ -1,8 +1,14 @@
 //! A minimal recursive-descent JSON parser — just enough to round-trip and
 //! validate the metrics snapshots this crate emits (the workspace carries
-//! no serde). Numbers parse as `f64`; no non-standard extensions.
+//! no serde). Numbers parse as `f64`; no non-standard extensions. Every
+//! rejection names the byte offset it happened at; nesting deeper than
+//! [`MAX_DEPTH`] is rejected rather than risking the recursion blowing the
+//! stack on adversarial input.
 
 use std::collections::BTreeMap;
+
+/// Maximum container nesting the parser accepts.
+pub const MAX_DEPTH: usize = 512;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,7 +77,11 @@ impl Value {
 /// Parse a complete JSON document; trailing non-whitespace is an error.
 pub fn parse(text: &str) -> Result<Value, String> {
     let bytes = text.as_bytes();
-    let mut p = Parser { bytes, at: 0 };
+    let mut p = Parser {
+        bytes,
+        at: 0,
+        depth: 0,
+    };
     p.ws();
     let v = p.value()?;
     p.ws();
@@ -84,6 +94,7 @@ pub fn parse(text: &str) -> Result<Value, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     at: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -124,6 +135,18 @@ impl Parser<'_> {
         }
     }
 
+    /// Track one level of container nesting ([`MAX_DEPTH`] guard).
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.at
+            ));
+        }
+        Ok(())
+    }
+
     fn value(&mut self) -> Result<Value, String> {
         match self.peek() {
             Some(b'{') => self.object(),
@@ -143,10 +166,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Value, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut map = BTreeMap::new();
         self.ws();
         if self.peek() == Some(b'}') {
             self.at += 1;
+            self.depth -= 1;
             return Ok(Value::Object(map));
         }
         loop {
@@ -161,6 +186,7 @@ impl Parser<'_> {
                 Some(b',') => self.at += 1,
                 Some(b'}') => {
                     self.at += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(map));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.at)),
@@ -170,10 +196,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Value, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.ws();
         if self.peek() == Some(b']') {
             self.at += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -184,6 +212,7 @@ impl Parser<'_> {
                 Some(b',') => self.at += 1,
                 Some(b']') => {
                     self.at += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.at)),
@@ -192,11 +221,17 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
+        let opened = self.at;
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
-                None => return Err("unterminated string".to_string()),
+                None => {
+                    return Err(format!(
+                        "unterminated string opened at byte {opened} (input ends at byte {})",
+                        self.at
+                    ))
+                }
                 Some(b'"') => {
                     self.at += 1;
                     return Ok(out);
@@ -216,7 +251,7 @@ impl Parser<'_> {
                             let hex = self
                                 .bytes
                                 .get(self.at + 1..self.at + 5)
-                                .ok_or("truncated \\u escape")?;
+                                .ok_or(format!("truncated \\u escape at byte {}", self.at - 1))?;
                             let code = u32::from_str_radix(
                                 std::str::from_utf8(hex).map_err(|e| e.to_string())?,
                                 16,
@@ -225,7 +260,13 @@ impl Parser<'_> {
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                             self.at += 4;
                         }
-                        other => return Err(format!("bad escape {:?}", other.map(|c| c as char))),
+                        other => {
+                            return Err(format!(
+                                "bad escape {:?} at byte {}",
+                                other.map(|c| c as char),
+                                self.at - 1
+                            ))
+                        }
                     }
                     self.at += 1;
                 }
@@ -288,5 +329,59 @@ mod tests {
     fn unicode_escapes_decode() {
         let v = parse("\"a\\u0041\\n\"").unwrap();
         assert_eq!(v.as_str(), Some("aA\n"));
+    }
+
+    #[test]
+    fn all_simple_escapes_decode_and_bad_ones_name_their_offset() {
+        let v = parse(r#""\"\\\/\b\f\n\r\t""#).unwrap();
+        assert_eq!(v.as_str(), Some("\"\\/\u{8}\u{c}\n\r\t"));
+        let err = parse(r#""a\q""#).unwrap_err();
+        assert!(err.contains("bad escape"), "{err}");
+        assert!(err.contains("byte 2"), "{err}");
+        let err = parse(r#""\u00"#).unwrap_err();
+        assert!(err.contains("truncated \\u escape"), "{err}");
+        assert!(err.contains("byte 1"), "{err}");
+        // Surrogate code units degrade to the replacement character rather
+        // than producing invalid `char`s.
+        assert_eq!(parse(r#""\ud800""#).unwrap().as_str(), Some("\u{fffd}"));
+    }
+
+    #[test]
+    fn truncated_input_errors_carry_positions() {
+        let err = parse(r#"{"key": "dangling"#).unwrap_err();
+        assert!(err.contains("unterminated string"), "{err}");
+        assert!(err.contains("byte 8"), "{err}");
+        let err = parse("[1, 2").unwrap_err();
+        assert!(err.contains("byte 5"), "{err}");
+        let err = parse("{\"a\": 1").unwrap_err();
+        assert!(err.contains("byte 7"), "{err}");
+    }
+
+    #[test]
+    fn deep_nesting_parses_to_the_limit_and_rejects_beyond() {
+        let deep = |n: usize| format!("{}0{}", "[".repeat(n), "]".repeat(n));
+        assert!(parse(&deep(MAX_DEPTH)).is_ok());
+        let err = parse(&deep(MAX_DEPTH + 1)).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "{err}");
+        // Unbalanced deep input must error, not overflow the stack.
+        assert!(parse(&"[".repeat(100_000)).is_err());
+        // Mixed object/array nesting counts against the same budget.
+        let mixed = format!(
+            "{}0{}",
+            "{\"k\": [".repeat(MAX_DEPTH / 2 + 1),
+            "]}".repeat(MAX_DEPTH / 2 + 1)
+        );
+        assert!(parse(&mixed).unwrap_err().contains("nesting deeper than"));
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_last_value() {
+        let v = parse(r#"{"a": 1, "b": 2, "a": 3}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("b").and_then(Value::as_u64), Some(2));
+        match v {
+            Value::Object(m) => assert_eq!(m.len(), 2),
+            _ => unreachable!(),
+        }
     }
 }

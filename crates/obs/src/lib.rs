@@ -14,8 +14,15 @@
 //!   through hot paths costs nothing (<2% on the throughput bench);
 //! * [`GoalObs`] — a per-goal span collector producing stage waterfalls,
 //!   folded into a bounded slowest-goals list on completion;
+//! * [`Counter`] — the intra-prover counter taxonomy (canonize iterations,
+//!   axiom-family rewrite firings, congruence-closure traffic, symbolic
+//!   matcher work, per-backend exit-kind splits), tallied on the same
+//!   recorder with the same single-writer discipline (see [`counter`]);
 //! * [`Histogram`] — the log₂ latency histogram previously private to
 //!   `udp-service`'s stats, now shared by stage cells and backend rollups;
+//! * [`trace`] — bounded per-worker event buffers behind the same recorder
+//!   handle, exported as Chrome Trace Event JSON (`--trace-out`) and
+//!   re-validated by [`trace::validate_chrome_trace`];
 //! * [`MetricsSnapshot`] — a stable, versioned JSON rendering
 //!   (`--metrics-json`) plus human-readable tables (`--stats-every`,
 //!   `--trace-goals`), and [`json`] — a small parser to round-trip and
@@ -23,17 +30,22 @@
 //!
 //! The crate sits at the bottom of the dependency stack (below `udp-core`)
 //! and is deliberately free of workspace and external dependencies; the
-//! `validate-metrics` bin checks snapshot schema and invariants in CI.
+//! `validate-metrics` bin checks snapshot schema and invariants in CI, and
+//! the `udp-prof-diff` bin diffs two snapshots as a perf-regression gate.
 
 #![warn(missing_docs)]
 
+pub mod counter;
 pub mod hist;
 pub mod json;
 pub mod recorder;
 pub mod snapshot;
 pub mod stage;
+pub mod trace;
 
+pub use counter::Counter;
 pub use hist::{bucket_of, bucket_of_us, Histogram, LATENCY_BUCKETS};
-pub use recorder::{GoalObs, Recorder, Span, DEFAULT_SLOW_CAPACITY};
-pub use snapshot::{BackendSummary, GoalTrace, MetricsSnapshot, StageSnapshot};
+pub use recorder::{GoalObs, Recorder, Span, TraceSpan, DEFAULT_SLOW_CAPACITY};
+pub use snapshot::{BackendSummary, CounterSnapshot, GoalTrace, MetricsSnapshot, StageSnapshot};
 pub use stage::Stage;
+pub use trace::{validate_chrome_trace, TraceCheck, TraceSink, DEFAULT_TRACE_CAPACITY};

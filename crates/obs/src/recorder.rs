@@ -20,9 +20,11 @@
 //! it globally (lowering, desugaring) — double-counting a stage in the
 //! global tables would break the coverage invariant.
 
+use crate::counter::Counter;
 use crate::hist::{bucket_of_us, Histogram, LATENCY_BUCKETS};
-use crate::snapshot::{GoalTrace, MetricsSnapshot, StageSnapshot};
+use crate::snapshot::{CounterSnapshot, GoalTrace, MetricsSnapshot, StageSnapshot};
 use crate::stage::Stage;
+use crate::trace::TraceSink;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -86,12 +88,17 @@ impl SlowGoals {
 
 struct Inner {
     stages: [StageCell; Stage::COUNT],
+    /// The [`Counter`] taxonomy's tallies (relaxed; exact at quiescence).
+    counters: [AtomicU64; Counter::COUNT],
     goals: AtomicU64,
     goal_wall_ns: AtomicU64,
     /// Live span guards (enter − exit); the span-balance invariant says
     /// this is 0 whenever no stage is executing.
     open_spans: AtomicI64,
     slow: Mutex<SlowGoals>,
+    /// Optional event-trace collector (`--trace-out`); absent by default
+    /// so metrics-only recorders pay nothing for it.
+    trace: Option<TraceSink>,
 }
 
 /// Cloneable handle to the stage-metrics aggregation tables. The default
@@ -125,16 +132,29 @@ impl Recorder {
 
     /// An enabled recorder keeping up to `capacity` slowest goal traces.
     pub fn with_slow_capacity(capacity: usize) -> Recorder {
+        Recorder::build(capacity, None)
+    }
+
+    /// An enabled recorder that also collects per-worker event traces
+    /// (spans + instants) into bounded rings of `trace_capacity` events per
+    /// lane, exportable with [`Recorder::chrome_trace`].
+    pub fn with_trace(slow_capacity: usize, trace_capacity: usize) -> Recorder {
+        Recorder::build(slow_capacity, Some(TraceSink::new(trace_capacity)))
+    }
+
+    fn build(slow_capacity: usize, trace: Option<TraceSink>) -> Recorder {
         Recorder {
             inner: Some(Arc::new(Inner {
                 stages: std::array::from_fn(|_| StageCell::new()),
+                counters: std::array::from_fn(|_| AtomicU64::new(0)),
                 goals: AtomicU64::new(0),
                 goal_wall_ns: AtomicU64::new(0),
                 open_spans: AtomicI64::new(0),
                 slow: Mutex::new(SlowGoals {
-                    capacity,
+                    capacity: slow_capacity,
                     goals: Vec::new(),
                 }),
+                trace,
             })),
         }
     }
@@ -144,11 +164,70 @@ impl Recorder {
         self.inner.is_some()
     }
 
-    /// Record one completed stage occurrence with a known duration.
+    /// Record one completed stage occurrence with a known duration. The
+    /// occurrence also lands in the event trace (as a span ending now) when
+    /// a sink is attached — callers record immediately after the work, so
+    /// `now − wall` is the span's true start.
     pub fn record(&self, stage: Stage, wall: Duration, steps: u64) {
         if let Some(inner) = &self.inner {
             inner.stages[stage.as_index()].record(wall, steps);
+            if let Some(sink) = &inner.trace {
+                let end = Instant::now();
+                sink.span(stage.name(), end - wall, end);
+            }
         }
+    }
+
+    /// Bump a profiling counter by `n`. One branch when disabled, one
+    /// relaxed `fetch_add` when enabled — cheap enough for rewrite loops.
+    #[inline]
+    pub fn count(&self, counter: Counter, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.counters[counter.as_index()].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Read one counter's current total.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.inner.as_ref().map_or(0, |i| {
+            i.counters[counter.as_index()].load(Ordering::Relaxed)
+        })
+    }
+
+    /// Drop a point event (cache hit, backend verdict, budget exhaustion)
+    /// into the calling worker's trace lane. No-op without a sink.
+    pub fn instant(&self, name: &'static str) {
+        if let Some(inner) = &self.inner {
+            if let Some(sink) = &inner.trace {
+                sink.instant(name);
+            }
+        }
+    }
+
+    /// Open a trace-only span (no stage-table write): for intervals that
+    /// are *already* aggregated elsewhere under the single-writer rule —
+    /// e.g. the portfolio wraps each backend attempt so the trace shows
+    /// live attempt intervals while the `sym-prove`/`udp-prove` tables are
+    /// still fed once, by the goal driver, from the attempt walls.
+    pub fn trace_span(&self, name: &'static str) -> TraceSpan<'_> {
+        let sink = self.inner.as_ref().and_then(|i| i.trace.as_ref());
+        TraceSpan {
+            live: sink.map(|s| (s, name, Instant::now())),
+        }
+    }
+
+    /// Is an event-trace sink attached?
+    pub fn has_trace(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.trace.is_some())
+    }
+
+    /// Render the attached event trace as Chrome Trace Event JSON
+    /// (`None` without a sink). See [`crate::trace`].
+    pub fn chrome_trace(&self) -> Option<String> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.trace.as_ref())
+            .map(TraceSink::chrome_trace)
     }
 
     /// Open a stage span; the guard records the elapsed time when dropped.
@@ -210,12 +289,20 @@ impl Recorder {
                 }
             })
             .collect();
+        let counters = Counter::ALL
+            .into_iter()
+            .map(|counter| CounterSnapshot {
+                counter,
+                value: inner.counters[counter.as_index()].load(Ordering::Relaxed),
+            })
+            .collect();
         MetricsSnapshot {
             enabled: true,
             goals: inner.goals.load(Ordering::Relaxed),
             goal_wall_ns: inner.goal_wall_ns.load(Ordering::Relaxed),
             open_spans: inner.open_spans.load(Ordering::Relaxed),
             stages,
+            counters,
             slow_goals: inner.slow.lock().unwrap().goals.clone(),
         }
     }
@@ -230,8 +317,26 @@ pub struct Span<'a> {
 impl Drop for Span<'_> {
     fn drop(&mut self) {
         if let Some((inner, stage, started)) = self.live.take() {
-            inner.stages[stage.as_index()].record(started.elapsed(), 0);
+            let end = Instant::now();
+            inner.stages[stage.as_index()].record(end - started, 0);
             inner.open_spans.fetch_sub(1, Ordering::Relaxed);
+            if let Some(sink) = &inner.trace {
+                sink.span(stage.name(), started, end);
+            }
+        }
+    }
+}
+
+/// RAII trace-only span guard from [`Recorder::trace_span`]: feeds the
+/// event trace without touching the stage tables. Inert without a sink.
+pub struct TraceSpan<'a> {
+    live: Option<(&'a TraceSink, &'static str, Instant)>,
+}
+
+impl Drop for TraceSpan<'_> {
+    fn drop(&mut self) {
+        if let Some((sink, name, started)) = self.live.take() {
+            sink.span(name, started, Instant::now());
         }
     }
 }
@@ -252,14 +357,20 @@ impl GoalObs {
         self.inner.is_some()
     }
 
-    /// Time a closure as one stage occurrence: waterfall + global tables.
+    /// Time a closure as one stage occurrence: waterfall + global tables
+    /// (+ the event trace, if a sink is attached — this is the stage's
+    /// single global writer, so it owns the trace span too).
     pub fn time<R>(&mut self, stage: Stage, f: impl FnOnce() -> R) -> R {
-        if self.inner.is_none() {
+        let Some(inner) = &self.inner else {
             return f();
-        }
+        };
         let started = Instant::now();
         let r = f();
-        self.add(stage, started.elapsed(), 0);
+        let end = Instant::now();
+        if let Some(sink) = &inner.trace {
+            sink.span(stage.name(), started, end);
+        }
+        self.add(stage, end - started, 0);
         r
     }
 

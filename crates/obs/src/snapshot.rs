@@ -1,11 +1,12 @@
 //! Point-in-time views of a [`crate::Recorder`]'s tables, and the stable
 //! machine-readable JSON rendering behind `--metrics-json`.
 //!
-//! The JSON schema (version 1):
+//! The JSON schema (version 2 — version 1 plus the `counters` array and
+//! the per-backend exit-kind wall split):
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "goals": 240,
 //!   "goal_wall_us": 18234.5,
 //!   "coverage": 0.97,
@@ -16,9 +17,15 @@
 //!      "hist": [0, 12, ...]},
 //!     ...
 //!   ],
+//!   "counters": [
+//!     {"counter": "canonize-iters", "value": 1312},
+//!     {"counter": "sym-iso-attempts", "value": 4821},
+//!     ...
+//!   ],
 //!   "backends": [
 //!     {"name": "udp", "calls": 230, "definite": 228, "proved": 200,
 //!      "unknown": 2, "settled": 210, "wall_us": 15000.0,
+//!      "definite_wall_us": 14200.0, "unknown_wall_us": 800.0,
 //!      "p50_us": 64, "p99_us": 1024}
 //!   ],
 //!   "slow_goals": [
@@ -29,10 +36,12 @@
 //! ```
 //!
 //! `stages` always lists all [`Stage::ALL`] entries in pipeline order, even
-//! at zero calls, so consumers can index by position or by name. Shares are
-//! fractions of `goal_wall_us`; only `goal_path: true` shares may be summed
-//! (their sum is `coverage` — see [`crate::stage`]).
+//! at zero calls, so consumers can index by position or by name; `counters`
+//! likewise lists all [`Counter::ALL`] entries. Shares are fractions of
+//! `goal_wall_us`; only `goal_path: true` shares may be summed (their sum
+//! is `coverage` — see [`crate::stage`]).
 
+use crate::counter::Counter;
 use crate::hist::Histogram;
 use crate::stage::Stage;
 
@@ -73,6 +82,15 @@ pub struct GoalTrace {
     pub stages: Vec<(Stage, u64, u64)>,
 }
 
+/// One [`Counter`]'s total at snapshot time.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterSnapshot {
+    /// Which counter.
+    pub counter: Counter,
+    /// Its monotonic total.
+    pub value: u64,
+}
+
 /// Per-backend rollup carried alongside the stage tables in the JSON
 /// snapshot. `udp-service` builds these from its `ServiceStats`; the
 /// sequential `udp-verify` path builds them from its own tallies.
@@ -92,6 +110,11 @@ pub struct BackendSummary {
     pub settled: u64,
     /// Total attempt wall time, microseconds.
     pub wall_us: f64,
+    /// Wall time of attempts that ended in a definite verdict, µs.
+    pub definite_wall_us: f64,
+    /// Wall time of attempts that ended `Unknown`, µs — in cascade mode
+    /// this is the time wasted before falling through to the next backend.
+    pub unknown_wall_us: f64,
     /// Median attempt latency (histogram upper bound), µs.
     pub p50_us: u64,
     /// 99th-percentile attempt latency, µs.
@@ -111,6 +134,8 @@ pub struct MetricsSnapshot {
     pub open_spans: i64,
     /// All stages in [`Stage::ALL`] order; empty when disabled.
     pub stages: Vec<StageSnapshot>,
+    /// All counters in [`Counter::ALL`] order; empty when disabled.
+    pub counters: Vec<CounterSnapshot>,
     /// Slowest goals, descending by wall time.
     pub slow_goals: Vec<GoalTrace>,
 }
@@ -124,6 +149,7 @@ impl MetricsSnapshot {
             goal_wall_ns: 0,
             open_spans: 0,
             stages: Vec::new(),
+            counters: Vec::new(),
             slow_goals: Vec::new(),
         }
     }
@@ -131,6 +157,11 @@ impl MetricsSnapshot {
     /// Look up one stage's totals.
     pub fn stage(&self, stage: Stage) -> Option<&StageSnapshot> {
         self.stages.get(stage.as_index())
+    }
+
+    /// One counter's total (0 when disabled).
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters.get(counter.as_index()).map_or(0, |c| c.value)
     }
 
     /// Total per-goal wall time in (fractional) microseconds.
@@ -159,11 +190,11 @@ impl MetricsSnapshot {
             .sum()
     }
 
-    /// Render the version-1 metrics JSON (see the module docs).
+    /// Render the version-2 metrics JSON (see the module docs).
     pub fn to_json(&self, backends: &[BackendSummary]) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\n");
-        out.push_str("  \"schema_version\": 1,\n");
+        out.push_str("  \"schema_version\": 2,\n");
         out.push_str(&format!("  \"goals\": {},\n", self.goals));
         out.push_str(&format!(
             "  \"goal_wall_us\": {},\n",
@@ -195,11 +226,22 @@ impl MetricsSnapshot {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str("  \"counters\": [\n");
+        for (i, c) in self.counters.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"counter\": {}, \"value\": {}}}{}\n",
+                json_str(c.counter.name()),
+                c.value,
+                if i + 1 < self.counters.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"backends\": [\n");
         for (i, b) in backends.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"name\": {}, \"calls\": {}, \"definite\": {}, \"proved\": {}, \
-                 \"unknown\": {}, \"settled\": {}, \"wall_us\": {}, \"p50_us\": {}, \
+                 \"unknown\": {}, \"settled\": {}, \"wall_us\": {}, \
+                 \"definite_wall_us\": {}, \"unknown_wall_us\": {}, \"p50_us\": {}, \
                  \"p99_us\": {}}}{}\n",
                 json_str(&b.name),
                 b.calls,
@@ -208,6 +250,8 @@ impl MetricsSnapshot {
                 b.unknown,
                 b.settled,
                 fmt_f64(b.wall_us),
+                fmt_f64(b.definite_wall_us),
+                fmt_f64(b.unknown_wall_us),
                 b.p50_us,
                 b.p99_us,
                 if i + 1 < backends.len() { "," } else { "" }
@@ -274,6 +318,21 @@ impl MetricsSnapshot {
                     "  (detail)"
                 }
             ));
+        }
+        let live: Vec<&CounterSnapshot> = self.counters.iter().filter(|c| c.value > 0).collect();
+        if !live.is_empty() {
+            out.push_str("  counters:\n");
+            for c in live {
+                if c.counter.is_wall_ns() {
+                    out.push_str(&format!(
+                        "    {:<21} {:>14.1}us\n",
+                        c.counter.name(),
+                        c.value as f64 / 1_000.0
+                    ));
+                } else {
+                    out.push_str(&format!("    {:<21} {:>14}\n", c.counter.name(), c.value));
+                }
+            }
         }
         out
     }
@@ -378,8 +437,30 @@ mod tests {
             assert!(json.contains(&format!("\"{}\"", s.name())), "{}", s);
         }
         assert!(json.contains("\\\"quoted\\\""));
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"name\": \"udp\""));
+        assert!(json.contains("\"definite_wall_us\""));
+        for c in Counter::ALL {
+            assert!(json.contains(&format!("\"{}\"", c.name())), "{}", c);
+        }
+    }
+
+    #[test]
+    fn counters_snapshot_and_render() {
+        let r = Recorder::enabled();
+        r.count(Counter::CanonizeIters, 3);
+        r.count(Counter::SymUnknownWallNs, 1_500);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter(Counter::CanonizeIters), 3);
+        assert_eq!(snap.counter(Counter::RwFkExpand), 0);
+        assert_eq!(snap.counters.len(), Counter::COUNT);
+        let rendered = snap.render();
+        assert!(rendered.contains("canonize-iters"));
+        assert!(rendered.contains("1.5us"), "wall counters render as µs");
+        assert!(
+            !rendered.contains("rw-fk-expand"),
+            "zero counters stay hidden"
+        );
     }
 
     #[test]

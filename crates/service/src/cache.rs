@@ -63,6 +63,25 @@ impl<K: Clone + Eq + Hash, V: Clone> Lru<K, V> {
         }
     }
 
+    /// Recency-list position of `key` (0 = most recently used), without
+    /// touching the entry. O(position) — call only when instrumentation is
+    /// enabled; the `cache-hit-depth` counter sums these to show how deep
+    /// into the LRU order hits land (large depths mean the working set is
+    /// about to outgrow the capacity).
+    pub fn depth_of(&self, key: &K) -> Option<u64> {
+        let idx = self.map.get(key).copied()?;
+        let mut at = self.head;
+        let mut depth = 0u64;
+        while at != NIL {
+            if at == idx {
+                return Some(depth);
+            }
+            at = self.slots[at].next;
+            depth += 1;
+        }
+        None
+    }
+
     /// Insert `key -> value`, evicting the least recently used entry when
     /// full. Replaces the value if the key is already present.
     pub fn insert(&mut self, key: K, value: V) {
@@ -167,6 +186,22 @@ mod tests {
         lru.insert("a", 1);
         assert_eq!(lru.get(&"a"), None);
         assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn depth_reports_recency_position_without_touching() {
+        let mut lru = Lru::new(4);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        lru.insert("c", 3);
+        assert_eq!(lru.depth_of(&"c"), Some(0));
+        assert_eq!(lru.depth_of(&"b"), Some(1));
+        assert_eq!(lru.depth_of(&"a"), Some(2));
+        assert_eq!(lru.depth_of(&"z"), None);
+        // Probing must not reorder: "a" is still LRU and gets evicted first.
+        lru.get(&"a");
+        assert_eq!(lru.depth_of(&"a"), Some(0));
+        assert_eq!(lru.depth_of(&"c"), Some(1));
     }
 
     #[test]

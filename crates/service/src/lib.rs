@@ -54,7 +54,7 @@ use udp_core::ctx::Options;
 use udp_core::fingerprint::{canonical_form_nf, fingerprint_form, Fingerprint};
 use udp_core::spnf::Nf;
 use udp_core::Verdict;
-use udp_obs::{Recorder, Stage};
+use udp_obs::{Counter, Recorder, Stage};
 use udp_solve::{BackendOutcome, SolveConfig};
 use udp_sql::ast::Query;
 use udp_sql::{Dialect, Frontend, ParseError, VerifyError};
@@ -334,7 +334,9 @@ impl Session {
         goal: &(Query, Query),
     ) -> GoalReport {
         let started = Instant::now();
-        let mut obs = self.config.recorder.goal();
+        let recorder = &self.config.recorder;
+        let _goal_span = recorder.trace_span("goal");
+        let mut obs = recorder.goal();
         // Desugaring and lowering record their *global* stage totals inside
         // `udp-ext` / `udp-sql` (the single-writer rule — see `udp_obs`);
         // `time_local` adds them to this goal's waterfall only.
@@ -376,6 +378,10 @@ impl Session {
         let (key, fingerprints) = if caching || self.config.fingerprints {
             obs.time(Stage::Fingerprint, || {
                 let key = Self::canonical_key(fe, &q1, &q2, &nf1, &nf2);
+                recorder.count(
+                    Counter::FingerprintBytes,
+                    (key.0.len() + key.1.len()) as u64,
+                );
                 let fps = (fingerprint_form(&key.0), fingerprint_form(&key.1));
                 (Some(key), Some(fps))
             })
@@ -385,9 +391,20 @@ impl Session {
 
         if caching {
             let hit = obs.time(Stage::CacheLookup, || {
-                self.cache.lock().unwrap().get(key.as_ref().unwrap())
+                let mut cache = self.cache.lock().unwrap();
+                let key = key.as_ref().unwrap();
+                recorder.count(Counter::CacheProbes, 1);
+                // The depth walk is O(position); only pay for it when the
+                // recorder is live.
+                if recorder.is_enabled() {
+                    if let Some(depth) = cache.depth_of(key) {
+                        recorder.count(Counter::CacheHitDepth, depth);
+                    }
+                }
+                cache.get(key)
             });
             if let Some(verdict) = hit {
+                recorder.instant("cache-hit");
                 let wall = started.elapsed();
                 let proved = verdict.decision.is_proved();
                 self.stats.lock().unwrap().record(wall, true, proved, false);

@@ -27,6 +27,11 @@ pub struct BackendStats {
     pub settled: u64,
     /// Total wall time spent inside this backend.
     pub wall: Duration,
+    /// Wall time of attempts that ended in a definite verdict.
+    pub definite_wall: Duration,
+    /// Wall time of attempts that fell through as Unknown — in cascade
+    /// mode, the price paid before the next backend even starts.
+    pub unknown_wall: Duration,
     /// Log₂ histogram of per-attempt latency in microseconds.
     pub latency_us: Histogram,
 }
@@ -106,8 +111,10 @@ impl ServiceStats {
         b.calls += 1;
         if definite {
             b.definite += 1;
+            b.definite_wall += wall;
         } else {
             b.unknown += 1;
+            b.unknown_wall += wall;
         }
         if proved {
             b.proved += 1;
@@ -158,6 +165,8 @@ impl ServiceStats {
                 unknown: b.unknown,
                 settled: b.settled,
                 wall_us: b.wall.as_nanos() as f64 / 1_000.0,
+                definite_wall_us: b.definite_wall.as_nanos() as f64 / 1_000.0,
+                unknown_wall_us: b.unknown_wall.as_nanos() as f64 / 1_000.0,
                 p50_us: b.latency_percentile_us(0.5),
                 p99_us: b.latency_percentile_us(0.99),
             })
@@ -185,12 +194,16 @@ impl ServiceStats {
         for (name, b) in &self.backends {
             out.push_str(&format!(
                 "\nbackend {name}: {} calls ({} definite, {} proved, {} unknown), \
-                 settled {} | p50 < {} µs, p99 < {} µs",
+                 settled {} | wall {:.1} ms = {:.1} definite + {:.1} unknown | \
+                 p50 < {} µs, p99 < {} µs",
                 b.calls,
                 b.definite,
                 b.proved,
                 b.unknown,
                 b.settled,
+                b.wall.as_secs_f64() * 1_000.0,
+                b.definite_wall.as_secs_f64() * 1_000.0,
+                b.unknown_wall.as_secs_f64() * 1_000.0,
                 b.latency_percentile_us(0.5),
                 b.latency_percentile_us(0.99),
             ));
@@ -257,6 +270,23 @@ mod tests {
         let r = s.render();
         assert!(r.contains("backend sym:"), "{r}");
         assert!(r.contains("backend udp:"), "{r}");
+    }
+
+    #[test]
+    fn backend_wall_splits_by_exit_kind() {
+        let mut s = ServiceStats::default();
+        s.record_backend("sym", true, true, Duration::from_micros(100), true);
+        s.record_backend("sym", false, false, Duration::from_micros(40), false);
+        let sym = &s.backends["sym"];
+        assert_eq!(sym.definite_wall, Duration::from_micros(100));
+        assert_eq!(sym.unknown_wall, Duration::from_micros(40));
+        assert_eq!(sym.wall, sym.definite_wall + sym.unknown_wall);
+        let rows = s.backend_summaries();
+        let row = rows.iter().find(|r| r.name == "sym").unwrap();
+        assert!((row.definite_wall_us - 100.0).abs() < 0.5, "{row:?}");
+        assert!((row.unknown_wall_us - 40.0).abs() < 0.5, "{row:?}");
+        let r = s.render();
+        assert!(r.contains("definite +"), "{r}");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! * `GoalReport::steps` carries the prover's step count.
 
 use std::time::Duration;
-use udp_obs::{json, Recorder, Stage};
+use udp_obs::{json, Counter, Recorder, Stage};
 use udp_service::{Session, SessionConfig, SolveMode};
 
 const DDL: &str = "schema rs(k:int, a:int, b:int);\nschema ss(k2:int, c:int);\n\
@@ -133,7 +133,7 @@ fn metrics_json_round_trips() {
     let snap = recorder.snapshot();
     let text = snap.to_json(&session.stats().backend_summaries());
     let v = json::parse(&text).expect("snapshot must be valid JSON");
-    assert_eq!(v.get("schema_version").and_then(|x| x.as_u64()), Some(1));
+    assert_eq!(v.get("schema_version").and_then(|x| x.as_u64()), Some(2));
     assert_eq!(
         v.get("goals").and_then(|x| x.as_u64()),
         Some(GOAL_LINES.len() as u64)
@@ -157,6 +157,24 @@ fn metrics_json_round_trips() {
     }
     let json_cov = v.get("coverage").and_then(|x| x.as_f64()).unwrap();
     assert!((json_cov - snap.coverage()).abs() < 0.005);
+    let counters = v.get("counters").and_then(|x| x.as_array()).unwrap();
+    assert_eq!(counters.len(), Counter::COUNT);
+    for (entry, counter) in counters.iter().zip(Counter::ALL) {
+        assert_eq!(
+            entry.get("counter").and_then(|x| x.as_str()),
+            Some(counter.name()),
+            "counters must serialize in taxonomy order"
+        );
+        assert_eq!(
+            entry.get("value").and_then(|x| x.as_u64()),
+            Some(snap.counter(counter)),
+            "counter `{counter}` value must round-trip"
+        );
+    }
+    assert!(
+        snap.counter(Counter::CanonizeIters) > 0,
+        "a cascade batch must tally canonize iterations"
+    );
     let backends = v.get("backends").and_then(|x| x.as_array()).unwrap();
     assert!(
         backends
@@ -164,6 +182,52 @@ fn metrics_json_round_trips() {
             .any(|b| b.get("name").and_then(|x| x.as_str()) == Some("udp")),
         "cascade run must report the udp backend"
     );
+    for b in backends {
+        let wall = b.get("wall_us").and_then(|x| x.as_f64()).unwrap();
+        let split = b.get("definite_wall_us").and_then(|x| x.as_f64()).unwrap()
+            + b.get("unknown_wall_us").and_then(|x| x.as_f64()).unwrap();
+        assert!(
+            (wall - split).abs() <= wall.abs() * 0.01 + 1.0,
+            "backend exit-kind wall split {split} must sum to wall_us {wall}"
+        );
+    }
+}
+
+/// Deterministic counters — rewrite firings, congruence traffic, symbolic
+/// matcher work, exit-kind tallies — must not depend on how many workers
+/// processed the batch (caching off; the single-global-writer rule makes
+/// the totals scheduling-independent).
+#[test]
+fn counter_totals_are_identical_across_worker_counts() {
+    let snapshots: Vec<_> = [1usize, 2, 4]
+        .iter()
+        .map(|&w| run_session(w, 0, SolveMode::Cascade).0.snapshot())
+        .collect();
+    let base = &snapshots[0];
+    assert!(
+        base.counter(Counter::CanonizeIters) > 0,
+        "canonize must iterate at least once per goal"
+    );
+    assert!(
+        base.counter(Counter::TermNodes) > 0,
+        "congruence closures must intern nodes"
+    );
+    assert!(
+        base.counter(Counter::SymExitDefinite) + base.counter(Counter::SymExitUnknown) > 0,
+        "cascade must route every goal through the sym backend first"
+    );
+    for snap in &snapshots[1..] {
+        for counter in Counter::ALL {
+            if !counter.is_deterministic() {
+                continue;
+            }
+            assert_eq!(
+                base.counter(counter),
+                snap.counter(counter),
+                "counter `{counter}` must not depend on worker count"
+            );
+        }
+    }
 }
 
 /// `GoalReport::steps` mirrors what the backends consumed: nonzero for a

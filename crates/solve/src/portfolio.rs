@@ -16,6 +16,7 @@ use udp_core::schema::{Catalog, SchemaId};
 use udp_core::spnf::Nf;
 use udp_core::trace::Trace;
 use udp_core::{QueryU, Verdict};
+use udp_obs::{Counter, Recorder};
 
 /// One backend's attempt, kept for per-backend statistics (the heavy
 /// [`udp_core::Verdict`] with its trace is dropped; the final verdict keeps
@@ -82,6 +83,56 @@ fn synthesize(goal_sizes: (usize, usize), bv: &BackendVerdict) -> Verdict {
     }
 }
 
+/// Tally one completed backend attempt and convert it to its report entry.
+/// This is the *single write site* for the per-backend exit-kind counters
+/// (`sym-exit-definite` … `udp-unknown-wall-ns`): every attempt in every
+/// [`SolveMode`] flows through here exactly once, on the portfolio thread,
+/// so counter totals stay worker-count invariant. Also drops the trace
+/// instants marking each backend's verdict and budget exhaustion.
+fn record_attempt(recorder: &Recorder, bv: &BackendVerdict) -> BackendAttempt {
+    let definite = bv.outcome.is_definite();
+    let (exits, wall_ns, verdict_mark) = match (bv.backend, definite) {
+        ("sym", true) => (
+            Counter::SymExitDefinite,
+            Counter::SymDefiniteWallNs,
+            "sym-definite",
+        ),
+        ("sym", false) => (
+            Counter::SymExitUnknown,
+            Counter::SymUnknownWallNs,
+            "sym-unknown",
+        ),
+        (_, true) => (
+            Counter::UdpExitDefinite,
+            Counter::UdpDefiniteWallNs,
+            "udp-definite",
+        ),
+        (_, false) => (
+            Counter::UdpExitUnknown,
+            Counter::UdpUnknownWallNs,
+            "udp-unknown",
+        ),
+    };
+    recorder.count(exits, 1);
+    recorder.count(wall_ns, bv.wall.as_nanos() as u64);
+    recorder.instant(verdict_mark);
+    if matches!(
+        bv.outcome,
+        BackendOutcome::Unknown(crate::UnknownReason::Budget)
+    ) {
+        recorder.instant("budget-exhausted");
+    }
+    BackendAttempt::from(bv)
+}
+
+/// Run one backend under a live trace span so per-attempt intervals show
+/// up in `--trace-out` lanes (the stage table gets the same wall later via
+/// the service's `GoalObs::add`, which deliberately does not re-emit trace).
+fn run_traced(goal: &Goal, backend: &dyn Backend, span: &'static str) -> BackendVerdict {
+    let _t = goal.config.recorder.trace_span(span);
+    backend.prove(goal)
+}
+
 /// Turn a backend verdict into the final report entry, preferring the
 /// backend's own core verdict (with trace) when it has one.
 fn finalize(goal: &Goal, bv: BackendVerdict, attempts: Vec<BackendAttempt>) -> SolveReport {
@@ -99,23 +150,23 @@ fn finalize(goal: &Goal, bv: BackendVerdict, attempts: Vec<BackendAttempt>) -> S
 pub fn solve_normalized(goal: &Goal, mode: SolveMode) -> SolveReport {
     match mode {
         SolveMode::Udp => {
-            let bv = UdpBackend.prove(goal);
-            let attempts = vec![BackendAttempt::from(&bv)];
+            let bv = run_traced(goal, &UdpBackend, "udp-prove");
+            let attempts = vec![record_attempt(&goal.config.recorder, &bv)];
             finalize(goal, bv, attempts)
         }
         SolveMode::Sym => {
-            let bv = SymBackend.prove(goal);
-            let attempts = vec![BackendAttempt::from(&bv)];
+            let bv = run_traced(goal, &SymBackend, "sym-prove");
+            let attempts = vec![record_attempt(&goal.config.recorder, &bv)];
             finalize(goal, bv, attempts)
         }
         SolveMode::Cascade => {
-            let sym = SymBackend.prove(goal);
-            let mut attempts = vec![BackendAttempt::from(&sym)];
+            let sym = run_traced(goal, &SymBackend, "sym-prove");
+            let mut attempts = vec![record_attempt(&goal.config.recorder, &sym)];
             if sym.outcome.is_definite() {
                 return finalize(goal, sym, attempts);
             }
-            let udp = UdpBackend.prove(goal);
-            attempts.push(BackendAttempt::from(&udp));
+            let udp = run_traced(goal, &UdpBackend, "udp-prove");
+            attempts.push(record_attempt(&goal.config.recorder, &udp));
             finalize(goal, udp, attempts)
         }
         SolveMode::Race => race(goal),
@@ -207,23 +258,23 @@ fn race(goal: &Goal) -> SolveReport {
         std::thread::spawn(move || {
             let g = owned.as_goal();
             let bv = if which == "sym" {
-                SymBackend.prove(&g)
+                run_traced(&g, &SymBackend, "sym-prove")
             } else {
-                UdpBackend.prove(&g)
+                run_traced(&g, &UdpBackend, "udp-prove")
             };
             let _ = tx.send(bv);
         });
     }
     drop(tx);
     let first = rx.recv().expect("at least one backend reports");
-    let mut attempts = vec![BackendAttempt::from(&first)];
+    let mut attempts = vec![record_attempt(&goal.config.recorder, &first)];
     if first.outcome.is_definite() {
         cancel.store(true, Ordering::Relaxed);
         return finalize(goal, first, attempts);
     }
     match rx.recv() {
         Ok(second) => {
-            attempts.push(BackendAttempt::from(&second));
+            attempts.push(record_attempt(&goal.config.recorder, &second));
             if second.outcome.is_definite() {
                 finalize(goal, second, attempts)
             } else {
@@ -245,9 +296,12 @@ fn race(goal: &Goal) -> SolveReport {
 /// disagreement is reported in [`SolveReport::disagreement`]; the UDP
 /// verdict is still attached so diagnostics can show both sides.
 fn crosscheck(goal: &Goal) -> SolveReport {
-    let sym = SymBackend.prove(goal);
-    let udp = UdpBackend.prove(goal);
-    let attempts = vec![BackendAttempt::from(&sym), BackendAttempt::from(&udp)];
+    let sym = run_traced(goal, &SymBackend, "sym-prove");
+    let udp = run_traced(goal, &UdpBackend, "udp-prove");
+    let attempts = vec![
+        record_attempt(&goal.config.recorder, &sym),
+        record_attempt(&goal.config.recorder, &udp),
+    ];
     let disagreement = match (&sym.outcome, &udp.outcome) {
         (BackendOutcome::Proved, BackendOutcome::Disproved(r)) => Some(format!(
             "sym proved ({}) but udp found no proof ({r:?})",

@@ -44,6 +44,7 @@ use udp_core::expr::{Expr, Pred, VarId};
 use udp_core::hom::{match_terms, MatchMode};
 use udp_core::schema::{RelId, SchemaId};
 use udp_core::spnf::{Nf, Term};
+use udp_obs::Counter;
 
 /// The symbolic SPJ/UCQ backend (see module docs).
 #[derive(Debug, Clone, Copy, Default)]
@@ -273,6 +274,12 @@ fn decide_sym(ctx: &mut Ctx, nf1: &Nf, nf2: &Nf) -> Result<SymAnswer, Exhausted>
     for (j, t) in cb.terms.iter().enumerate() {
         buckets.entry(TermSig::of(t)).or_default().1.push(j);
     }
+    ctx.recorder
+        .count(Counter::SymBuckets, buckets.len() as u64);
+    ctx.recorder.count(
+        Counter::SymBucketSummands,
+        (ca.terms.len() + cb.terms.len()) as u64,
+    );
     for (sig, (left, right)) in &buckets {
         if left.len() != right.len() {
             return Ok(SymAnswer::Inequivalent(format!(
@@ -341,6 +348,7 @@ fn assign(
             None => {
                 // Same orientation as TDP (Alg 3): the right summand is the
                 // pattern, the left the target.
+                ctx.recorder.count(Counter::SymIsoAttempts, 1);
                 let v = match_terms(
                     ctx,
                     &cb.terms[right[j]],

@@ -4,7 +4,7 @@
 //! udp-serve SCHEMA.sql [--jobs N] [--extended] [--full] [--timeout SECS] [--steps N]
 //!                      [--cache-size N] [--stats] [--stats-every N] [--fingerprints]
 //!                      [--backend udp|sym|cascade|race|crosscheck]
-//!                      [--metrics-json PATH] [--trace-goals N]
+//!                      [--metrics-json PATH] [--trace-goals N] [--trace-out PATH]
 //! ```
 //!
 //! `SCHEMA.sql` declares the shared catalog (schema/table/key/foreign
@@ -36,8 +36,9 @@
 //! Observability: `--metrics-json PATH` enables the `udp-obs` stage
 //! recorder and writes the machine-readable snapshot to `PATH` at exit;
 //! `--trace-goals N` prints the N slowest goals with their stage waterfalls
-//! to stderr at exit. All metrics output goes to stderr or `PATH`, so the
-//! stdout protocol stays byte-identical.
+//! to stderr at exit; `--trace-out PATH` writes a Chrome Trace Event JSON
+//! export (one lane per worker thread) at exit. All metrics output goes to
+//! stderr or `PATH`, so the stdout protocol stays byte-identical.
 //!
 //! Exit codes: `0` every goal proved, `2` some goal was not proved, `1`
 //! input/schema errors, `64` usage errors.
@@ -57,6 +58,7 @@ fn main() -> ExitCode {
     let mut show_fingerprints = false;
     let mut metrics_json: Option<String> = None;
     let mut trace_goals = 0usize;
+    let mut trace_out: Option<String> = None;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -89,6 +91,13 @@ fn main() -> ExitCode {
                 );
             }
             "--trace-goals" => trace_goals = parse_num(it.next(), "--trace-goals"),
+            "--trace-out" => {
+                trace_out = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage("missing value for --trace-out")),
+                );
+            }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag `{other}`")),
             other if file.is_none() => file = Some(other.to_string()),
@@ -105,7 +114,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let recorder = if metrics_json.is_some() || trace_goals > 0 {
+    let recorder = if trace_out.is_some() {
+        Recorder::with_trace(
+            trace_goals.max(udp_obs::DEFAULT_SLOW_CAPACITY),
+            udp_obs::DEFAULT_TRACE_CAPACITY,
+        )
+    } else if metrics_json.is_some() || trace_goals > 0 {
         Recorder::with_slow_capacity(trace_goals.max(udp_obs::DEFAULT_SLOW_CAPACITY))
     } else {
         Recorder::disabled()
@@ -215,6 +229,14 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        if let Some(path) = &trace_out {
+            if let Some(trace) = recorder.chrome_trace() {
+                if let Err(e) = std::fs::write(path, trace) {
+                    eprintln!("error writing trace to `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
     }
     if any_error {
         ExitCode::FAILURE
@@ -255,7 +277,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: udp-serve SCHEMA.sql [--jobs N] [--extended] [--full] [--timeout SECS] [--steps N] \
          [--cache-size N] [--stats] [--stats-every N] [--fingerprints] \
-         [--backend udp|sym|cascade|race|crosscheck] [--metrics-json PATH] [--trace-goals N]"
+         [--backend udp|sym|cascade|race|crosscheck] [--metrics-json PATH] [--trace-goals N] \
+         [--trace-out PATH]"
     );
     std::process::exit(64);
 }

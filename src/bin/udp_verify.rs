@@ -4,7 +4,7 @@
 //! udp-verify FILE.sql [--trace] [--check-trace] [--counterexample]
 //!                     [--spnf] [--extended] [--full] [--timeout SECS] [--jobs N]
 //!                     [--backend udp|sym|cascade|race|crosscheck] [--stats]
-//!                     [--metrics-json PATH] [--trace-goals N]
+//!                     [--metrics-json PATH] [--trace-goals N] [--trace-out PATH]
 //! ```
 //!
 //! Reads an input program (schema/table/key/foreign key/view/index
@@ -31,10 +31,14 @@
 //! exit.
 //!
 //! Observability: `--metrics-json PATH` enables the `udp-obs` stage
-//! recorder and writes the machine-readable snapshot (schema version 1 —
-//! per-stage totals, shares, p50/p99, per-backend breakdowns) to `PATH` on
-//! exit; `--trace-goals N` prints the N slowest goals with their stage
-//! waterfalls to stderr. Either flag turns recording on; with neither, the
+//! recorder and writes the machine-readable snapshot (schema version 2 —
+//! per-stage totals, shares, p50/p99, intra-prover counters, per-backend
+//! breakdowns with exit-kind wall splits) to `PATH` on exit;
+//! `--trace-goals N` prints the N slowest goals with their stage waterfalls
+//! to stderr; `--trace-out PATH` additionally buffers per-thread event
+//! traces and writes them as Chrome Trace Event JSON (loadable in
+//! Perfetto / `chrome://tracing`, one lane per worker thread) at exit. Any
+//! of these flags turns recording on; with none of them, the
 //! instrumentation stays in its free disabled mode.
 //!
 //! The frontend (parse + catalog) is built once and reused by every mode;
@@ -45,7 +49,7 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 use udp_core::budget::Budget;
 use udp_core::DecideConfig;
-use udp_obs::{Recorder, Stage};
+use udp_obs::{Counter, Recorder, Stage};
 use udp_service::ServiceStats;
 use udp_solve::SolveMode;
 
@@ -63,6 +67,7 @@ fn main() -> ExitCode {
     let mut show_stats = false;
     let mut metrics_json: Option<String> = None;
     let mut trace_goals = 0usize;
+    let mut trace_out: Option<String> = None;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -108,6 +113,13 @@ fn main() -> ExitCode {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("missing value for --trace-goals"));
             }
+            "--trace-out" => {
+                trace_out = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage("missing value for --trace-out")),
+                );
+            }
             "--help" | "-h" => {
                 usage("");
             }
@@ -126,9 +138,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // Either observability flag enables the recorder; otherwise every
+    // Any observability flag enables the recorder; otherwise every
     // instrumentation point in the pipeline stays a no-op.
-    let recorder = if metrics_json.is_some() || trace_goals > 0 {
+    let recorder = if trace_out.is_some() {
+        Recorder::with_trace(
+            trace_goals.max(udp_obs::DEFAULT_SLOW_CAPACITY),
+            udp_obs::DEFAULT_TRACE_CAPACITY,
+        )
+    } else if metrics_json.is_some() || trace_goals > 0 {
         Recorder::with_slow_capacity(trace_goals.max(udp_obs::DEFAULT_SLOW_CAPACITY))
     } else {
         Recorder::disabled()
@@ -154,6 +171,7 @@ fn main() -> ExitCode {
             recorder,
             metrics_json.as_deref(),
             trace_goals,
+            trace_out.as_deref(),
         );
     }
     if jobs > 1 {
@@ -236,9 +254,23 @@ fn main() -> ExitCode {
         // udp-solve over the same lowered pair.
         let mut steps = 0u64;
         let verdict = if mode == SolveMode::Udp {
-            let v = udp_core::decide_with(&fe.catalog, &fe.constraints, &q1, &q2, config.clone());
+            let v = {
+                let _t = recorder.trace_span("udp-prove");
+                udp_core::decide_with(&fe.catalog, &fe.constraints, &q1, &q2, config.clone())
+            };
             let definite = !matches!(v.decision, udp_core::Decision::Timeout);
             stats.record_backend("udp", definite, v.decision.is_proved(), v.stats.wall, true);
+            // Exit-kind counters: this direct `decide_with` path bypasses the
+            // udp-solve portfolio (whose `record_attempt` is the primary
+            // write site); the two paths are mutually exclusive within one
+            // run, so the single-writer rule holds.
+            let (exits, wall_ns) = if definite {
+                (Counter::UdpExitDefinite, Counter::UdpDefiniteWallNs)
+            } else {
+                (Counter::UdpExitUnknown, Counter::UdpUnknownWallNs)
+            };
+            recorder.count(exits, 1);
+            recorder.count(wall_ns, v.stats.wall.as_nanos() as u64);
             obs.add(Stage::UdpProve, v.stats.wall, v.stats.steps_used);
             steps = v.stats.steps_used;
             v
@@ -319,9 +351,9 @@ fn main() -> ExitCode {
     }
 
     if counterexample && !all_proved {
-        match recorder.time(Stage::Counterexample, || {
-            udp_eval::check_program_in(&text, dialect, 500)
-        }) {
+        // The search records `Stage::Counterexample` inside udp-eval itself
+        // (single-writer rule) — no wrapper timing here.
+        match udp_eval::check_program_in_with(&text, dialect, 500, &recorder) {
             Ok(udp_eval::SearchResult::Refuted(ce)) => {
                 println!("{}", ce.render(&fe));
             }
@@ -335,7 +367,13 @@ fn main() -> ExitCode {
         }
     }
 
-    if let Err(e) = emit_observability(&recorder, &stats, metrics_json.as_deref(), trace_goals) {
+    if let Err(e) = emit_observability(
+        &recorder,
+        &stats,
+        metrics_json.as_deref(),
+        trace_goals,
+        trace_out.as_deref(),
+    ) {
         eprintln!("error writing metrics: {e}");
         return ExitCode::FAILURE;
     }
@@ -347,13 +385,15 @@ fn main() -> ExitCode {
     }
 }
 
-/// Write the `--metrics-json` snapshot and/or print the `--trace-goals`
-/// waterfalls; no-ops when the recorder is disabled.
+/// Write the `--metrics-json` snapshot, print the `--trace-goals`
+/// waterfalls, and/or write the `--trace-out` Chrome trace; no-ops when the
+/// recorder is disabled.
 fn emit_observability(
     recorder: &Recorder,
     stats: &ServiceStats,
     metrics_json: Option<&str>,
     trace_goals: usize,
+    trace_out: Option<&str>,
 ) -> std::io::Result<()> {
     if !recorder.is_enabled() {
         return Ok(());
@@ -364,6 +404,11 @@ fn emit_observability(
     }
     if let Some(path) = metrics_json {
         std::fs::write(path, snapshot.to_json(&stats.backend_summaries()))?;
+    }
+    if let Some(path) = trace_out {
+        if let Some(trace) = recorder.chrome_trace() {
+            std::fs::write(path, trace)?;
+        }
     }
     Ok(())
 }
@@ -382,6 +427,7 @@ fn run_parallel(
     recorder: Recorder,
     metrics_json: Option<&str>,
     trace_goals: usize,
+    trace_out: Option<&str>,
 ) -> ExitCode {
     let config = udp_service::SessionConfig {
         workers: jobs,
@@ -426,7 +472,13 @@ fn run_parallel(
     if show_stats {
         eprintln!("{}", session.stats().render());
     }
-    if let Err(e) = emit_observability(&recorder, &session.stats(), metrics_json, trace_goals) {
+    if let Err(e) = emit_observability(
+        &recorder,
+        &session.stats(),
+        metrics_json,
+        trace_goals,
+        trace_out,
+    ) {
         eprintln!("error writing metrics: {e}");
         return ExitCode::FAILURE;
     }
@@ -457,7 +509,7 @@ fn usage(msg: &str) -> ! {
         "usage: udp-verify FILE.sql [--trace] [--check-trace] [--counterexample] \
          [--spnf] [--extended] [--full] [--timeout SECS] [--jobs N] \
          [--backend udp|sym|cascade|race|crosscheck] [--stats] \
-         [--metrics-json PATH] [--trace-goals N]"
+         [--metrics-json PATH] [--trace-goals N] [--trace-out PATH]"
     );
     std::process::exit(64);
 }
