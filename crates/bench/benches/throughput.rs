@@ -18,14 +18,26 @@
 //! fraction (expected ≥ 0.90), and the deterministic counter deltas per
 //! corpus goal family (rewrite firings, congruence traffic, symbolic
 //! matcher work attributed to literature / calcite / bugs / extensions).
+//!
+//! The memory self-profile (`BENCH_mem.json`) rides the same corpus sweep
+//! under an active allocation-tracking session: bytes/goal by stage and by
+//! rule family, the peak live-bytes watermark, and the marginal cost of
+//! tracking over a plain enabled recorder (acceptance: ≤5%).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 use udp_corpus::{all_rules, Expectation, Source};
-use udp_obs::{Counter, Recorder};
+use udp_obs::{Counter, Recorder, TrackingAlloc};
 use udp_service::{Session, SessionConfig, SolveMode};
 use udp_sql::ast::Query;
+
+/// The bench harness installs the tracking allocator so the memory
+/// self-profile (`BENCH_mem.json`) measures real attributed bytes and the
+/// tracking-overhead number reflects the shipping binaries (which install
+/// the same wrapper).
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
 
 const DDL: &str = "schema rs(k:int, a:int, b:int);\nschema ss(k2:int, c:int);\n\
                    schema ts(id:int, e:int);\n\
@@ -188,13 +200,24 @@ const FAMILIES: [(Source, &str); 4] = [
 /// delta across a family boundary attributes rewrite firings and matcher
 /// work to that family exactly. Disproof-expected rules additionally run
 /// the bounded counterexample search so the refutation path gets a stage
-/// row. Returns the goal count and the nonzero deterministic-counter
-/// deltas per family.
-fn corpus_obs_sweep(recorder: &Recorder) -> (usize, Vec<(&'static str, Vec<(Counter, u64)>)>) {
+/// row. Returns the goal count, the nonzero deterministic-counter deltas
+/// per family, and — when the recorder carries a memory session — the
+/// per-family allocation-byte deltas by stage (the same boundary-delta
+/// trick; allocation cells are monotone too).
+#[allow(clippy::type_complexity)]
+fn corpus_obs_sweep(
+    recorder: &Recorder,
+) -> (
+    usize,
+    Vec<(&'static str, Vec<(Counter, u64)>)>,
+    Vec<(&'static str, Vec<(&'static str, u64)>)>,
+) {
     let rules = all_rules();
     let mut goals = 0usize;
     let mut families = Vec::new();
+    let mut mem_families = Vec::new();
     let mut prev = vec![0u64; Counter::COUNT];
+    let mut prev_mem: Vec<u64> = Vec::new();
     for (source, label) in FAMILIES {
         for rule in rules.iter().filter(|r| r.source == source) {
             let config = SessionConfig {
@@ -224,15 +247,31 @@ fn corpus_obs_sweep(recorder: &Recorder) -> (usize, Vec<(&'static str, Vec<(Coun
         let mut deltas = Vec::new();
         for (i, counter) in Counter::ALL.into_iter().enumerate() {
             let v = snap.counter(counter);
-            let delta = v - prev[i];
+            // Saturating: gauges (cache residency) may move down between
+            // family boundaries; a plain subtraction would wrap.
+            let delta = v.saturating_sub(prev[i]);
             prev[i] = v;
             if delta > 0 && counter.is_deterministic() {
                 deltas.push((counter, delta));
             }
         }
         families.push((label, deltas));
+        let mut mem_deltas = Vec::new();
+        if let Some(mem) = &snap.memory {
+            if prev_mem.len() != mem.stages.len() {
+                prev_mem = vec![0u64; mem.stages.len()];
+            }
+            for (i, row) in mem.stages.iter().enumerate() {
+                let delta = row.alloc_bytes.saturating_sub(prev_mem[i]);
+                prev_mem[i] = row.alloc_bytes;
+                if delta > 0 {
+                    mem_deltas.push((row.name(), delta));
+                }
+            }
+        }
+        mem_families.push((label, mem_deltas));
     }
-    (goals, families)
+    (goals, families, mem_families)
 }
 
 /// Observability self-profile: instrumentation overhead (enabled vs the
@@ -248,15 +287,28 @@ fn write_obs_summary() {
     let enabled = Recorder::enabled();
     let enabled_rate = obs_rate(REPS, &enabled);
     let overhead = 1.0 - enabled_rate / disabled_rate;
+    // Allocation tracking rides on an enabled recorder; its marginal cost
+    // (vs plain enabled) is the ≤5% acceptance number. The recorder — and
+    // with it the exclusive memory session — must drop before the corpus
+    // sweep opens its own session below.
+    let tracking_rate = {
+        let tracking = Recorder::enabled();
+        tracking.track_memory();
+        obs_rate(REPS, &tracking)
+    };
+    let tracking_overhead = 1.0 - tracking_rate / enabled_rate;
 
     let corpus_recorder = Recorder::enabled();
-    let (corpus_goals, families) = corpus_obs_sweep(&corpus_recorder);
+    corpus_recorder.track_memory();
+    let (corpus_goals, families, mem_families) = corpus_obs_sweep(&corpus_recorder);
     let snap = corpus_recorder.snapshot();
     let coverage = snap.coverage();
     println!(
         "obs summary: disabled {disabled_rate:.0} goals/s, enabled {enabled_rate:.0} goals/s \
-         ({:+.1}% overhead); corpus: {corpus_goals} goals, stage coverage {:.1}%",
+         ({:+.1}% overhead), tracking {tracking_rate:.0} goals/s ({:+.1}% over enabled); \
+         corpus: {corpus_goals} goals, stage coverage {:.1}%",
         overhead * 100.0,
+        tracking_overhead * 100.0,
         coverage * 100.0
     );
     for (label, deltas) in &families {
@@ -306,6 +358,82 @@ fn write_obs_summary() {
         snap.goal_wall_us()
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    }
+
+    write_mem_summary(
+        &snap,
+        corpus_goals,
+        &mem_families,
+        enabled_rate,
+        tracking_rate,
+        tracking_overhead,
+    );
+}
+
+/// Emit the memory self-profile as `BENCH_mem.json`: workload tracking
+/// overhead plus corpus bytes/goal broken down by stage and by rule family
+/// — the before-picture the planned interning/arena refactor (ROADMAP
+/// item 1) will be diffed against.
+fn write_mem_summary(
+    snap: &udp_obs::MetricsSnapshot,
+    corpus_goals: usize,
+    mem_families: &[(&'static str, Vec<(&'static str, u64)>)],
+    enabled_rate: f64,
+    tracking_rate: f64,
+    tracking_overhead: f64,
+) {
+    let Some(mem) = &snap.memory else {
+        eprintln!("no memory session on the corpus recorder; skipping BENCH_mem.json");
+        return;
+    };
+    let goals = corpus_goals.max(1) as u64;
+    println!(
+        "mem summary: corpus {:.1} KiB/goal allocated, peak live {:.1} MiB, tracked = {}",
+        mem.total_alloc_bytes() as f64 / goals as f64 / 1024.0,
+        mem.peak_live_bytes as f64 / (1024.0 * 1024.0),
+        mem.tracked
+    );
+
+    let mut stages = String::new();
+    for row in &mem.stages {
+        if row.alloc_bytes == 0 {
+            continue;
+        }
+        if !stages.is_empty() {
+            stages.push_str(",\n");
+        }
+        stages.push_str(&format!(
+            "      {{\"stage\": \"{}\", \"alloc_calls\": {}, \"alloc_bytes\": {}, \
+             \"bytes_freed\": {}, \"bytes_per_goal\": {:.1}}}",
+            row.name(),
+            row.alloc_calls,
+            row.alloc_bytes,
+            row.bytes_freed,
+            row.alloc_bytes as f64 / goals as f64
+        ));
+    }
+    let mut families = String::new();
+    for (label, deltas) in mem_families {
+        if !families.is_empty() {
+            families.push_str(",\n");
+        }
+        let entries: Vec<String> = deltas
+            .iter()
+            .map(|(stage, bytes)| format!("\"{stage}\": {bytes}"))
+            .collect();
+        families.push_str(&format!("      \"{label}\": {{{}}}", entries.join(", ")));
+    }
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"goals\": {GOALS},\n    \"enabled_goals_per_sec\": {enabled_rate:.1},\n    \"tracking_goals_per_sec\": {tracking_rate:.1},\n    \"tracking_overhead\": {tracking_overhead:.4}\n  }},\n  \"corpus\": {{\n    \"goals\": {corpus_goals},\n    \"tracked\": {},\n    \"alloc_bytes\": {},\n    \"alloc_calls\": {},\n    \"bytes_per_goal\": {:.1},\n    \"peak_live_bytes\": {},\n    \"stages\": [\n{stages}\n    ],\n    \"families\": {{\n{families}\n    }}\n  }}\n}}\n",
+        mem.tracked,
+        mem.total_alloc_bytes(),
+        mem.total_alloc_calls(),
+        mem.total_alloc_bytes() as f64 / goals as f64,
+        mem.peak_live_bytes
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mem.json");
     if let Err(e) = std::fs::write(path, json) {
         eprintln!("could not write {path}: {e}");
     }

@@ -103,6 +103,16 @@ pub struct Verdict {
     pub stats: Stats,
 }
 
+impl Verdict {
+    /// Deterministic deep size in bytes (exact-fit convention, see
+    /// [`crate::uexpr::UExpr::deep_size`]) — what one cached verdict costs
+    /// the byte-bounded verdict cache. The decision and stats are inline;
+    /// the trace's recorded steps are the only heap freight.
+    pub fn deep_size(&self) -> usize {
+        std::mem::size_of::<Verdict>() + self.trace.heap_size()
+    }
+}
+
 /// Configuration for a `decide` run.
 #[derive(Debug, Clone, Default)]
 pub struct DecideConfig {

@@ -84,6 +84,15 @@ impl Value {
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }
+
+    /// Bytes of owned heap data (string contents by `len`; the value
+    /// itself is inline in its containing expression).
+    pub fn heap_size(&self) -> usize {
+        match self {
+            Value::Str(s) => s.len(),
+            _ => 0,
+        }
+    }
 }
 
 impl fmt::Display for Value {
@@ -326,6 +335,28 @@ impl Expr {
         }
     }
 
+    /// Deterministic deep size in bytes (see [`crate::uexpr::UExpr::deep_size`]
+    /// for the exact-fit convention).
+    pub fn deep_size(&self) -> usize {
+        std::mem::size_of::<Expr>() + self.heap_size()
+    }
+
+    /// Bytes of owned heap data strictly below this node.
+    pub fn heap_size(&self) -> usize {
+        match self {
+            Expr::Var(_) => 0,
+            Expr::Attr(e, name) => e.deep_size() + name.len(),
+            Expr::Const(v) => v.heap_size(),
+            Expr::App(name, args) => name.len() + args.iter().map(Expr::deep_size).sum::<usize>(),
+            Expr::Agg(name, body) => name.len() + body.deep_size(),
+            Expr::Record(fields) => fields
+                .iter()
+                .map(|(n, e)| std::mem::size_of::<(String, Expr)>() + n.len() + e.heap_size())
+                .sum(),
+            Expr::Concat(l, _, r) => l.deep_size() + r.deep_size(),
+        }
+    }
+
     /// Largest variable id occurring in this expression (for watermarking).
     pub fn max_var(&self) -> Option<u32> {
         self.free_vars().iter().map(|v| v.0).max()
@@ -553,6 +584,22 @@ impl Pred {
         match self {
             Pred::Eq(a, b) | Pred::Ne(a, b) => 1 + a.size() + b.size(),
             Pred::Lift { args, .. } => 1 + args.iter().map(Expr::size).sum::<usize>(),
+        }
+    }
+
+    /// Deterministic deep size in bytes (see [`crate::uexpr::UExpr::deep_size`]
+    /// for the exact-fit convention).
+    pub fn deep_size(&self) -> usize {
+        std::mem::size_of::<Pred>() + self.heap_size()
+    }
+
+    /// Bytes of owned heap data strictly below this predicate.
+    pub fn heap_size(&self) -> usize {
+        match self {
+            Pred::Eq(a, b) | Pred::Ne(a, b) => a.heap_size() + b.heap_size(),
+            Pred::Lift { name, args, .. } => {
+                name.len() + args.iter().map(Expr::deep_size).sum::<usize>()
+            }
         }
     }
 

@@ -238,6 +238,28 @@ impl Term {
             + self.atoms.iter().map(|a| 1 + a.arg.size()).sum::<usize>()
     }
 
+    /// Deterministic deep size in bytes — the memory cousin of [`Term::size`]
+    /// (see [`crate::uexpr::UExpr::deep_size`] for the exact-fit
+    /// convention). The `spnf-bytes` observability counter sums this over
+    /// canonical goal pairs, making SPNF blow-up visible in bytes, not
+    /// just node counts.
+    pub fn deep_size(&self) -> usize {
+        std::mem::size_of::<Term>() + self.heap_size()
+    }
+
+    /// Bytes of owned heap data strictly below this term.
+    pub fn heap_size(&self) -> usize {
+        self.vars.len() * std::mem::size_of::<(VarId, SchemaId)>()
+            + self.preds.iter().map(Pred::deep_size).sum::<usize>()
+            + self.squash.as_ref().map_or(0, |nf| nf.deep_size())
+            + self.negation.as_ref().map_or(0, |nf| nf.deep_size())
+            + self
+                .atoms
+                .iter()
+                .map(|a| std::mem::size_of::<Atom>() + a.arg.heap_size())
+                .sum::<usize>()
+    }
+
     /// Convert back to a plain [`UExpr`] (used for interpretation-based
     /// testing and by the proof checker).
     pub fn to_uexpr(&self) -> UExpr {
@@ -343,6 +365,16 @@ impl Nf {
     /// Structural size (the Sec 6.3 growth metric).
     pub fn size(&self) -> usize {
         1 + self.terms.iter().map(Term::size).sum::<usize>()
+    }
+
+    /// Deterministic deep size in bytes (see [`Term::deep_size`]).
+    pub fn deep_size(&self) -> usize {
+        std::mem::size_of::<Nf>() + self.heap_size()
+    }
+
+    /// Bytes of owned heap data strictly below this normal form.
+    pub fn heap_size(&self) -> usize {
+        self.terms.iter().map(Term::deep_size).sum()
     }
 
     /// Convert back to a plain [`UExpr`].

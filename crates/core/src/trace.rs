@@ -96,6 +96,26 @@ pub enum StepData {
     Witness(String),
 }
 
+impl StepData {
+    /// Bytes of owned heap data strictly below this payload (exact-fit
+    /// convention, see [`crate::uexpr::UExpr::deep_size`]).
+    pub fn heap_size(&self) -> usize {
+        match self {
+            StepData::Normalize { before, after } => before.heap_size() + after.heap_size(),
+            StepData::TermRewrite {
+                before,
+                after,
+                ambient,
+            } => {
+                before.heap_size()
+                    + after.iter().map(Term::deep_size).sum::<usize>()
+                    + ambient.iter().map(Pred::deep_size).sum::<usize>()
+            }
+            StepData::Witness(w) => w.len(),
+        }
+    }
+}
+
 /// One recorded proof step.
 #[derive(Debug, Clone)]
 pub struct Step {
@@ -152,6 +172,15 @@ impl Trace {
     /// Were any steps recorded?
     pub fn is_empty(&self) -> bool {
         self.steps.is_empty()
+    }
+
+    /// Bytes of owned heap data held by the recorded steps — the dominant
+    /// cost of caching a traced verdict (see [`crate::decide::Verdict::deep_size`]).
+    pub fn heap_size(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| std::mem::size_of::<Step>() + s.data.heap_size())
+            .sum()
     }
 
     /// Render the trace as an indented, human-readable proof script.

@@ -196,6 +196,29 @@ impl UExpr {
         }
     }
 
+    /// Deterministic deep size in bytes: `size_of::<UExpr>()` for this
+    /// node plus the exact-fit size of every owned heap child (strings by
+    /// `len`, vectors by `len × element size`; spare capacity is ignored
+    /// so totals are identical across workers, allocators, and machines).
+    /// The `term-bytes` observability counter sums this over lowered goal
+    /// pairs.
+    pub fn deep_size(&self) -> usize {
+        std::mem::size_of::<UExpr>() + self.heap_size()
+    }
+
+    /// Bytes of owned heap data strictly below this node (the node itself
+    /// is accounted by whatever container embeds it).
+    pub fn heap_size(&self) -> usize {
+        match self {
+            UExpr::Zero | UExpr::One => 0,
+            UExpr::Add(a, b) | UExpr::Mul(a, b) => a.deep_size() + b.deep_size(),
+            UExpr::Pred(p) => p.heap_size(),
+            UExpr::Rel(_, e) => e.heap_size(),
+            UExpr::Squash(e) | UExpr::Not(e) => e.deep_size(),
+            UExpr::Sum(_, _, body) => body.deep_size(),
+        }
+    }
+
     /// Largest variable id mentioned anywhere — bound or free, *including*
     /// binders inside aggregate bodies — used to seed fresh-variable
     /// generators so no binder is ever re-issued.

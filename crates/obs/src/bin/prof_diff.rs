@@ -3,12 +3,13 @@
 //!
 //! Usage:
 //!   `udp-prof-diff --baseline BASE.json [--tolerance F] [--min-share F]
-//!                  [--min-count N] [--inflate NAME:FACTOR] CURRENT.json`
+//!                  [--min-count N] [--mem-tolerance F]
+//!                  [--inflate NAME:FACTOR] CURRENT.json`
 //!
-//! Both inputs may be `--metrics-json` snapshots (schema version 1 or 2)
+//! Both inputs may be `--metrics-json` snapshots (schema version 1–3)
 //! or a `BENCH_obs.json` self-profile (the `corpus` section is used).
-//! Three families of checks run, each against `--tolerance` (default
-//! 0.15):
+//! Four families of checks run; the first three against `--tolerance`
+//! (default 0.15):
 //!
 //! * **stage shares** — compared as absolute share-point deltas, but only
 //!   for stages whose share reaches `--min-share` (default 0.02) in either
@@ -20,11 +21,19 @@
 //! * **deterministic counters** — the [`Counter`] taxonomy minus wall
 //!   tallies and cache-order-dependent depths, compared relatively under
 //!   the same floor. These are the sharpest signal: a rewrite-loop
-//!   regression shows up here even when wall time hides it.
+//!   regression shows up here even when wall time hides it;
+//! * **memory** — when both snapshots carry a *tracked* memory section
+//!   (schema 3), bytes-per-goal and per-stage `alloc_bytes` are compared
+//!   relatively against `--mem-tolerance` (default 0.30 — allocation byte
+//!   totals are stable for a fixed build but drift slightly across
+//!   toolchains, so the byte gate is wider than the count gates). Stage
+//!   rows under a 64 KiB floor are skipped as noise.
 //!
 //! `--inflate NAME:FACTOR` multiplies one stage's share/calls (or one
-//! counter's value) in the *current* snapshot before diffing. CI uses it
-//! to prove the gate actually fires: an inflated run must exit non-zero.
+//! counter's value) in the *current* snapshot before diffing; the special
+//! target `alloc-bytes` scales the whole memory section (bytes-per-goal
+//! plus every stage row). CI uses it to prove the gates actually fire: an
+//! inflated run must exit non-zero.
 //!
 //! Exit code: 0 when every delta is within tolerance, 1 otherwise (or on
 //! malformed input).
@@ -45,6 +54,11 @@ struct Prof {
     stages: BTreeMap<String, (f64, f64)>,
     /// counter name → value.
     counters: BTreeMap<String, f64>,
+    /// Tracked allocation bytes per goal (schema-3 memory section; `None`
+    /// when the snapshot has no memory session or it was untracked).
+    mem_bytes_per_goal: Option<f64>,
+    /// memory stage name → alloc_bytes (tracked sessions only).
+    mem_stage_bytes: BTreeMap<String, f64>,
 }
 
 /// Pull the stage array out of either file shape: a metrics snapshot has
@@ -104,6 +118,23 @@ fn load(path: &str) -> Prof {
         }
         _ => {}
     }
+    // Schema-3 memory section: only a *tracked* session gates (an
+    // untracked one is all zeros and would only produce vacuous checks).
+    if let Some(mem) = root.get("memory") {
+        if mem.get("tracked").and_then(Value::as_bool) == Some(true) {
+            prof.mem_bytes_per_goal = mem.get("bytes_per_goal").and_then(Value::as_f64);
+            if let Some(rows) = mem.get("stages").and_then(Value::as_array) {
+                for row in rows {
+                    if let (Some(name), Some(b)) = (
+                        row.get("stage").and_then(Value::as_str),
+                        row.get("alloc_bytes").and_then(Value::as_f64),
+                    ) {
+                        prof.mem_stage_bytes.insert(name.to_string(), b);
+                    }
+                }
+            }
+        }
+    }
     prof
 }
 
@@ -162,6 +193,7 @@ fn main() {
     let mut tolerance = 0.15_f64;
     let mut min_share = 0.02_f64;
     let mut min_count = 10.0_f64;
+    let mut mem_tolerance = 0.30_f64;
     let mut inflate: Vec<(String, f64)> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -186,6 +218,11 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail("--min-count needs a float"))
             }
+            "--mem-tolerance" => {
+                mem_tolerance = take("--mem-tolerance")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--mem-tolerance needs a float"))
+            }
             "--inflate" => {
                 let spec = take("--inflate");
                 let (name, factor) = spec
@@ -203,7 +240,7 @@ fn main() {
     let baseline = baseline.unwrap_or_else(|| {
         fail(
             "usage: udp-prof-diff --baseline BASE.json [--tolerance F] [--min-share F] \
-             [--min-count N] [--inflate NAME:FACTOR] CURRENT.json",
+             [--min-count N] [--mem-tolerance F] [--inflate NAME:FACTOR] CURRENT.json",
         )
     });
     let current = current.unwrap_or_else(|| fail("missing CURRENT.json argument"));
@@ -211,7 +248,19 @@ fn main() {
     let base = load(&baseline);
     let mut cur = load(&current);
     for (name, factor) in &inflate {
-        if let Some((calls, share)) = cur.stages.get_mut(name) {
+        if name == "alloc-bytes" {
+            if cur.mem_bytes_per_goal.is_none() {
+                fail(&format!(
+                    "--inflate alloc-bytes: {current} has no tracked memory section"
+                ));
+            }
+            if let Some(v) = cur.mem_bytes_per_goal.as_mut() {
+                *v *= factor;
+            }
+            for v in cur.mem_stage_bytes.values_mut() {
+                *v *= factor;
+            }
+        } else if let Some((calls, share)) = cur.stages.get_mut(name) {
             *calls *= factor;
             *share *= factor;
         } else if let Some(v) = cur.counters.get_mut(name) {
@@ -242,6 +291,28 @@ fn main() {
         }
         let cur_v = cur.counters.get(name).copied().unwrap_or(0.0);
         gate.relative("counter", name, *base_v, cur_v);
+    }
+    // Memory gates run only when both snapshots carry a tracked memory
+    // section (comparing a tracked run against an untracked baseline — or
+    // vice versa — would diff real bytes against structural zeros). Byte
+    // totals drift more than counts across toolchains, hence the separate,
+    // wider tolerance; tiny stage rows are skipped as noise.
+    if base.mem_bytes_per_goal.is_some() && cur.mem_bytes_per_goal.is_some() {
+        gate.tolerance = mem_tolerance;
+        gate.min_count = 1024.0;
+        gate.relative(
+            "mem",
+            "bytes-per-goal",
+            base.mem_bytes_per_goal.unwrap_or(0.0),
+            cur.mem_bytes_per_goal.unwrap_or(0.0),
+        );
+        gate.min_count = 65536.0;
+        for (name, base_b) in &base.mem_stage_bytes {
+            let cur_b = cur.mem_stage_bytes.get(name).copied().unwrap_or(0.0);
+            gate.relative("mem-bytes", name, *base_b, cur_b);
+        }
+        gate.tolerance = tolerance;
+        gate.min_count = min_count;
     }
 
     if gate.checks == 0 {

@@ -4,11 +4,18 @@
 //! Usage: `validate-metrics [--min-coverage F] PATH`
 //!        `validate-metrics --trace [--min-lanes N] PATH`
 //!
-//! Metrics mode checks, against schema version 2:
+//! Metrics mode checks, against schema version 3:
 //! * required top-level keys with the right types;
 //! * `stages` lists every known stage name exactly once, in order;
 //! * `counters` lists every known counter name exactly once, in order,
 //!   with a non-negative value;
+//! * `memory` is `null` (no memory session) or an object whose stage rows
+//!   list every stage in order plus a final `"untagged"` row, whose row
+//!   sums reproduce the `alloc_bytes`/`alloc_calls` totals, whose peak
+//!   watermark dominates live bytes, and whose `bytes_per_goal` is
+//!   consistent with `alloc_bytes / goals`; an untracked session (no
+//!   tracking allocator installed in the producing binary) must be
+//!   all-zero;
 //! * every share is in `[0, 1.5]` (race portfolios can exceed 1.0 in sum,
 //!   single attempts cannot meaningfully exceed goal wall by 50%);
 //! * `coverage` equals the sum of `goal_path: true` shares (±0.02);
@@ -97,8 +104,8 @@ fn main() {
 
     let doc = parse(&text).unwrap_or_else(|e| fail(&format!("invalid JSON: {e}")));
 
-    if need_num(&doc, "schema_version") as u64 != 2 {
-        fail("schema_version != 2");
+    if need_num(&doc, "schema_version") as u64 != 3 {
+        fail("schema_version != 3");
     }
     let goals = need_num(&doc, "goals");
     let goal_wall_us = need_num(&doc, "goal_wall_us");
@@ -229,6 +236,94 @@ fn main() {
         }
     }
 
+    let memory = need(&doc, "memory");
+    let mut memory_desc = "absent".to_string();
+    if !matches!(memory, Value::Null) {
+        let tracked = need(memory, "tracked")
+            .as_bool()
+            .unwrap_or_else(|| fail("memory.tracked is not a bool"));
+        let live = need_num(memory, "live_bytes");
+        let peak = need_num(memory, "peak_live_bytes");
+        let alloc_bytes = need_num(memory, "alloc_bytes");
+        let alloc_calls = need_num(memory, "alloc_calls");
+        let bytes_per_goal = need_num(memory, "bytes_per_goal");
+        let cache_resident = need_num(memory, "cache_resident_bytes");
+        for (name, v) in [
+            ("live_bytes", live),
+            ("peak_live_bytes", peak),
+            ("alloc_bytes", alloc_bytes),
+            ("alloc_calls", alloc_calls),
+            ("bytes_per_goal", bytes_per_goal),
+            ("cache_resident_bytes", cache_resident),
+        ] {
+            if v < 0.0 {
+                fail(&format!("memory.{name} is negative ({v})"));
+            }
+        }
+        if peak < live {
+            fail(&format!(
+                "memory peak watermark {peak} below live bytes {live}"
+            ));
+        }
+        if !tracked && (alloc_calls != 0.0 || alloc_bytes != 0.0 || peak != 0.0) {
+            fail("memory session is untracked but reports nonzero allocation totals");
+        }
+        if goals > 0.0 {
+            let expect = alloc_bytes / goals;
+            if (bytes_per_goal - expect).abs() > expect.abs() * 0.01 + 1.0 {
+                fail(&format!(
+                    "memory bytes_per_goal {bytes_per_goal} disagrees with alloc_bytes/goals {expect}"
+                ));
+            }
+        }
+        let rows = need(memory, "stages")
+            .as_array()
+            .unwrap_or_else(|| fail("memory.stages is not an array"));
+        if rows.len() != Stage::COUNT + 1 {
+            fail(&format!(
+                "memory.stages has {} rows, want {} (every stage plus \"untagged\")",
+                rows.len(),
+                Stage::COUNT + 1
+            ));
+        }
+        let mut row_bytes = 0.0;
+        let mut row_calls = 0.0;
+        for (i, row) in rows.iter().enumerate() {
+            let name = need(row, "stage")
+                .as_str()
+                .unwrap_or_else(|| fail("memory stage name is not a string"));
+            if i < Stage::COUNT {
+                let stage = Stage::parse(name)
+                    .unwrap_or_else(|| fail(&format!("unknown memory stage \"{name}\"")));
+                if stage.as_index() != i {
+                    fail(&format!("memory stage \"{name}\" out of order (index {i})"));
+                }
+            } else if name != "untagged" {
+                fail(&format!(
+                    "memory.stages must end with \"untagged\", found \"{name}\""
+                ));
+            }
+            for key in ["alloc_calls", "alloc_bytes", "bytes_freed"] {
+                if need_num(row, key) < 0.0 {
+                    fail(&format!("memory stage \"{name}\" has negative \"{key}\""));
+                }
+            }
+            row_bytes += need_num(row, "alloc_bytes");
+            row_calls += need_num(row, "alloc_calls");
+        }
+        if row_bytes != alloc_bytes || row_calls != alloc_calls {
+            fail(&format!(
+                "memory stage rows sum to {row_bytes} B / {row_calls} calls, \
+                 totals claim {alloc_bytes} B / {alloc_calls} calls"
+            ));
+        }
+        memory_desc = if tracked {
+            format!("{:.1} KiB/goal", bytes_per_goal / 1024.0)
+        } else {
+            "untracked".to_string()
+        };
+    }
+
     let slow = need(&doc, "slow_goals")
         .as_array()
         .unwrap_or_else(|| fail("\"slow_goals\" is not an array"));
@@ -249,7 +344,8 @@ fn main() {
     }
 
     println!(
-        "validate-metrics: OK ({path}: {} goals, coverage {:.1}%, {} backends, {} slow goals)",
+        "validate-metrics: OK ({path}: {} goals, coverage {:.1}%, {} backends, {} slow goals, \
+         memory {memory_desc})",
         goals as u64,
         coverage * 100.0,
         backends.len(),

@@ -83,11 +83,22 @@ pub enum Counter {
     UdpDefiniteWallNs,
     /// Wall nanoseconds of unknown-exit UDP attempts.
     UdpUnknownWallNs,
+    /// Deep size in bytes (`UExpr::deep_size`) of the lowered U-expression
+    /// pair, summed per goal (`udp_service` `process_goal`; the sequential
+    /// `udp-verify` loop mirrors it — the paths are mutually exclusive).
+    TermBytes,
+    /// Deep size in bytes (`Nf::deep_size`) of the canonical SPNF pair,
+    /// summed per goal (same single writer as `term-bytes`).
+    SpnfBytes,
+    /// Verdict-cache resident bytes — a *gauge* (last stored value, not a
+    /// monotone tally), set under the cache lock after every insert/evict
+    /// (`udp_service` `process_goal`).
+    CacheResidentBytes,
 }
 
 impl Counter {
     /// Number of counters (the recorder's fixed-size counter table).
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 28;
 
     /// Every counter; index in this array == `as_index`.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -116,6 +127,9 @@ impl Counter {
         Counter::SymUnknownWallNs,
         Counter::UdpDefiniteWallNs,
         Counter::UdpUnknownWallNs,
+        Counter::TermBytes,
+        Counter::SpnfBytes,
+        Counter::CacheResidentBytes,
     ];
 
     /// Dense index for table lookups.
@@ -146,6 +160,9 @@ impl Counter {
             Counter::SymUnknownWallNs => 22,
             Counter::UdpDefiniteWallNs => 23,
             Counter::UdpUnknownWallNs => 24,
+            Counter::TermBytes => 25,
+            Counter::SpnfBytes => 26,
+            Counter::CacheResidentBytes => 27,
         }
     }
 
@@ -177,6 +194,9 @@ impl Counter {
             Counter::SymUnknownWallNs => "sym-unknown-wall-ns",
             Counter::UdpDefiniteWallNs => "udp-definite-wall-ns",
             Counter::UdpUnknownWallNs => "udp-unknown-wall-ns",
+            Counter::TermBytes => "term-bytes",
+            Counter::SpnfBytes => "spnf-bytes",
+            Counter::CacheResidentBytes => "cache-resident-bytes",
         }
     }
 
@@ -198,12 +218,20 @@ impl Counter {
         )
     }
 
+    /// Is this counter a gauge — a last-stored level rather than a
+    /// monotone tally? Gauges can decrease, so delta-based consumers (the
+    /// bench's per-family sweep) must not subtract successive readings.
+    pub fn is_gauge(self) -> bool {
+        matches!(self, Counter::CacheResidentBytes)
+    }
+
     /// Is this counter's total deterministic for a fixed goal set — i.e.
     /// independent of worker count, machine speed, and scheduling? Wall
-    /// tallies and cache-order-dependent depths are excluded; everything
-    /// else is pinned across 1/2/4 workers by the service metrics test.
+    /// tallies, cache-order-dependent depths, and gauges whose level
+    /// depends on eviction interleaving are excluded; everything else is
+    /// pinned across 1/2/4 workers by the service metrics test.
     pub fn is_deterministic(self) -> bool {
-        !self.is_wall_ns() && !matches!(self, Counter::CacheHitDepth)
+        !self.is_wall_ns() && !self.is_gauge() && !matches!(self, Counter::CacheHitDepth)
     }
 }
 
@@ -244,10 +272,19 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_excludes_walls_and_cache_depth() {
+    fn deterministic_excludes_walls_cache_depth_and_gauges() {
         assert!(Counter::CanonizeIters.is_deterministic());
         assert!(Counter::SymIsoAttempts.is_deterministic());
+        assert!(Counter::TermBytes.is_deterministic());
+        assert!(Counter::SpnfBytes.is_deterministic());
         assert!(!Counter::SymUnknownWallNs.is_deterministic());
         assert!(!Counter::CacheHitDepth.is_deterministic());
+        assert!(!Counter::CacheResidentBytes.is_deterministic());
+    }
+
+    #[test]
+    fn the_only_gauge_is_cache_residency() {
+        let gauges: Vec<Counter> = Counter::ALL.into_iter().filter(|c| c.is_gauge()).collect();
+        assert_eq!(gauges, [Counter::CacheResidentBytes]);
     }
 }

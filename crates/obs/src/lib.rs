@@ -20,6 +20,11 @@
 //!   recorder with the same single-writer discipline (see [`counter`]);
 //! * [`Histogram`] — the log₂ latency histogram previously private to
 //!   `udp-service`'s stats, now shared by stage cells and backend rollups;
+//! * [`alloc`] — the memory domain: a tracking `GlobalAlloc` wrapper
+//!   ([`alloc::TrackingAlloc`]) attributing allocation calls/bytes/frees to
+//!   the innermost open stage via a thread-local tag pushed by the span
+//!   machinery, plus a process-wide live-bytes high-watermark; dormant
+//!   (one relaxed boolean load) until a [`MemSession`] starts;
 //! * [`trace`] — bounded per-worker event buffers behind the same recorder
 //!   handle, exported as Chrome Trace Event JSON (`--trace-out`) and
 //!   re-validated by [`trace::validate_chrome_trace`];
@@ -35,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod counter;
 pub mod hist;
 pub mod json;
@@ -43,6 +49,7 @@ pub mod snapshot;
 pub mod stage;
 pub mod trace;
 
+pub use alloc::{MemSession, MemorySnapshot, TrackingAlloc};
 pub use counter::Counter;
 pub use hist::{bucket_of, bucket_of_us, Histogram, LATENCY_BUCKETS};
 pub use recorder::{GoalObs, Recorder, Span, TraceSpan, DEFAULT_SLOW_CAPACITY};

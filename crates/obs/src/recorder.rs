@@ -20,6 +20,7 @@
 //! it globally (lowering, desugaring) — double-counting a stage in the
 //! global tables would break the coverage invariant.
 
+use crate::alloc::{self, MemSession};
 use crate::counter::Counter;
 use crate::hist::{bucket_of_us, Histogram, LATENCY_BUCKETS};
 use crate::snapshot::{CounterSnapshot, GoalTrace, MetricsSnapshot, StageSnapshot};
@@ -99,6 +100,9 @@ struct Inner {
     /// Optional event-trace collector (`--trace-out`); absent by default
     /// so metrics-only recorders pay nothing for it.
     trace: Option<TraceSink>,
+    /// Optional memory-accounting session ([`Recorder::track_memory`]);
+    /// absent by default so the allocator hooks stay dormant.
+    memory: Mutex<Option<MemSession>>,
 }
 
 /// Cloneable handle to the stage-metrics aggregation tables. The default
@@ -155,8 +159,35 @@ impl Recorder {
                     goals: Vec::new(),
                 }),
                 trace,
+                memory: Mutex::new(None),
             })),
         }
+    }
+
+    /// Attach a memory-accounting session (see [`crate::alloc`]): resets
+    /// the global allocation table and enables stage-attributed allocator
+    /// bookkeeping for this recorder's lifetime. Sessions are exclusive
+    /// per process; a losing race leaves the snapshot's memory section
+    /// inactive rather than corrupting the owner's numbers. No-op on a
+    /// disabled recorder or when called twice.
+    pub fn track_memory(&self) {
+        if let Some(inner) = &self.inner {
+            let mut mem = inner.memory.lock().unwrap();
+            if mem.is_none() {
+                *mem = Some(MemSession::start());
+            }
+        }
+    }
+
+    /// Is an active memory session attached?
+    pub fn has_memory(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| {
+            i.memory
+                .lock()
+                .unwrap()
+                .as_ref()
+                .is_some_and(MemSession::is_active)
+        })
     }
 
     /// Is this handle recording?
@@ -184,6 +215,16 @@ impl Recorder {
     pub fn count(&self, counter: Counter, n: u64) {
         if let Some(inner) = &self.inner {
             inner.counters[counter.as_index()].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Store a gauge counter's current level (an atomic store, replacing
+    /// the previous value — for non-monotone quantities like cache
+    /// residency). One branch when disabled.
+    #[inline]
+    pub fn gauge(&self, counter: Counter, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.counters[counter.as_index()].store(value, Ordering::Relaxed);
         }
     }
 
@@ -230,18 +271,34 @@ impl Recorder {
             .map(TraceSink::chrome_trace)
     }
 
-    /// Open a stage span; the guard records the elapsed time when dropped.
-    /// Disabled recorders return an inert guard without reading the clock.
+    /// Open a stage span; the guard records the elapsed time when dropped
+    /// and tags the thread's allocations with `stage` while open.
+    /// Disabled recorders return an inert guard without reading the clock
+    /// or touching the tag.
     pub fn span(&self, stage: Stage) -> Span<'_> {
         match &self.inner {
             Some(inner) => {
                 inner.open_spans.fetch_add(1, Ordering::Relaxed);
                 Span {
+                    _tag: Some(alloc::stage_tag(stage)),
                     live: Some((inner, stage, Instant::now())),
                 }
             }
-            None => Span { live: None },
+            None => Span {
+                _tag: None,
+                live: None,
+            },
         }
+    }
+
+    /// Tag the current thread's allocations with `stage` until the guard
+    /// drops, **without** touching the stage tables — for intervals whose
+    /// wall time is recorded elsewhere under the single-writer rule (the
+    /// portfolio's backend attempts, whose walls the goal driver folds in
+    /// post-hoc via [`GoalObs::add`]). `None` (no thread-local write) when
+    /// disabled.
+    pub fn alloc_scope(&self, stage: Stage) -> Option<alloc::TagGuard> {
+        self.inner.as_ref().map(|_| alloc::stage_tag(stage))
     }
 
     /// Time a closure as one stage occurrence.
@@ -304,13 +361,22 @@ impl Recorder {
             stages,
             counters,
             slow_goals: inner.slow.lock().unwrap().goals.clone(),
+            memory: inner
+                .memory
+                .lock()
+                .unwrap()
+                .as_ref()
+                .and_then(MemSession::snapshot),
         }
     }
 }
 
 /// RAII stage-span guard; records on drop. Every enter therefore has a
-/// matching exit, including on early returns and `?` propagation.
+/// matching exit, including on early returns and `?` propagation. While
+/// open, the thread's allocations are tagged with the span's stage (the
+/// guard restores the enclosing tag on drop).
 pub struct Span<'a> {
+    _tag: Option<alloc::TagGuard>,
     live: Option<(&'a Inner, Stage, Instant)>,
 }
 
@@ -364,9 +430,11 @@ impl GoalObs {
         let Some(inner) = &self.inner else {
             return f();
         };
+        let tag = alloc::stage_tag(stage);
         let started = Instant::now();
         let r = f();
         let end = Instant::now();
+        drop(tag);
         if let Some(sink) = &inner.trace {
             sink.span(stage.name(), started, end);
         }
@@ -382,9 +450,12 @@ impl GoalObs {
         if self.inner.is_none() {
             return f();
         }
+        let tag = alloc::stage_tag(stage);
         let started = Instant::now();
         let r = f();
-        self.stages.push((stage, started.elapsed(), 0));
+        let elapsed = started.elapsed();
+        drop(tag);
+        self.stages.push((stage, elapsed, 0));
         r
     }
 

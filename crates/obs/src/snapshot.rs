@@ -1,12 +1,13 @@
 //! Point-in-time views of a [`crate::Recorder`]'s tables, and the stable
 //! machine-readable JSON rendering behind `--metrics-json`.
 //!
-//! The JSON schema (version 2 — version 1 plus the `counters` array and
-//! the per-backend exit-kind wall split):
+//! The JSON schema (version 3 — version 2 plus the `memory` section:
+//! per-stage allocation attribution, the live-bytes high-watermark,
+//! bytes-per-goal, and cache residency):
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "goals": 240,
 //!   "goal_wall_us": 18234.5,
 //!   "coverage": 0.97,
@@ -28,6 +29,22 @@
 //!      "definite_wall_us": 14200.0, "unknown_wall_us": 800.0,
 //!      "p50_us": 64, "p99_us": 1024}
 //!   ],
+//!   "memory": {
+//!     "tracked": true,
+//!     "live_bytes": 1048576,
+//!     "peak_live_bytes": 4194304,
+//!     "alloc_bytes": 92873472,
+//!     "alloc_calls": 301202,
+//!     "bytes_per_goal": 386972.8,
+//!     "cache_resident_bytes": 52480,
+//!     "stages": [
+//!       {"stage": "canonize", "alloc_calls": 1202, "alloc_bytes": 482304,
+//!        "bytes_freed": 430080},
+//!       ...,
+//!       {"stage": "untagged", "alloc_calls": 88, "alloc_bytes": 9216,
+//!        "bytes_freed": 4096}
+//!     ]
+//!   },
 //!   "slow_goals": [
 //!     {"label": "goal 17", "wall_us": 900.1, "steps": 4821,
 //!      "stages": [{"stage": "canonize", "wall_us": 120.0, "steps": 0}, ...]}
@@ -40,7 +57,16 @@
 //! likewise lists all [`Counter::ALL`] entries. Shares are fractions of
 //! `goal_wall_us`; only `goal_path: true` shares may be summed (their sum
 //! is `coverage` — see [`crate::stage`]).
+//!
+//! `memory` is `null` for recorders without a memory session
+//! ([`crate::Recorder::track_memory`]); when present, its `stages` array
+//! lists every stage in pipeline order plus a trailing `"untagged"` row,
+//! and `"tracked": false` flags a process without the tracking allocator
+//! installed (every allocation row is then zero, though `bytes_per_goal`'s
+//! deterministic cousins `term-bytes`/`spnf-bytes` still appear under
+//! `counters`). See [`crate::alloc`] for attribution semantics.
 
+use crate::alloc::MemorySnapshot;
 use crate::counter::Counter;
 use crate::hist::Histogram;
 use crate::stage::Stage;
@@ -138,6 +164,9 @@ pub struct MetricsSnapshot {
     pub counters: Vec<CounterSnapshot>,
     /// Slowest goals, descending by wall time.
     pub slow_goals: Vec<GoalTrace>,
+    /// The allocation-attribution table, when a memory session is attached
+    /// (see [`crate::alloc`]); `None` otherwise.
+    pub memory: Option<MemorySnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -151,6 +180,7 @@ impl MetricsSnapshot {
             stages: Vec::new(),
             counters: Vec::new(),
             slow_goals: Vec::new(),
+            memory: None,
         }
     }
 
@@ -190,11 +220,20 @@ impl MetricsSnapshot {
             .sum()
     }
 
-    /// Render the version-2 metrics JSON (see the module docs).
+    /// Mean tracked allocation bytes per finished goal (0 without a
+    /// memory session or goals).
+    pub fn bytes_per_goal(&self) -> f64 {
+        match &self.memory {
+            Some(mem) if self.goals > 0 => mem.total_alloc_bytes() as f64 / self.goals as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Render the version-3 metrics JSON (see the module docs).
     pub fn to_json(&self, backends: &[BackendSummary]) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\n");
-        out.push_str("  \"schema_version\": 2,\n");
+        out.push_str("  \"schema_version\": 3,\n");
         out.push_str(&format!("  \"goals\": {},\n", self.goals));
         out.push_str(&format!(
             "  \"goal_wall_us\": {},\n",
@@ -258,6 +297,48 @@ impl MetricsSnapshot {
             ));
         }
         out.push_str("  ],\n");
+        match &self.memory {
+            None => out.push_str("  \"memory\": null,\n"),
+            Some(mem) => {
+                out.push_str("  \"memory\": {\n");
+                out.push_str(&format!("    \"tracked\": {},\n", mem.tracked));
+                out.push_str(&format!("    \"live_bytes\": {},\n", mem.live_bytes));
+                out.push_str(&format!(
+                    "    \"peak_live_bytes\": {},\n",
+                    mem.peak_live_bytes
+                ));
+                out.push_str(&format!(
+                    "    \"alloc_bytes\": {},\n",
+                    mem.total_alloc_bytes()
+                ));
+                out.push_str(&format!(
+                    "    \"alloc_calls\": {},\n",
+                    mem.total_alloc_calls()
+                ));
+                out.push_str(&format!(
+                    "    \"bytes_per_goal\": {},\n",
+                    fmt_f64(self.bytes_per_goal())
+                ));
+                out.push_str(&format!(
+                    "    \"cache_resident_bytes\": {},\n",
+                    self.counter(Counter::CacheResidentBytes)
+                ));
+                out.push_str("    \"stages\": [\n");
+                for (i, row) in mem.stages.iter().enumerate() {
+                    out.push_str(&format!(
+                        "      {{\"stage\": {}, \"alloc_calls\": {}, \"alloc_bytes\": {}, \
+                         \"bytes_freed\": {}}}{}\n",
+                        json_str(row.name()),
+                        row.alloc_calls,
+                        row.alloc_bytes,
+                        row.bytes_freed,
+                        if i + 1 < mem.stages.len() { "," } else { "" }
+                    ));
+                }
+                out.push_str("    ]\n");
+                out.push_str("  },\n");
+            }
+        }
         out.push_str("  \"slow_goals\": [\n");
         for (i, g) in self.slow_goals.iter().enumerate() {
             let stages = g
@@ -332,6 +413,30 @@ impl MetricsSnapshot {
                 } else {
                     out.push_str(&format!("    {:<21} {:>14}\n", c.counter.name(), c.value));
                 }
+            }
+        }
+        if let Some(mem) = &self.memory {
+            if mem.tracked {
+                out.push_str(&format!(
+                    "  memory: {:.1}KiB/goal, peak live {:.1}KiB, cache resident {:.1}KiB\n",
+                    self.bytes_per_goal() / 1024.0,
+                    mem.peak_live_bytes as f64 / 1024.0,
+                    self.counter(Counter::CacheResidentBytes) as f64 / 1024.0
+                ));
+                for row in &mem.stages {
+                    if row.alloc_calls == 0 && row.bytes_freed == 0 {
+                        continue;
+                    }
+                    out.push_str(&format!(
+                        "    {:<21} {:>10} allocs  {:>12} B alloc  {:>12} B freed\n",
+                        row.name(),
+                        row.alloc_calls,
+                        row.alloc_bytes,
+                        row.bytes_freed
+                    ));
+                }
+            } else {
+                out.push_str("  memory: untracked (binary built without the tracking allocator)\n");
             }
         }
         out
@@ -437,11 +542,41 @@ mod tests {
             assert!(json.contains(&format!("\"{}\"", s.name())), "{}", s);
         }
         assert!(json.contains("\\\"quoted\\\""));
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains("\"name\": \"udp\""));
         assert!(json.contains("\"definite_wall_us\""));
+        assert!(
+            json.contains("\"memory\": null"),
+            "no memory session ⇒ null section"
+        );
         for c in Counter::ALL {
             assert!(json.contains(&format!("\"{}\"", c.name())), "{}", c);
+        }
+    }
+
+    #[test]
+    fn memory_section_renders_all_rows_and_the_untagged_tail() {
+        let r = Recorder::enabled();
+        r.track_memory();
+        let mut g = r.goal();
+        g.add(Stage::Canonize, Duration::from_micros(5), 0);
+        g.finish(|| "g".into(), Duration::from_micros(10), 0);
+        let snap = r.snapshot();
+        let json = snap.to_json(&[]);
+        if let Some(mem) = &snap.memory {
+            assert_eq!(mem.stages.len(), crate::alloc::ALLOC_ROWS);
+            assert!(json.contains("\"memory\": {"));
+            assert!(json.contains("\"peak_live_bytes\""));
+            assert!(json.contains("\"bytes_per_goal\""));
+            assert!(json.contains("\"cache_resident_bytes\""));
+            assert!(json.contains("\"stage\": \"untagged\""));
+            // Unit tests run without the tracking allocator installed.
+            assert!(!mem.tracked);
+            assert!(snap.render().contains("memory: untracked"));
+        } else {
+            // Another test in this process holds the exclusive session;
+            // the snapshot then reports no memory rather than lying.
+            assert!(json.contains("\"memory\": null"));
         }
     }
 

@@ -1,8 +1,16 @@
-//! A plain LRU map for memoized verdicts.
+//! A plain LRU map for memoized verdicts, bounded by entry count and
+//! (optionally) by resident bytes.
 //!
 //! Intrusive doubly-linked list over a slot vector + a `HashMap` from key to
 //! slot: O(1) lookup, insert, touch, and eviction. No external dependencies
 //! (the workspace builds offline), no unsafe.
+//!
+//! Every entry carries a caller-supplied *cost* in bytes (the service
+//! charges key length plus `Verdict::deep_size`). With a byte limit set
+//! ([`Lru::set_byte_limit`]), inserts evict from the LRU tail until the
+//! running total fits — by bytes, not entry count — and an entry whose
+//! lone cost exceeds the limit is refused outright, so
+//! [`Lru::resident_bytes`] never exceeds the limit.
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -12,6 +20,7 @@ const NIL: usize = usize::MAX;
 struct Slot<K, V> {
     key: K,
     value: V,
+    cost: usize,
     prev: usize,
     next: usize,
 }
@@ -25,6 +34,10 @@ pub struct Lru<K, V> {
     head: usize, // most recently used
     tail: usize, // least recently used
     capacity: usize,
+    /// Optional resident-byte cap (entry costs; `None` = unbounded bytes).
+    max_bytes: Option<usize>,
+    /// Running sum of live entry costs.
+    bytes: usize,
 }
 
 impl<K: Clone + Eq + Hash, V: Clone> Lru<K, V> {
@@ -37,7 +50,21 @@ impl<K: Clone + Eq + Hash, V: Clone> Lru<K, V> {
             head: NIL,
             tail: NIL,
             capacity,
+            max_bytes: None,
+            bytes: 0,
         }
+    }
+
+    /// Additionally cap the summed entry costs at `max_bytes`
+    /// (`--cache-bytes`). Takes effect on the next insert; existing
+    /// entries are not retroactively evicted.
+    pub fn set_byte_limit(&mut self, max_bytes: Option<usize>) {
+        self.max_bytes = max_bytes;
+    }
+
+    /// Summed cost of the live entries, in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.bytes
     }
 
     /// Number of live entries.
@@ -82,47 +109,74 @@ impl<K: Clone + Eq + Hash, V: Clone> Lru<K, V> {
         None
     }
 
-    /// Insert `key -> value`, evicting the least recently used entry when
-    /// full. Replaces the value if the key is already present.
+    /// Insert `key -> value` at zero byte cost (entry-count bound only).
     pub fn insert(&mut self, key: K, value: V) {
-        if self.capacity == 0 {
+        self.insert_with_cost(key, value, 0);
+    }
+
+    /// Insert `key -> value` charging `cost` bytes against the byte limit,
+    /// evicting least-recently-used entries while either bound (entry
+    /// count or bytes) is exceeded. Replaces the value (and cost) if the
+    /// key is already present. An entry whose lone cost exceeds the byte
+    /// limit is refused (inserting it would just evict the whole cache and
+    /// still not fit).
+    pub fn insert_with_cost(&mut self, key: K, value: V, cost: usize) {
+        if self.capacity == 0 || self.max_bytes.is_some_and(|max| cost > max) {
             return;
         }
         if let Some(&idx) = self.map.get(&key) {
+            self.bytes = self.bytes - self.slots[idx].cost + cost;
             self.slots[idx].value = value;
+            self.slots[idx].cost = cost;
             self.unlink(idx);
             self.push_front(idx);
+            self.evict_over_byte_limit(idx);
             return;
         }
         if self.map.len() >= self.capacity {
-            let victim = self.tail;
-            debug_assert_ne!(victim, NIL);
-            self.unlink(victim);
-            self.map.remove(&self.slots[victim].key.clone());
-            self.free.push(victim);
+            self.evict_tail();
         }
+        let slot = Slot {
+            key: key.clone(),
+            value,
+            cost,
+            prev: NIL,
+            next: NIL,
+        };
         let idx = match self.free.pop() {
             Some(i) => {
-                self.slots[i] = Slot {
-                    key: key.clone(),
-                    value,
-                    prev: NIL,
-                    next: NIL,
-                };
+                self.slots[i] = slot;
                 i
             }
             None => {
-                self.slots.push(Slot {
-                    key: key.clone(),
-                    value,
-                    prev: NIL,
-                    next: NIL,
-                });
+                self.slots.push(slot);
                 self.slots.len() - 1
             }
         };
+        self.bytes += cost;
         self.map.insert(key, idx);
         self.push_front(idx);
+        self.evict_over_byte_limit(idx);
+    }
+
+    /// Evict the least recently used entry.
+    fn evict_tail(&mut self) {
+        let victim = self.tail;
+        debug_assert_ne!(victim, NIL);
+        self.unlink(victim);
+        self.bytes -= self.slots[victim].cost;
+        self.map.remove(&self.slots[victim].key.clone());
+        self.free.push(victim);
+    }
+
+    /// Evict from the tail until the byte limit holds again. `keep` (the
+    /// just-inserted entry) is never evicted — its lone cost was already
+    /// checked against the limit.
+    fn evict_over_byte_limit(&mut self, keep: usize) {
+        let Some(max) = self.max_bytes else { return };
+        while self.bytes > max && self.tail != NIL && self.tail != keep {
+            self.evict_tail();
+        }
     }
 
     fn unlink(&mut self, idx: usize) {
@@ -202,6 +256,49 @@ mod tests {
         lru.get(&"a");
         assert_eq!(lru.depth_of(&"a"), Some(0));
         assert_eq!(lru.depth_of(&"c"), Some(1));
+    }
+
+    #[test]
+    fn byte_limit_evicts_by_cost_not_count() {
+        let mut lru = Lru::new(100);
+        lru.set_byte_limit(Some(100));
+        lru.insert_with_cost("a", 1, 40);
+        lru.insert_with_cost("b", 2, 40);
+        assert_eq!(lru.resident_bytes(), 80);
+        // "a" is LRU; inserting 40 more bytes must evict it even though
+        // the entry-count capacity (100) is nowhere near exceeded.
+        lru.insert_with_cost("c", 3, 40);
+        assert_eq!(lru.get(&"a"), None);
+        assert_eq!(lru.get(&"b"), Some(2));
+        assert_eq!(lru.get(&"c"), Some(3));
+        assert_eq!(lru.resident_bytes(), 80);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn oversize_entry_is_refused_and_replace_adjusts_bytes() {
+        let mut lru = Lru::new(100);
+        lru.set_byte_limit(Some(100));
+        lru.insert_with_cost("big", 1, 101);
+        assert!(lru.is_empty(), "an entry that can never fit is refused");
+        lru.insert_with_cost("a", 1, 30);
+        lru.insert_with_cost("a", 2, 90);
+        assert_eq!(lru.resident_bytes(), 90);
+        assert_eq!(lru.get(&"a"), Some(2));
+        // Replacing with a bigger cost evicts older entries, never itself.
+        lru.insert_with_cost("b", 3, 10);
+        lru.insert_with_cost("b", 4, 95);
+        assert_eq!(lru.get(&"a"), None);
+        assert_eq!(lru.get(&"b"), Some(4));
+        assert_eq!(lru.resident_bytes(), 95);
+    }
+
+    #[test]
+    fn costless_inserts_keep_zero_residency() {
+        let mut lru = Lru::new(4);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert_eq!(lru.resident_bytes(), 0);
     }
 
     #[test]

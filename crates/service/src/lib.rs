@@ -67,6 +67,11 @@ pub struct SessionConfig {
     pub workers: usize,
     /// Verdict-cache capacity in entries (`0` disables caching).
     pub cache_capacity: usize,
+    /// Verdict-cache resident-byte cap (`--cache-bytes`): entries are
+    /// charged their key length plus `Verdict::deep_size`, and inserts
+    /// evict least-recently-used entries *by bytes* until the total fits
+    /// (`None` = bounded by entry count only).
+    pub cache_bytes: Option<usize>,
     /// Per-goal step budget (`None` = unlimited on that axis).
     pub steps: Option<u64>,
     /// Per-goal wall-clock budget (`None` = unlimited on that axis).
@@ -97,6 +102,7 @@ impl Default for SessionConfig {
         SessionConfig {
             workers: 1,
             cache_capacity: 4096,
+            cache_bytes: None,
             steps: Some(20_000_000),
             wall: Some(Duration::from_secs(30)),
             options: Options::default(),
@@ -131,6 +137,13 @@ impl SessionConfig {
     /// Attach a stage-metrics recorder (see [`udp_obs::Recorder`]).
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Cap the verdict cache's resident bytes (see
+    /// [`SessionConfig::cache_bytes`]).
+    pub fn with_cache_bytes(mut self, max_bytes: Option<usize>) -> Self {
+        self.cache_bytes = max_bytes;
         self
     }
 }
@@ -205,12 +218,13 @@ impl Session {
 
     /// Wrap an already-prepared frontend.
     pub fn from_frontend(mut base: Frontend, config: SessionConfig) -> Session {
-        let capacity = config.cache_capacity;
+        let mut cache = Lru::new(config.cache_capacity);
+        cache.set_byte_limit(config.cache_bytes);
         base.recorder = config.recorder.clone();
         Session {
             base,
             config,
-            cache: Mutex::new(Lru::new(capacity)),
+            cache: Mutex::new(cache),
             stats: Mutex::new(ServiceStats::default()),
         }
     }
@@ -245,14 +259,33 @@ impl Session {
         reports
     }
 
-    /// Snapshot of the session statistics.
+    /// Snapshot of the session statistics (cache residency is read live
+    /// from the cache, so end-of-run snapshots report the final footprint).
     pub fn stats(&self) -> ServiceStats {
-        self.stats.lock().unwrap().clone()
+        let mut stats = self.stats.lock().unwrap().clone();
+        let cache = self.cache.lock().unwrap();
+        stats.cache_entries = cache.len() as u64;
+        stats.cache_resident_bytes = cache.resident_bytes() as u64;
+        stats
     }
 
     /// Live entries in the verdict cache.
     pub fn cache_len(&self) -> usize {
         self.cache.lock().unwrap().len()
+    }
+
+    /// Summed byte cost of the live verdict-cache entries (key lengths
+    /// plus [`Verdict::deep_size`]).
+    pub fn cache_resident_bytes(&self) -> usize {
+        self.cache.lock().unwrap().resident_bytes()
+    }
+
+    /// Byte cost one cached verdict charges against `--cache-bytes`: both
+    /// canonical-form key strings plus the verdict's deterministic deep
+    /// size. Exact-fit accounting (see `Verdict::deep_size`), so the cost
+    /// — and therefore eviction behavior — is identical across workers.
+    fn entry_cost(key: &CacheKey, verdict: &Verdict) -> usize {
+        std::mem::size_of::<CacheKey>() + key.0.len() + key.1.len() + verdict.deep_size()
     }
 
     /// Lower one goal on a fresh frontend clone and return its canonical
@@ -365,10 +398,25 @@ impl Session {
                 };
             }
         };
+        // Deterministic structure-size accounting: deep sizes are exact-fit
+        // byte counts, so the tallies are worker-invariant. The walk is only
+        // paid when the recorder is live.
+        if recorder.is_enabled() {
+            recorder.count(
+                Counter::TermBytes,
+                (q1.body.deep_size() + q2.body.deep_size()) as u64,
+            );
+        }
         // Normalize each side exactly once: the SPNF forms feed both the
         // canonical cache key and (on a miss) the decision procedure via
         // `decide_normalized_with`.
         let (nf1, nf2) = obs.time(Stage::Canonize, || Self::normalize_goal(&q1, &q2));
+        if recorder.is_enabled() {
+            recorder.count(
+                Counter::SpnfBytes,
+                (nf1.deep_size() + nf2.deep_size()) as u64,
+            );
+        }
 
         // Canonical forms resolve schemas by content and relations by name,
         // so keys agree across worker frontends (whose anonymous-schema ids
@@ -481,10 +529,13 @@ impl Session {
         // it would pin a transient, scheduling-dependent answer for every
         // canonically equal goal in the session. Let those re-run.
         if caching && verdict.decision != udp_core::Decision::Timeout {
-            self.cache
-                .lock()
-                .unwrap()
-                .insert(key.unwrap(), verdict.clone());
+            let key = key.unwrap();
+            let cost = Self::entry_cost(&key, &verdict);
+            let mut cache = self.cache.lock().unwrap();
+            cache.insert_with_cost(key, verdict.clone(), cost);
+            // Residency is a gauge (last level wins), stored under the cache
+            // lock so it always reflects a state the cache actually had.
+            recorder.gauge(Counter::CacheResidentBytes, cache.resident_bytes() as u64);
         }
         let wall = started.elapsed();
         self.stats

@@ -76,6 +76,12 @@ pub struct ServiceStats {
     pub latency_us: Histogram,
     /// Per-backend portfolio breakdown, keyed by backend name.
     pub backends: BTreeMap<&'static str, BackendStats>,
+    /// Live verdict-cache entries at snapshot time (filled by
+    /// [`crate::Session::stats`] from the cache itself).
+    pub cache_entries: u64,
+    /// Summed byte cost of those entries — key lengths plus
+    /// `Verdict::deep_size` (what `--cache-bytes` bounds).
+    pub cache_resident_bytes: u64,
 }
 
 impl ServiceStats {
@@ -191,6 +197,12 @@ impl ServiceStats {
             self.latency_percentile_us(0.5),
             self.latency_percentile_us(0.99),
         );
+        if self.cache_entries > 0 {
+            out.push_str(&format!(
+                " | resident {} entries / {} B",
+                self.cache_entries, self.cache_resident_bytes
+            ));
+        }
         for (name, b) in &self.backends {
             out.push_str(&format!(
                 "\nbackend {name}: {} calls ({} definite, {} proved, {} unknown), \

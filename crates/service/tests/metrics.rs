@@ -133,7 +133,11 @@ fn metrics_json_round_trips() {
     let snap = recorder.snapshot();
     let text = snap.to_json(&session.stats().backend_summaries());
     let v = json::parse(&text).expect("snapshot must be valid JSON");
-    assert_eq!(v.get("schema_version").and_then(|x| x.as_u64()), Some(2));
+    assert_eq!(v.get("schema_version").and_then(|x| x.as_u64()), Some(3));
+    assert!(
+        matches!(v.get("memory"), Some(json::Value::Null)),
+        "no memory session requested, so the memory section must be null"
+    );
     assert_eq!(
         v.get("goals").and_then(|x| x.as_u64()),
         Some(GOAL_LINES.len() as u64)
@@ -216,6 +220,17 @@ fn counter_totals_are_identical_across_worker_counts() {
         base.counter(Counter::SymExitDefinite) + base.counter(Counter::SymExitUnknown) > 0,
         "cascade must route every goal through the sym backend first"
     );
+    // The deep-size counters are byte-exact, not just nonzero-invariant:
+    // `deep_size` walks owned structure with exact-fit accounting, so the
+    // sum over a fixed goal set is a constant of the input.
+    assert!(
+        base.counter(Counter::TermBytes) > 0,
+        "every lowered goal pair must contribute term bytes"
+    );
+    assert!(
+        base.counter(Counter::SpnfBytes) > 0,
+        "every canonized goal pair must contribute SPNF bytes"
+    );
     for snap in &snapshots[1..] {
         for counter in Counter::ALL {
             if !counter.is_deterministic() {
@@ -228,6 +243,47 @@ fn counter_totals_are_identical_across_worker_counts() {
             );
         }
     }
+}
+
+/// A byte-bounded cache reports its residency through `ServiceStats` and
+/// the `cache-resident-bytes` gauge, and the bound holds after inserts.
+#[test]
+fn byte_bounded_cache_reports_residency_and_respects_the_cap() {
+    const CAP: usize = 16 * 1024;
+    let recorder = Recorder::enabled();
+    let config = SessionConfig {
+        workers: 1,
+        cache_capacity: 1024,
+        cache_bytes: Some(CAP),
+        steps: Some(2_000_000),
+        wall: Some(Duration::from_secs(10)),
+        mode: SolveMode::Cascade,
+        recorder: recorder.clone(),
+        ..SessionConfig::default()
+    };
+    let session = Session::new(DDL, config).unwrap();
+    let goals: Vec<_> = GOAL_LINES
+        .iter()
+        .map(|l| session.parse_goal(l).unwrap())
+        .collect();
+    session.verify_batch(&goals);
+    let stats = session.stats();
+    assert!(stats.cache_entries > 0, "verdicts must have been cached");
+    assert!(
+        stats.cache_resident_bytes > 0,
+        "cached verdicts must report a nonzero byte cost"
+    );
+    assert!(
+        stats.cache_resident_bytes <= CAP as u64,
+        "resident bytes {} exceed the --cache-bytes cap {CAP}",
+        stats.cache_resident_bytes
+    );
+    assert_eq!(
+        recorder.snapshot().counter(Counter::CacheResidentBytes),
+        stats.cache_resident_bytes,
+        "the residency gauge must mirror the service stats"
+    );
+    assert!(stats.render().contains("resident"), "{}", stats.render());
 }
 
 /// `GoalReport::steps` mirrors what the backends consumed: nonzero for a

@@ -16,7 +16,7 @@ use udp_core::schema::{Catalog, SchemaId};
 use udp_core::spnf::Nf;
 use udp_core::trace::Trace;
 use udp_core::{QueryU, Verdict};
-use udp_obs::{Counter, Recorder};
+use udp_obs::{Counter, Recorder, Stage};
 
 /// One backend's attempt, kept for per-backend statistics (the heavy
 /// [`udp_core::Verdict`] with its trace is dropped; the final verdict keeps
@@ -128,7 +128,17 @@ fn record_attempt(recorder: &Recorder, bv: &BackendVerdict) -> BackendAttempt {
 /// Run one backend under a live trace span so per-attempt intervals show
 /// up in `--trace-out` lanes (the stage table gets the same wall later via
 /// the service's `GoalObs::add`, which deliberately does not re-emit trace).
+/// Allocations made inside the attempt are tagged with the backend's stage
+/// so memory sessions attribute them to `sym-prove` / `udp-prove` rather
+/// than to whatever stage the caller happens to be in — crucial in race
+/// mode, where attempts run on threads that never saw a `GoalObs` span.
 fn run_traced(goal: &Goal, backend: &dyn Backend, span: &'static str) -> BackendVerdict {
+    let stage = if span == "sym-prove" {
+        Stage::SymProve
+    } else {
+        Stage::UdpProve
+    };
+    let _tag = goal.config.recorder.alloc_scope(stage);
     let _t = goal.config.recorder.trace_span(span);
     backend.prove(goal)
 }

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! udp-serve SCHEMA.sql [--jobs N] [--extended] [--full] [--timeout SECS] [--steps N]
-//!                      [--cache-size N] [--stats] [--stats-every N] [--fingerprints]
-//!                      [--backend udp|sym|cascade|race|crosscheck]
+//!                      [--cache-size N] [--cache-bytes N] [--stats] [--stats-every N]
+//!                      [--fingerprints] [--backend udp|sym|cascade|race|crosscheck]
 //!                      [--metrics-json PATH] [--trace-goals N] [--trace-out PATH]
 //! ```
 //!
@@ -33,8 +33,14 @@
 //! cross-validation strength differ; a `crosscheck` disagreement reports as
 //! an error line.
 //!
+//! `--cache-bytes N` additionally bounds the verdict cache by resident
+//! bytes (key lengths plus deep verdict size), evicting by bytes rather
+//! than entry count.
+//!
 //! Observability: `--metrics-json PATH` enables the `udp-obs` stage
-//! recorder and writes the machine-readable snapshot to `PATH` at exit;
+//! recorder (including the per-stage memory session when the binary's
+//! tracking allocator is installed) and writes the machine-readable
+//! snapshot to `PATH` at exit;
 //! `--trace-goals N` prints the N slowest goals with their stage waterfalls
 //! to stderr at exit; `--trace-out PATH` writes a Chrome Trace Event JSON
 //! export (one lane per worker thread) at exit. All metrics output goes to
@@ -46,8 +52,15 @@
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::time::Duration;
-use udp_obs::Recorder;
+use udp_obs::{Recorder, TrackingAlloc};
 use udp_service::{GoalReport, Session, SessionConfig};
+
+/// Route every heap allocation through the `udp-obs` tracking wrapper so
+/// `--metrics-json` runs can attribute bytes to pipeline stages. Without an
+/// active memory session this is one relaxed load per call (see
+/// `udp_obs::alloc`), so the untracked path stays effectively free.
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,6 +82,7 @@ fn main() -> ExitCode {
             }
             "--steps" => config.steps = Some(parse_num(it.next(), "--steps") as u64),
             "--cache-size" => config.cache_capacity = parse_num(it.next(), "--cache-size"),
+            "--cache-bytes" => config.cache_bytes = Some(parse_num(it.next(), "--cache-bytes")),
             "--extended" => config.dialect = udp_sql::Dialect::Extended,
             "--full" => config.dialect = udp_sql::Dialect::Full,
             "--backend" => {
@@ -124,6 +138,9 @@ fn main() -> ExitCode {
     } else {
         Recorder::disabled()
     };
+    if metrics_json.is_some() {
+        recorder.track_memory();
+    }
     config.recorder = recorder.clone();
     let session = match Session::new(&text, config) {
         Ok(s) => s,
@@ -151,6 +168,19 @@ fn main() -> ExitCode {
         }
         let _ = out.flush();
     }
+
+    // One rendering shared by the periodic `--stats-every` line and the
+    // end-of-stream report: service stats plus — when the recorder is live —
+    // the full counter/stage snapshot, so the final line at EOF carries the
+    // same information (counters included) as the periodic ones.
+    let full_stats = || {
+        let mut s = session.stats().render();
+        if recorder.is_enabled() {
+            s.push('\n');
+            s.push_str(&recorder.snapshot().render());
+        }
+        s
+    };
 
     // Streaming: accumulate goal lines; a blank line or EOF flushes the
     // chunk through the scheduler (order within the chunk is preserved).
@@ -184,10 +214,7 @@ fn main() -> ExitCode {
         let _ = out.flush();
         chunks_flushed += 1;
         if stats_every > 0 && chunks_flushed % stats_every == 0 {
-            eprintln!(
-                "[stats after {chunks_flushed} chunks] {}",
-                session.stats().render()
-            );
+            eprintln!("[stats after {chunks_flushed} chunks] {}", full_stats());
         }
     };
 
@@ -214,8 +241,11 @@ fn main() -> ExitCode {
     }
     flush(&mut pending, &mut out, &mut all_proved, &mut any_error);
 
-    if show_stats {
-        eprintln!("{}", session.stats().render());
+    if show_stats || stats_every > 0 {
+        // End-of-stream emits the same full stats as the periodic lines —
+        // `--stats-every` sessions get a final report even when the chunk
+        // count is not a multiple of N.
+        eprintln!("[final stats] {}", full_stats());
     }
     if recorder.is_enabled() {
         let snapshot = recorder.snapshot();
@@ -276,7 +306,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: udp-serve SCHEMA.sql [--jobs N] [--extended] [--full] [--timeout SECS] [--steps N] \
-         [--cache-size N] [--stats] [--stats-every N] [--fingerprints] \
+         [--cache-size N] [--cache-bytes N] [--stats] [--stats-every N] [--fingerprints] \
          [--backend udp|sym|cascade|race|crosscheck] [--metrics-json PATH] [--trace-goals N] \
          [--trace-out PATH]"
     );

@@ -3,8 +3,9 @@
 //! ```text
 //! udp-verify FILE.sql [--trace] [--check-trace] [--counterexample]
 //!                     [--spnf] [--extended] [--full] [--timeout SECS] [--jobs N]
-//!                     [--backend udp|sym|cascade|race|crosscheck] [--stats]
-//!                     [--metrics-json PATH] [--trace-goals N] [--trace-out PATH]
+//!                     [--cache-bytes N] [--backend udp|sym|cascade|race|crosscheck]
+//!                     [--stats] [--metrics-json PATH] [--trace-goals N]
+//!                     [--trace-out PATH]
 //! ```
 //!
 //! Reads an input program (schema/table/key/foreign key/view/index
@@ -31,9 +32,11 @@
 //! exit.
 //!
 //! Observability: `--metrics-json PATH` enables the `udp-obs` stage
-//! recorder and writes the machine-readable snapshot (schema version 2 —
+//! recorder and writes the machine-readable snapshot (schema version 3 —
 //! per-stage totals, shares, p50/p99, intra-prover counters, per-backend
-//! breakdowns with exit-kind wall splits) to `PATH` on exit;
+//! breakdowns with exit-kind wall splits, and a memory section with
+//! per-stage allocation attribution from the binary's tracking allocator)
+//! to `PATH` on exit;
 //! `--trace-goals N` prints the N slowest goals with their stage waterfalls
 //! to stderr; `--trace-out PATH` additionally buffers per-thread event
 //! traces and writes them as Chrome Trace Event JSON (loadable in
@@ -49,9 +52,15 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 use udp_core::budget::Budget;
 use udp_core::DecideConfig;
-use udp_obs::{Counter, Recorder, Stage};
+use udp_obs::{Counter, Recorder, Stage, TrackingAlloc};
 use udp_service::ServiceStats;
 use udp_solve::SolveMode;
+
+/// Route every heap allocation through the `udp-obs` tracking wrapper so
+/// `--metrics-json` runs can attribute bytes to pipeline stages; without an
+/// active memory session each call costs one relaxed load.
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,6 +73,7 @@ fn main() -> ExitCode {
     let mut timeout = 30u64;
     let mut jobs = 1usize;
     let mut mode = SolveMode::Udp;
+    let mut cache_bytes: Option<usize> = None;
     let mut show_stats = false;
     let mut metrics_json: Option<String> = None;
     let mut trace_goals = 0usize;
@@ -99,6 +109,13 @@ fn main() -> ExitCode {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("missing value for --jobs"));
+            }
+            "--cache-bytes" => {
+                cache_bytes = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("missing value for --cache-bytes")),
+                );
             }
             "--metrics-json" => {
                 metrics_json = Some(
@@ -150,6 +167,9 @@ fn main() -> ExitCode {
     } else {
         Recorder::disabled()
     };
+    if metrics_json.is_some() {
+        recorder.track_memory();
+    }
 
     // Trace replay validates an actual UDP proof script; goals settled by
     // the symbolic backend carry no trace, so the check would be vacuous
@@ -167,6 +187,7 @@ fn main() -> ExitCode {
             timeout,
             trace,
             mode,
+            cache_bytes,
             show_stats,
             recorder,
             metrics_json.as_deref(),
@@ -176,6 +197,9 @@ fn main() -> ExitCode {
     }
     if jobs > 1 {
         eprintln!("note: --spnf/--check-trace/--counterexample run sequentially; ignoring --jobs");
+    }
+    if cache_bytes.is_some() {
+        eprintln!("note: the sequential path has no verdict cache; ignoring --cache-bytes");
     }
 
     // Sequential path: one frontend build, one lowering per goal, shared by
@@ -243,6 +267,15 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        // Deterministic size counter for the lowered pair; the service path
+        // counts the same quantity in `process_goal` (the two paths are
+        // mutually exclusive in one run, so the single-writer rule holds).
+        if recorder.is_enabled() {
+            recorder.count(
+                Counter::TermBytes,
+                (q1.body.deep_size() + q2.body.deep_size()) as u64,
+            );
+        }
         if spnf {
             for (side, q) in [("lhs", &q1), ("rhs", &q2)] {
                 let nf = udp_core::spnf::normalize(&q.body);
@@ -279,6 +312,15 @@ fn main() -> ExitCode {
             // the SPNF/canonize cost lands in the `canonize` stage exactly
             // as it does on the service path.
             let (nf1, nf2) = obs.time(Stage::Canonize, || udp_solve::normalize_pair(&q1, &q2));
+            // SPNF size counter lands here, where the normal forms exist
+            // explicitly; the direct UDP branch normalizes inside
+            // `decide_with` and deliberately reports term-bytes only.
+            if recorder.is_enabled() {
+                recorder.count(
+                    Counter::SpnfBytes,
+                    (nf1.deep_size() + nf2.deep_size()) as u64,
+                );
+            }
             let goal = udp_solve::Goal {
                 catalog: &fe.catalog,
                 constraints: &fe.constraints,
@@ -423,6 +465,7 @@ fn run_parallel(
     timeout: u64,
     trace: bool,
     mode: SolveMode,
+    cache_bytes: Option<usize>,
     show_stats: bool,
     recorder: Recorder,
     metrics_json: Option<&str>,
@@ -436,6 +479,7 @@ fn run_parallel(
         dialect,
         record_trace: trace,
         mode,
+        cache_bytes,
         recorder: recorder.clone(),
         ..Default::default()
     };
@@ -507,7 +551,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: udp-verify FILE.sql [--trace] [--check-trace] [--counterexample] \
-         [--spnf] [--extended] [--full] [--timeout SECS] [--jobs N] \
+         [--spnf] [--extended] [--full] [--timeout SECS] [--jobs N] [--cache-bytes N] \
          [--backend udp|sym|cascade|race|crosscheck] [--stats] \
          [--metrics-json PATH] [--trace-goals N] [--trace-out PATH]"
     );
