@@ -11,10 +11,33 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Raised when the step or time budget is exhausted. Decision procedures
-/// propagate it; the driver maps it to [`crate::decide::Decision::Unknown`].
+/// Raised when the step or time budget is exhausted, carrying *which* limit
+/// tripped. Decision procedures propagate it; the driver maps it to
+/// [`crate::decide::Decision::Timeout`] and keeps the kind in
+/// [`crate::decide::Stats::exhausted`] so callers can tell a deterministic
+/// step cap from a wall-clock deadline from a cooperative cancellation
+/// (e.g. a race loser told to stop by the winning backend).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Exhausted;
+pub enum Exhausted {
+    /// The deterministic step cap ran out.
+    Steps,
+    /// The wall-clock deadline passed.
+    Wall,
+    /// A cooperative cancellation flag flipped (see
+    /// [`Budget::with_cancel`]).
+    Cancelled,
+}
+
+impl Exhausted {
+    /// Stable lower-case name for reasons and error taxonomies.
+    pub fn name(self) -> &'static str {
+        match self {
+            Exhausted::Steps => "steps",
+            Exhausted::Wall => "wall",
+            Exhausted::Cancelled => "cancelled",
+        }
+    }
+}
 
 /// Combined step + wall-clock budget.
 ///
@@ -34,6 +57,10 @@ pub struct Budget {
     /// When the first tick happened (the same instant the deadline is
     /// materialized from); `None` until then.
     started: Option<Instant>,
+    /// Which limit tripped first, once any has; repeated ticks after
+    /// exhaustion keep reporting the same kind (steps are zeroed on a
+    /// wall/cancel trip, which would otherwise masquerade as `Steps`).
+    tripped: Option<Exhausted>,
     /// Cooperative cancellation: when any of the shared flags flips, the
     /// next strided check reports exhaustion. Cloned budgets share the
     /// flags (`Arc`), so a portfolio race can abort its losing backend
@@ -69,6 +96,7 @@ impl Budget {
             clock_stride: 4096,
             ticks: 0,
             started: None,
+            tripped: None,
             cancel: Vec::new(),
         }
     }
@@ -87,7 +115,8 @@ impl Budget {
     #[inline]
     pub fn tick(&mut self) -> Result<(), Exhausted> {
         if self.steps_left == 0 {
-            return Err(Exhausted);
+            let kind = *self.tripped.get_or_insert(Exhausted::Steps);
+            return Err(kind);
         }
         if self.ticks == 0 {
             let now = Instant::now();
@@ -101,16 +130,23 @@ impl Budget {
         if self.ticks % self.clock_stride == 0 {
             if self.cancel.iter().any(|c| c.load(Ordering::Relaxed)) {
                 self.steps_left = 0;
-                return Err(Exhausted);
+                self.tripped = Some(Exhausted::Cancelled);
+                return Err(Exhausted::Cancelled);
             }
             if let Some(d) = self.deadline {
                 if Instant::now() >= d {
                     self.steps_left = 0;
-                    return Err(Exhausted);
+                    self.tripped = Some(Exhausted::Wall);
+                    return Err(Exhausted::Wall);
                 }
             }
         }
         Ok(())
+    }
+
+    /// Which limit tripped, once any has (`None` while the budget is live).
+    pub fn exhausted_kind(&self) -> Option<Exhausted> {
+        self.tripped
     }
 
     /// Steps consumed so far (feeds the Fig 7 stats).
@@ -141,8 +177,9 @@ mod tests {
         assert!(b.tick().is_ok());
         assert!(b.tick().is_ok());
         assert!(b.tick().is_ok());
-        assert_eq!(b.tick(), Err(Exhausted));
-        assert_eq!(b.tick(), Err(Exhausted));
+        assert_eq!(b.tick(), Err(Exhausted::Steps));
+        assert_eq!(b.tick(), Err(Exhausted::Steps));
+        assert_eq!(b.exhausted_kind(), Some(Exhausted::Steps));
     }
 
     #[test]
@@ -167,7 +204,11 @@ mod tests {
     fn wall_clock_deadline_trips() {
         let mut b = Budget::new(None, Some(Duration::from_millis(0)));
         b.clock_stride = 1;
-        assert_eq!(b.tick(), Err(Exhausted));
+        assert_eq!(b.tick(), Err(Exhausted::Wall));
+        // Repeat ticks keep reporting the original trip kind even though
+        // the step counter was zeroed by the deadline.
+        assert_eq!(b.tick(), Err(Exhausted::Wall));
+        assert_eq!(b.exhausted_kind(), Some(Exhausted::Wall));
     }
 
     #[test]
@@ -179,9 +220,21 @@ mod tests {
         }
         flag.store(true, Ordering::Relaxed);
         let mut tripped = 0u64;
-        while b.tick().is_ok() {
-            tripped += 1;
-            assert!(tripped <= 4096, "cancellation missed the strided check");
+        loop {
+            match b.tick() {
+                Ok(()) => {
+                    tripped += 1;
+                    assert!(tripped <= 4096, "cancellation missed the strided check");
+                }
+                Err(kind) => {
+                    // Cancellation is distinguishable from a genuine step or
+                    // wall exhaustion — the race executor relies on this to
+                    // classify its losing backend.
+                    assert_eq!(kind, Exhausted::Cancelled);
+                    assert_eq!(b.tick(), Err(Exhausted::Cancelled));
+                    break;
+                }
+            }
         }
     }
 }

@@ -873,7 +873,7 @@ mod tests {
         let nf = normalize(&e);
         let mut ctx = Ctx::new(&cat, &cs).with_budget(Budget::steps(2));
         ctx.gen.reserve(VarId(nf.max_var() + 1));
-        assert_eq!(canonize_nf(&mut ctx, nf, &[], false), Err(Exhausted));
+        assert_eq!(canonize_nf(&mut ctx, nf, &[], false), Err(Exhausted::Steps));
     }
 
     #[test]

@@ -54,6 +54,14 @@ impl Decision {
     pub fn is_proved(&self) -> bool {
         matches!(self, Decision::Proved)
     }
+
+    /// Is this a definite decision (`Proved` / `NotProved`), as opposed to
+    /// the budget artifact `Timeout`? Definite decisions are cacheable and
+    /// must be stable under backend choice, worker count, and injected
+    /// faults.
+    pub fn is_definite(&self) -> bool {
+        !matches!(self, Decision::Timeout)
+    }
 }
 
 /// Why the search concluded without a proof.
@@ -77,6 +85,10 @@ pub struct Stats {
     pub steps_used: u64,
     /// Wall-clock time of the whole decision.
     pub wall: std::time::Duration,
+    /// Which budget limit tripped when the decision is [`Decision::Timeout`]
+    /// (`None` for definite decisions): deterministic step cap, wall-clock
+    /// deadline, or cooperative cancellation.
+    pub exhausted: Option<Exhausted>,
 }
 
 impl Stats {
@@ -191,7 +203,10 @@ pub fn decide_with(
     let decision = match udp_equiv(&mut ctx, &nf1, &nf2, &[]) {
         Ok(true) => Decision::Proved,
         Ok(false) => Decision::NotProved(NotProvedReason::NoProofFound),
-        Err(Exhausted) => Decision::Timeout,
+        Err(kind) => {
+            stats.exhausted = Some(kind);
+            Decision::Timeout
+        }
     };
     stats.steps_used = ctx.budget.steps_used();
     stats.wall = start.elapsed();
@@ -273,7 +288,10 @@ pub fn decide_normalized_with(
     let decision = match udp_equiv(&mut ctx, nf1, nf2, &[]) {
         Ok(true) => Decision::Proved,
         Ok(false) => Decision::NotProved(NotProvedReason::NoProofFound),
-        Err(Exhausted) => Decision::Timeout,
+        Err(kind) => {
+            stats.exhausted = Some(kind);
+            Decision::Timeout
+        }
     };
     stats.steps_used = ctx.budget.steps_used();
     stats.wall = start.elapsed();
@@ -446,6 +464,7 @@ mod tests {
             },
         );
         assert_eq!(verdict.decision, Decision::Timeout);
+        assert_eq!(verdict.stats.exhausted, Some(Exhausted::Steps));
     }
 
     #[test]

@@ -376,7 +376,7 @@ mod tests {
         let q = UExpr::sum(v(1), sid, UExpr::rel(r, Expr::Var(v(1))));
         let n = normalize(&q);
         let mut ctx = Ctx::new(&cat, &cs).with_budget(Budget::steps(1));
-        assert_eq!(udp_equiv(&mut ctx, &n, &n, &[]), Err(Exhausted));
+        assert_eq!(udp_equiv(&mut ctx, &n, &n, &[]), Err(Exhausted::Steps));
     }
 
     /// Different multiplicity of identical terms must not collapse:

@@ -67,6 +67,13 @@ pub struct FuzzConfig {
     /// turns every case into a symbolic-vs-UDP-vs-oracle three-way
     /// differential.
     pub backend: SolveMode,
+    /// Chaos differential: when set, every case is *additionally* run
+    /// through a session with this fault schedule armed (re-seeded per
+    /// case, since every fuzz goal sits at batch index 0) and the faulted
+    /// run's definite verdicts must be a subset of the clean run's —
+    /// faults may degrade a goal to Timeout or an aborted error, never
+    /// flip a decision, and the process must survive.
+    pub chaos: Option<udp_obs::FaultPlan>,
 }
 
 impl Default for FuzzConfig {
@@ -83,6 +90,7 @@ impl Default for FuzzConfig {
             query: GenProfile::default(),
             full_dialect: false,
             backend: SolveMode::Udp,
+            chaos: None,
         }
     }
 }
@@ -122,6 +130,10 @@ pub enum FailureKind {
     /// The symbolic and UDP backends returned conflicting definite verdicts
     /// (crosscheck mode): one of the engines is wrong.
     BackendDisagreement,
+    /// A chaos-faulted run produced a definite verdict that the clean run
+    /// did not — injected faults must only ever *degrade* (Timeout /
+    /// aborted), never flip or invent a decision.
+    ChaosVerdictFlip,
     /// `parse(pretty(q))` changed the AST.
     RoundTrip,
     /// A generated goal was rejected by the frontend.
@@ -138,6 +150,7 @@ impl fmt::Display for FailureKind {
             FailureKind::CacheMissedHit => "cache-missed-hit",
             FailureKind::FingerprintUnstable => "fingerprint-unstable",
             FailureKind::BackendDisagreement => "backend-disagreement",
+            FailureKind::ChaosVerdictFlip => "chaos-verdict-flip",
             FailureKind::RoundTrip => "round-trip",
             FailureKind::Frontend => "frontend-reject",
         })
@@ -200,6 +213,10 @@ pub struct FuzzStats {
     pub benign_mutants: usize,
     /// Oracle runs with no evaluable database.
     pub oracle_inconclusive: usize,
+    /// Chaos differential only: cases whose faulted run degraded (aborted
+    /// or timed out where the clean run decided) — the *expected* effect of
+    /// injection, counted as evidence the schedule actually fired.
+    pub chaos_degraded: usize,
     /// Per-rule application counts.
     pub rule_counts: BTreeMap<&'static str, usize>,
     /// All disagreements found.
@@ -228,6 +245,12 @@ impl FuzzStats {
             self.timeouts,
             self.oracle_inconclusive,
         ));
+        if self.chaos_degraded > 0 {
+            out.push_str(&format!(
+                "  chaos-degraded cases   {}\n",
+                self.chaos_degraded
+            ));
+        }
         out.push_str("rule applications:\n");
         for (rule, n) in &self.rule_counts {
             out.push_str(&format!("  {rule:<22} {n}\n"));
@@ -273,6 +296,16 @@ fn session_config(
 
 /// Run the whole campaign.
 pub fn run(config: &FuzzConfig) -> FuzzStats {
+    if let Some(plan) = &config.chaos {
+        // `uncontained=1` is the chaos gate's must-fail self-test: panic
+        // *outside* every containment boundary so the process dies loudly,
+        // proving the CI smoke actually detects an escaped panic. The
+        // message is deliberately not `chaos: `-prefixed — the silencer
+        // must not swallow it.
+        if plan.uncontained {
+            panic!("uncontained panic escape (chaos self-test)");
+        }
+    }
     let mut stats = FuzzStats {
         cases: config.cases,
         ..FuzzStats::default()
@@ -319,9 +352,14 @@ pub fn run_case(config: &FuzzConfig, index: usize, stats: &mut FuzzStats) {
         ddl: &ddl,
         fe: &fe,
         oracle_base,
+        chaos_degraded: std::cell::Cell::new(false),
     };
 
-    match case.check(&base, &partner, is_mutation, expect_proof) {
+    let outcome = case.check(&base, &partner, is_mutation, expect_proof);
+    if case.chaos_degraded.get() {
+        stats.chaos_degraded += 1;
+    }
+    match outcome {
         Ok(outcome) => outcome.tally(stats),
         Err((kind, detail)) => {
             let (q1, q2, steps) = if config.shrink {
@@ -380,6 +418,9 @@ struct CaseCtx<'a> {
     ddl: &'a str,
     fe: &'a udp_sql::Frontend,
     oracle_base: u64,
+    /// Did this case's chaos run degrade (abort or lose a decision)?
+    /// Interior mutability because `check` is also the shrinker predicate.
+    chaos_degraded: std::cell::Cell<bool>,
 }
 
 impl CaseCtx<'_> {
@@ -485,6 +526,45 @@ impl CaseCtx<'_> {
                 FailureKind::CacheMissedHit,
                 format!("repeat verification of an identical goal missed the cache ({d_u:?})"),
             ));
+        }
+
+        // 2b. Chaos differential: replay the goal through a session with
+        //     the fault schedule armed. Every fuzz goal sits at batch
+        //     index 0, so the plan is re-seeded per case (mixing in the
+        //     case-derived oracle base) to vary which probes fire. The
+        //     invariant is degradation-only: a faulted run may time out or
+        //     abort, but any *definite* verdict it produces must be the
+        //     clean run's.
+        if let Some(plan) = &self.config.chaos {
+            let plan = plan.with_seed(plan.seed ^ self.oracle_base);
+            let chaotic = Session::new(
+                self.ddl,
+                session_config(self.config.steps, 0, false, dialect, self.config.backend)
+                    .with_chaos(Some(plan)),
+            )
+            .map_err(|e| (FailureKind::Frontend, format!("chaos session: {e}")))?;
+            let r_x = &chaotic.verify_batch(&goals)[0];
+            match &r_x.outcome {
+                Ok(v) if v.decision.is_definite() => {
+                    if v.decision != d_u {
+                        return Err((
+                            FailureKind::ChaosVerdictFlip,
+                            format!(
+                                "clean run decided {d_u:?} but the faulted run \
+                                 decided {:?} (aborted: {:?})",
+                                v.decision, r_x.aborted
+                            ),
+                        ));
+                    }
+                }
+                // Degraded to Timeout or an aborted error: the allowed
+                // (and expected) effect of injection.
+                Ok(_) | Err(_) => {
+                    if d_u.is_definite() {
+                        self.chaos_degraded.set(true);
+                    }
+                }
+            }
         }
 
         // 3. Fingerprint stability: repeated computations, a fresh session,

@@ -3,7 +3,7 @@
 //! ```text
 //! udp-fuzz [--seed N] [--cases M] [--trials T] [--steps S]
 //!          [--mutation-ratio R] [--no-shrink] [--quiet] [--full]
-//!          [--backend udp|sym|cascade|race|crosscheck]
+//!          [--backend udp|sym|cascade|race|crosscheck] [--chaos [SPEC]]
 //! ```
 //!
 //! Generates `M` random query pairs (semantics-preserving rewrites and
@@ -17,6 +17,15 @@
 //! Runs are fully deterministic in `--seed`: case `i` derives its own RNG
 //! from `(seed, i)`, so a single failing case replays with the same seed
 //! regardless of `--cases`.
+//!
+//! `--chaos [seed=N,rate=P,...]` adds a chaos differential: each case is
+//! re-verified through a session with the deterministic fault schedule
+//! armed (seeded panics, forced exhaustions, delays — see
+//! `udp_obs::FaultPlan`), and any definite verdict from the faulted run
+//! must match the clean run's — injected faults may only degrade, never
+//! flip a decision (`chaos-verdict-flip`). `uncontained=1` in the spec is
+//! the CI gate's must-fail self-test: the harness panics outside every
+//! containment boundary and the process must visibly die.
 
 use std::process::ExitCode;
 use udp_fuzz::{run, FuzzConfig};
@@ -28,7 +37,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: udp-fuzz [--seed N] [--cases M] [--trials T] [--steps S]\n\
          \x20               [--mutation-ratio R] [--no-shrink] [--quiet] [--full]\n\
-         \x20               [--backend udp|sym|cascade|race|crosscheck]"
+         \x20               [--backend udp|sym|cascade|race|crosscheck]\n\
+         \x20               [--chaos [seed=N,rate=P,exhaust=P,delay=P,goal-rate=P,uncontained=1]]"
     );
     std::process::exit(64)
 }
@@ -44,7 +54,7 @@ fn main() -> ExitCode {
     };
     let mut quiet = false;
 
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         let mut num = |name: &str| -> u64 {
             it.next()
@@ -69,6 +79,20 @@ fn main() -> ExitCode {
                     .next()
                     .and_then(|s| udp_service::SolveMode::parse(s))
                     .unwrap_or_else(|| usage("missing or unknown value for --backend"));
+            }
+            "--chaos" => {
+                // Optional spec: `--chaos` alone arms the default campaign;
+                // `--chaos seed=N,rate=P,...` overrides it.
+                let spec = match it.peek() {
+                    Some(s) if !s.starts_with('-') && s.contains('=') => {
+                        it.next().map(|s| s.as_str()).unwrap_or("")
+                    }
+                    _ => "",
+                };
+                config.chaos = Some(
+                    udp_obs::FaultPlan::parse(spec)
+                        .unwrap_or_else(|e| usage(&format!("bad --chaos spec: {e}"))),
+                );
             }
             "--full" => {} // consumed above
             "--quiet" => quiet = true,

@@ -94,11 +94,23 @@ pub enum Counter {
     /// monotone tally), set under the cache lock after every insert/evict
     /// (`udp_service` `process_goal`).
     CacheResidentBytes,
+    /// Backend attempts that panicked and were contained into a `Faulted`
+    /// outcome (`udp_solve::portfolio::record_attempt`). Includes
+    /// chaos-injected panics and real defects alike.
+    BackendFault,
+    /// Goals whose report was aborted — worker panic, backend fault with
+    /// no surviving verdict — rather than decided
+    /// (`udp_service::Session::note_aborted`).
+    GoalAborted,
+    /// Fault actions fired by the chaos injector
+    /// (`crate::fault::FaultInjector::fire`): panics, forced exhaustions,
+    /// and delays combined.
+    FaultsInjected,
 }
 
 impl Counter {
     /// Number of counters (the recorder's fixed-size counter table).
-    pub const COUNT: usize = 28;
+    pub const COUNT: usize = 31;
 
     /// Every counter; index in this array == `as_index`.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -130,6 +142,9 @@ impl Counter {
         Counter::TermBytes,
         Counter::SpnfBytes,
         Counter::CacheResidentBytes,
+        Counter::BackendFault,
+        Counter::GoalAborted,
+        Counter::FaultsInjected,
     ];
 
     /// Dense index for table lookups.
@@ -163,6 +178,9 @@ impl Counter {
             Counter::TermBytes => 25,
             Counter::SpnfBytes => 26,
             Counter::CacheResidentBytes => 27,
+            Counter::BackendFault => 28,
+            Counter::GoalAborted => 29,
+            Counter::FaultsInjected => 30,
         }
     }
 
@@ -197,6 +215,9 @@ impl Counter {
             Counter::TermBytes => "term-bytes",
             Counter::SpnfBytes => "spnf-bytes",
             Counter::CacheResidentBytes => "cache-resident-bytes",
+            Counter::BackendFault => "backend-fault",
+            Counter::GoalAborted => "goal-aborted",
+            Counter::FaultsInjected => "faults-injected",
         }
     }
 
@@ -227,11 +248,21 @@ impl Counter {
 
     /// Is this counter's total deterministic for a fixed goal set — i.e.
     /// independent of worker count, machine speed, and scheduling? Wall
-    /// tallies, cache-order-dependent depths, and gauges whose level
-    /// depends on eviction interleaving are excluded; everything else is
-    /// pinned across 1/2/4 workers by the service metrics test.
+    /// tallies, cache-order-dependent depths, gauges whose level depends
+    /// on eviction interleaving, and the fault family (race-mode faults
+    /// and breaker trips depend on which backend loses the race) are
+    /// excluded; everything else is pinned across 1/2/4 workers by the
+    /// service metrics test.
     pub fn is_deterministic(self) -> bool {
-        !self.is_wall_ns() && !self.is_gauge() && !matches!(self, Counter::CacheHitDepth)
+        !self.is_wall_ns()
+            && !self.is_gauge()
+            && !matches!(
+                self,
+                Counter::CacheHitDepth
+                    | Counter::BackendFault
+                    | Counter::GoalAborted
+                    | Counter::FaultsInjected
+            )
     }
 }
 
@@ -280,6 +311,9 @@ mod tests {
         assert!(!Counter::SymUnknownWallNs.is_deterministic());
         assert!(!Counter::CacheHitDepth.is_deterministic());
         assert!(!Counter::CacheResidentBytes.is_deterministic());
+        assert!(!Counter::BackendFault.is_deterministic());
+        assert!(!Counter::GoalAborted.is_deterministic());
+        assert!(!Counter::FaultsInjected.is_deterministic());
     }
 
     #[test]

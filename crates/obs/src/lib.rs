@@ -42,6 +42,7 @@
 
 pub mod alloc;
 pub mod counter;
+pub mod fault;
 pub mod hist;
 pub mod json;
 pub mod recorder;
@@ -51,6 +52,7 @@ pub mod trace;
 
 pub use alloc::{MemSession, MemorySnapshot, TrackingAlloc};
 pub use counter::Counter;
+pub use fault::{install_chaos_panic_silencer, FaultAction, FaultInjector, FaultPlan};
 pub use hist::{bucket_of, bucket_of_us, Histogram, LATENCY_BUCKETS};
 pub use recorder::{GoalObs, Recorder, Span, TraceSpan, DEFAULT_SLOW_CAPACITY};
 pub use snapshot::{BackendSummary, CounterSnapshot, GoalTrace, MetricsSnapshot, StageSnapshot};

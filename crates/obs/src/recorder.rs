@@ -172,7 +172,7 @@ impl Recorder {
     /// disabled recorder or when called twice.
     pub fn track_memory(&self) {
         if let Some(inner) = &self.inner {
-            let mut mem = inner.memory.lock().unwrap();
+            let mut mem = inner.memory.lock().unwrap_or_else(|e| e.into_inner());
             if mem.is_none() {
                 *mem = Some(MemSession::start());
             }
@@ -184,7 +184,7 @@ impl Recorder {
         self.inner.as_ref().is_some_and(|i| {
             i.memory
                 .lock()
-                .unwrap()
+                .unwrap_or_else(|e| e.into_inner())
                 .as_ref()
                 .is_some_and(MemSession::is_active)
         })
@@ -360,7 +360,12 @@ impl Recorder {
             open_spans: inner.open_spans.load(Ordering::Relaxed),
             stages,
             counters,
-            slow_goals: inner.slow.lock().unwrap().goals.clone(),
+            slow_goals: inner
+                .slow
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .goals
+                .clone(),
             memory: inner
                 .memory
                 .lock()
@@ -475,7 +480,7 @@ impl GoalObs {
         let wall_ns = wall.as_nanos() as u64;
         inner.goals.fetch_add(1, Ordering::Relaxed);
         inner.goal_wall_ns.fetch_add(wall_ns, Ordering::Relaxed);
-        let mut slow = inner.slow.lock().unwrap();
+        let mut slow = inner.slow.lock().unwrap_or_else(|e| e.into_inner());
         slow.push(GoalTrace {
             label: label(),
             wall_ns,

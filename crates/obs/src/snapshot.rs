@@ -1,13 +1,15 @@
 //! Point-in-time views of a [`crate::Recorder`]'s tables, and the stable
 //! machine-readable JSON rendering behind `--metrics-json`.
 //!
-//! The JSON schema (version 3 — version 2 plus the `memory` section:
-//! per-stage allocation attribution, the live-bytes high-watermark,
-//! bytes-per-goal, and cache residency):
+//! The JSON schema (version 4 — version 3 plus the `faults` section and
+//! per-backend `faults`/`breaker_open` fields from the fault-isolation
+//! layer; version 3 added the `memory` section: per-stage allocation
+//! attribution, the live-bytes high-watermark, bytes-per-goal, and cache
+//! residency):
 //!
 //! ```json
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "goals": 240,
 //!   "goal_wall_us": 18234.5,
 //!   "coverage": 0.97,
@@ -27,8 +29,13 @@
 //!     {"name": "udp", "calls": 230, "definite": 228, "proved": 200,
 //!      "unknown": 2, "settled": 210, "wall_us": 15000.0,
 //!      "definite_wall_us": 14200.0, "unknown_wall_us": 800.0,
-//!      "p50_us": 64, "p99_us": 1024}
+//!      "p50_us": 64, "p99_us": 1024, "faults": 0, "breaker_open": false}
 //!   ],
+//!   "faults": {
+//!     "backend_faults": 0,
+//!     "goals_aborted": 0,
+//!     "faults_injected": 0
+//!   },
 //!   "memory": {
 //!     "tracked": true,
 //!     "live_bytes": 1048576,
@@ -145,6 +152,12 @@ pub struct BackendSummary {
     pub p50_us: u64,
     /// 99th-percentile attempt latency, µs.
     pub p99_us: u64,
+    /// Attempts that panicked and were contained into a `Faulted` outcome
+    /// (a subset of `unknown` — faulted attempts settle nothing).
+    pub faults: u64,
+    /// Did the circuit breaker disable this backend for the session
+    /// (K consecutive faults)?
+    pub breaker_open: bool,
 }
 
 /// A point-in-time copy of a recorder's aggregation tables.
@@ -229,11 +242,11 @@ impl MetricsSnapshot {
         }
     }
 
-    /// Render the version-3 metrics JSON (see the module docs).
+    /// Render the version-4 metrics JSON (see the module docs).
     pub fn to_json(&self, backends: &[BackendSummary]) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\n");
-        out.push_str("  \"schema_version\": 3,\n");
+        out.push_str("  \"schema_version\": 4,\n");
         out.push_str(&format!("  \"goals\": {},\n", self.goals));
         out.push_str(&format!(
             "  \"goal_wall_us\": {},\n",
@@ -281,7 +294,7 @@ impl MetricsSnapshot {
                 "    {{\"name\": {}, \"calls\": {}, \"definite\": {}, \"proved\": {}, \
                  \"unknown\": {}, \"settled\": {}, \"wall_us\": {}, \
                  \"definite_wall_us\": {}, \"unknown_wall_us\": {}, \"p50_us\": {}, \
-                 \"p99_us\": {}}}{}\n",
+                 \"p99_us\": {}, \"faults\": {}, \"breaker_open\": {}}}{}\n",
                 json_str(&b.name),
                 b.calls,
                 b.definite,
@@ -293,10 +306,26 @@ impl MetricsSnapshot {
                 fmt_f64(b.unknown_wall_us),
                 b.p50_us,
                 b.p99_us,
+                b.faults,
+                b.breaker_open,
                 if i + 1 < backends.len() { "," } else { "" }
             ));
         }
         out.push_str("  ],\n");
+        out.push_str("  \"faults\": {\n");
+        out.push_str(&format!(
+            "    \"backend_faults\": {},\n",
+            self.counter(Counter::BackendFault)
+        ));
+        out.push_str(&format!(
+            "    \"goals_aborted\": {},\n",
+            self.counter(Counter::GoalAborted)
+        ));
+        out.push_str(&format!(
+            "    \"faults_injected\": {}\n",
+            self.counter(Counter::FaultsInjected)
+        ));
+        out.push_str("  },\n");
         match &self.memory {
             None => out.push_str("  \"memory\": null,\n"),
             Some(mem) => {
@@ -542,9 +571,12 @@ mod tests {
             assert!(json.contains(&format!("\"{}\"", s.name())), "{}", s);
         }
         assert!(json.contains("\\\"quoted\\\""));
-        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"schema_version\": 4"));
         assert!(json.contains("\"name\": \"udp\""));
         assert!(json.contains("\"definite_wall_us\""));
+        assert!(json.contains("\"faults\": {"));
+        assert!(json.contains("\"backend_faults\": 0"));
+        assert!(json.contains("\"breaker_open\": false"));
         assert!(
             json.contains("\"memory\": null"),
             "no memory session ⇒ null section"

@@ -79,7 +79,7 @@ impl TraceSink {
 
     fn push(&self, event: Event) {
         let thread = std::thread::current().id();
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let lane_ix = match state.by_thread.get(&thread) {
             Some(&ix) => ix,
             None => {
@@ -118,14 +118,18 @@ impl TraceSink {
 
     /// Number of lanes (threads) that have recorded at least one event.
     pub fn lane_count(&self) -> usize {
-        self.state.lock().unwrap().lanes.len()
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .lanes
+            .len()
     }
 
     /// Total events evicted across all lanes.
     pub fn dropped(&self) -> u64 {
         self.state
             .lock()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .lanes
             .iter()
             .map(|l| l.dropped)
@@ -137,7 +141,7 @@ impl TraceSink {
     /// close after their children); instants become `"i"` events; each lane
     /// gets a `thread_name` metadata record and its own `tid`.
     pub fn chrome_trace(&self) -> String {
-        let state = self.state.lock().unwrap();
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let mut out = String::with_capacity(64 * 1024);
         out.push_str("{\"traceEvents\": [\n");
         let mut first = true;

@@ -24,7 +24,7 @@ fn allocate(bytes: usize) -> Vec<u64> {
 
 #[test]
 fn tracked_session_attributes_bytes_to_the_tagged_stage() {
-    let _guard = SESSION_LOCK.lock().unwrap();
+    let _guard = SESSION_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let recorder = Recorder::enabled();
     recorder.track_memory();
     let kept = {
@@ -59,7 +59,7 @@ fn tracked_session_attributes_bytes_to_the_tagged_stage() {
 
 #[test]
 fn untagged_allocations_land_in_the_untagged_row() {
-    let _guard = SESSION_LOCK.lock().unwrap();
+    let _guard = SESSION_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let recorder = Recorder::enabled();
     recorder.track_memory();
     let kept = allocate(1 << 18); // no span open: must charge "untagged"
@@ -77,7 +77,7 @@ fn untagged_allocations_land_in_the_untagged_row() {
 
 #[test]
 fn nested_spans_charge_the_innermost_stage_and_frees_are_counted() {
-    let _guard = SESSION_LOCK.lock().unwrap();
+    let _guard = SESSION_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let recorder = Recorder::enabled();
     recorder.track_memory();
     {
@@ -108,7 +108,7 @@ fn nested_spans_charge_the_innermost_stage_and_frees_are_counted() {
 
 #[test]
 fn totals_equal_the_row_sums_and_json_reports_tracked() {
-    let _guard = SESSION_LOCK.lock().unwrap();
+    let _guard = SESSION_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let recorder = Recorder::enabled();
     recorder.track_memory();
     drop(recorder.time(Stage::Parse, || allocate(1 << 16)));
@@ -117,7 +117,7 @@ fn totals_equal_the_row_sums_and_json_reports_tracked() {
     let row_bytes: u64 = mem.stages.iter().map(|r| r.alloc_bytes).sum();
     assert_eq!(row_bytes, mem.total_alloc_bytes());
     let json = snap.to_json(&[]);
-    assert!(json.contains("\"schema_version\": 3"), "{json}");
+    assert!(json.contains("\"schema_version\": 4"), "{json}");
     assert!(json.contains("\"tracked\": true"), "{json}");
     assert!(!json.contains("\"memory\": null"), "{json}");
 }

@@ -48,14 +48,17 @@ pub use stats::{BackendStats, ServiceStats};
 pub use udp_solve::SolveMode;
 
 use cache::Lru;
-use std::sync::Mutex;
+use std::fmt;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use udp_core::budget::Exhausted;
 use udp_core::ctx::Options;
 use udp_core::fingerprint::{canonical_form_nf, fingerprint_form, Fingerprint};
 use udp_core::spnf::Nf;
 use udp_core::Verdict;
-use udp_obs::{Counter, Recorder, Stage};
-use udp_solve::{BackendOutcome, SolveConfig};
+use udp_obs::fault::PROBE_GOAL;
+use udp_obs::{Counter, FaultAction, FaultInjector, FaultPlan, Recorder, Stage};
+use udp_solve::{BackendOutcome, Breakers, SolveConfig};
 use udp_sql::ast::Query;
 use udp_sql::{Dialect, Frontend, ParseError, VerifyError};
 
@@ -95,6 +98,14 @@ pub struct SessionConfig {
     /// desugar, lower, canonize, fingerprint, cache, backends, queue wait).
     /// The default disabled handle makes every instrumentation point free.
     pub recorder: Recorder,
+    /// Deterministic chaos schedule (`--chaos`): seeded panics, forced
+    /// budget exhaustion, and delays at the named probe points. `None`
+    /// (the default) injects nothing and costs one `Option` check per
+    /// probe.
+    pub chaos: Option<FaultPlan>,
+    /// Consecutive contained faults before a backend's circuit breaker
+    /// opens for the rest of the session (`0` = never trip).
+    pub breaker_threshold: u32,
 }
 
 impl Default for SessionConfig {
@@ -111,6 +122,8 @@ impl Default for SessionConfig {
             fingerprints: false,
             mode: SolveMode::Udp,
             recorder: Recorder::disabled(),
+            chaos: None,
+            breaker_threshold: 5,
         }
     }
 }
@@ -146,6 +159,44 @@ impl SessionConfig {
         self.cache_bytes = max_bytes;
         self
     }
+
+    /// Arm the deterministic chaos injector (see [`SessionConfig::chaos`]).
+    pub fn with_chaos(mut self, plan: Option<FaultPlan>) -> Self {
+        self.chaos = plan;
+        self
+    }
+}
+
+/// Why a goal's report is an abort rather than a decision — the service's
+/// error taxonomy for degraded goals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The goal (or every backend that tried it) panicked; the unwind was
+    /// contained by the worker supervisor or the backend boundary.
+    Panicked,
+    /// The budget's step or wall limit tripped (a deterministic timeout
+    /// under a step-only budget).
+    BudgetExhausted,
+    /// A cooperative cancellation flag flipped mid-search (e.g. the race
+    /// loser being stopped by the winner, or a caller-side cancel).
+    Cancelled,
+}
+
+impl AbortReason {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AbortReason::Panicked => "panicked",
+            AbortReason::BudgetExhausted => "budget-exhausted",
+            AbortReason::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Result of one goal processed by a session.
@@ -172,6 +223,11 @@ pub struct GoalReport {
     /// Search steps consumed by the goal's backend attempts (0 for cache
     /// hits and front-end errors).
     pub steps: u64,
+    /// Set when the goal degraded instead of deciding: a contained panic
+    /// (`outcome` is the error), or a `Timeout` verdict annotated with
+    /// *which* limit ended it. `None` for definite verdicts, cache hits,
+    /// and front-end errors.
+    pub aborted: Option<AbortReason>,
 }
 
 impl GoalReport {
@@ -198,6 +254,8 @@ pub struct Session {
     config: SessionConfig,
     cache: Mutex<Lru<CacheKey, Verdict>>,
     stats: Mutex<ServiceStats>,
+    breakers: Arc<Breakers>,
+    faults: FaultInjector,
 }
 
 impl Session {
@@ -221,11 +279,24 @@ impl Session {
         let mut cache = Lru::new(config.cache_capacity);
         cache.set_byte_limit(config.cache_bytes);
         base.recorder = config.recorder.clone();
+        let faults = match &config.chaos {
+            Some(plan) => {
+                // Keep stderr clean under a high-rate campaign: injected
+                // (`chaos: `-prefixed) panics are expected; real ones still
+                // print through the forwarded hook.
+                udp_obs::install_chaos_panic_silencer();
+                FaultInjector::new(plan.clone())
+            }
+            None => FaultInjector::disabled(),
+        };
+        let breakers = Arc::new(Breakers::new(config.breaker_threshold));
         Session {
             base,
             config,
             cache: Mutex::new(cache),
             stats: Mutex::new(ServiceStats::default()),
+            breakers,
+            faults,
         }
     }
 
@@ -255,29 +326,46 @@ impl Session {
     pub fn verify_batch(&self, goals: &[(Query, Query)]) -> Vec<GoalReport> {
         let started = Instant::now();
         let reports = scheduler::run_batch(self, goals);
-        self.stats.lock().unwrap().batch_wall += started.elapsed();
+        self.stats
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .batch_wall += started.elapsed();
         reports
     }
 
     /// Snapshot of the session statistics (cache residency is read live
     /// from the cache, so end-of-run snapshots report the final footprint).
     pub fn stats(&self) -> ServiceStats {
-        let mut stats = self.stats.lock().unwrap().clone();
-        let cache = self.cache.lock().unwrap();
+        let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
         stats.cache_entries = cache.len() as u64;
         stats.cache_resident_bytes = cache.resident_bytes() as u64;
+        // Overlay the live circuit-breaker state (the per-attempt fault
+        // tallies are already in the aggregate; open/closed is a gauge only
+        // the breakers themselves know).
+        for (name, b) in stats.backends.iter_mut() {
+            b.breaker_open = self.breakers.is_open(name);
+        }
         stats
+    }
+
+    /// The session's live circuit breakers (test and driver introspection).
+    pub fn breakers(&self) -> &Breakers {
+        &self.breakers
     }
 
     /// Live entries in the verdict cache.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().unwrap().len()
+        self.cache.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Summed byte cost of the live verdict-cache entries (key lengths
     /// plus [`Verdict::deep_size`]).
     pub fn cache_resident_bytes(&self) -> usize {
-        self.cache.lock().unwrap().resident_bytes()
+        self.cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .resident_bytes()
     }
 
     /// Byte cost one cached verdict charges against `--cache-bytes`: both
@@ -330,14 +418,19 @@ impl Session {
 
     /// Per-goal solve configuration (each backend builds a fresh budget from
     /// these limits; a budget's wall clock starts at its first tick, so
-    /// pre-building configs here is safe).
-    fn solve_config(&self) -> SolveConfig {
+    /// pre-building configs here is safe). The goal's batch index becomes
+    /// the chaos `fault_key`, keeping any injection schedule a pure function
+    /// of the input batch — identical across worker counts.
+    fn solve_config(&self, index: usize) -> SolveConfig {
         SolveConfig {
             steps: self.config.steps,
             wall: self.config.wall,
             options: self.config.options.clone(),
             record_trace: self.config.record_trace,
             recorder: self.config.recorder.clone(),
+            breakers: Some(Arc::clone(&self.breakers)),
+            faults: self.faults.clone(),
+            fault_key: index as u64,
             ..SolveConfig::default()
         }
     }
@@ -370,6 +463,17 @@ impl Session {
         let recorder = &self.config.recorder;
         let _goal_span = recorder.trace_span("goal");
         let mut obs = recorder.goal();
+        // Chaos goal probe: *outside* the backend containment boundary, so
+        // an injected panic here exercises the scheduler's worker
+        // supervision (the panic unwinds out of `process_goal` and is
+        // caught in `scheduler::supervise`).
+        match self.faults.fire(recorder, PROBE_GOAL, index as u64) {
+            Some(FaultAction::Panic) => {
+                panic!("chaos: injected panic at {PROBE_GOAL} (goal {index})")
+            }
+            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            Some(FaultAction::Exhaust) | None => {} // goal probe never exhausts
+        }
         // Desugaring and lowering record their *global* stage totals inside
         // `udp-ext` / `udp-sql` (the single-writer rule — see `udp_obs`);
         // `time_local` adds them to this goal's waterfall only.
@@ -384,7 +488,10 @@ impl Session {
             Ok(pair) => pair,
             Err(e) => {
                 let wall = started.elapsed();
-                self.stats.lock().unwrap().record(wall, false, false, true);
+                self.stats
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .record(wall, false, false, true);
                 obs.finish(|| format!("goal {index} (front-end error)"), wall, 0);
                 return GoalReport {
                     index,
@@ -395,6 +502,7 @@ impl Session {
                     disagreement: None,
                     wall,
                     steps: 0,
+                    aborted: None,
                 };
             }
         };
@@ -439,7 +547,7 @@ impl Session {
 
         if caching {
             let hit = obs.time(Stage::CacheLookup, || {
-                let mut cache = self.cache.lock().unwrap();
+                let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
                 let key = key.as_ref().unwrap();
                 recorder.count(Counter::CacheProbes, 1);
                 // The depth walk is O(position); only pay for it when the
@@ -455,7 +563,10 @@ impl Session {
                 recorder.instant("cache-hit");
                 let wall = started.elapsed();
                 let proved = verdict.decision.is_proved();
-                self.stats.lock().unwrap().record(wall, true, proved, false);
+                self.stats
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .record(wall, true, proved, false);
                 obs.finish(|| format!("goal {index} (cache hit)"), wall, 0);
                 return GoalReport {
                     index,
@@ -466,6 +577,7 @@ impl Session {
                     disagreement: None,
                     wall,
                     steps: 0,
+                    aborted: None,
                 };
             }
         }
@@ -481,12 +593,12 @@ impl Session {
             schema2: q2.schema,
             nf1: &nf1,
             nf2: &nf2,
-            config: self.solve_config(),
+            config: self.solve_config(index),
         };
         let solved = udp_solve::solve_normalized(&goal, self.config.mode);
         let mut steps = 0u64;
         {
-            let mut stats = self.stats.lock().unwrap();
+            let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
             for a in &solved.attempts {
                 stats.record_backend(
                     a.backend,
@@ -494,6 +606,7 @@ impl Session {
                     a.outcome == BackendOutcome::Proved,
                     a.wall,
                     a.backend == solved.settled_by,
+                    a.outcome.is_faulted(),
                 );
             }
         }
@@ -511,7 +624,10 @@ impl Session {
         // verdict.
         if let Some(d) = solved.disagreement {
             let wall = started.elapsed();
-            self.stats.lock().unwrap().record(wall, false, false, true);
+            self.stats
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .record(wall, false, false, true);
             obs.finish(|| format!("goal {index} (disagreement)"), wall, steps);
             return GoalReport {
                 index,
@@ -522,26 +638,64 @@ impl Session {
                 disagreement: Some(d),
                 wall,
                 steps,
+                aborted: None,
+            };
+        }
+        // No backend produced any verdict (every attempt faulted, or the
+        // breakers disabled them all): an aborted goal, surfaced as an
+        // error. The synthesized placeholder verdict is deliberately
+        // *dropped* here — it must never reach the cache.
+        if let Some(reason) = solved.fault {
+            let wall = started.elapsed();
+            self.note_aborted();
+            self.stats
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .record(wall, false, false, true);
+            obs.finish(|| format!("goal {index} (aborted)"), wall, steps);
+            return GoalReport {
+                index,
+                outcome: Err(format!("goal aborted: {reason}")),
+                cached: false,
+                fingerprints,
+                settled_by: None,
+                disagreement: None,
+                wall,
+                steps,
+                aborted: Some(AbortReason::Panicked),
             };
         }
         let verdict = solved.verdict;
+        // A degraded-but-reported goal: a `Timeout` verdict carries *which*
+        // limit ended it (step cap / wall deadline → BudgetExhausted,
+        // cooperative cancel → Cancelled) in the report taxonomy.
+        let aborted = if verdict.decision == udp_core::Decision::Timeout {
+            Some(match verdict.stats.exhausted {
+                Some(Exhausted::Cancelled) => AbortReason::Cancelled,
+                _ => AbortReason::BudgetExhausted,
+            })
+        } else {
+            None
+        };
         // A Timeout is budget exhaustion, not a fact about the goal: caching
         // it would pin a transient, scheduling-dependent answer for every
         // canonically equal goal in the session. Let those re-run.
         if caching && verdict.decision != udp_core::Decision::Timeout {
             let key = key.unwrap();
             let cost = Self::entry_cost(&key, &verdict);
-            let mut cache = self.cache.lock().unwrap();
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
             cache.insert_with_cost(key, verdict.clone(), cost);
             // Residency is a gauge (last level wins), stored under the cache
             // lock so it always reflects a state the cache actually had.
             recorder.gauge(Counter::CacheResidentBytes, cache.resident_bytes() as u64);
         }
         let wall = started.elapsed();
-        self.stats
-            .lock()
-            .unwrap()
-            .record(wall, false, verdict.decision.is_proved(), false);
+        self.stats.lock().unwrap_or_else(|e| e.into_inner()).record(
+            wall,
+            false,
+            verdict.decision.is_proved(),
+            false,
+        );
         obs.finish(|| format!("goal {index}"), wall, steps);
         GoalReport {
             index,
@@ -552,6 +706,51 @@ impl Session {
             disagreement: None,
             wall,
             steps,
+            aborted,
         }
+    }
+
+    /// The single increment site for [`Counter::GoalAborted`]: a goal whose
+    /// report is an abort (worker panic or backend fault with no surviving
+    /// verdict) rather than a decision.
+    pub(crate) fn note_aborted(&self) {
+        self.config.recorder.count(Counter::GoalAborted, 1);
+        self.config.recorder.instant("goal-aborted");
+    }
+
+    /// Build the report for a goal whose worker panicked outside the
+    /// backend containment boundary (the supervisor caught the unwind).
+    /// The panic message is part of the report, so chaos-injected panics —
+    /// whose messages are deterministic — keep batch output byte-identical
+    /// across worker counts.
+    pub(crate) fn panic_report(&self, index: usize, wall: Duration, msg: String) -> GoalReport {
+        self.note_aborted();
+        self.stats
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(wall, false, false, true);
+        GoalReport {
+            index,
+            outcome: Err(format!("goal panicked: {msg}")),
+            cached: false,
+            fingerprints: None,
+            settled_by: None,
+            disagreement: None,
+            wall,
+            steps: 0,
+            aborted: Some(AbortReason::Panicked),
+        }
+    }
+
+    /// Build the report for a goal slot the collector never received — a
+    /// worker died in a way even the supervisor could not report (e.g. an
+    /// abort-on-double-panic). Degraded bookkeeping instead of a collector
+    /// panic: the batch stays order-preserving and complete.
+    pub(crate) fn missing_report(&self, index: usize) -> GoalReport {
+        self.panic_report(
+            index,
+            Duration::ZERO,
+            "worker never reported (supervision gap)".to_string(),
+        )
     }
 }

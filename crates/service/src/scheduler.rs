@@ -7,11 +7,46 @@
 //! (which grows the catalog with anonymous subquery schemas) never contends.
 
 use crate::{GoalReport, Session};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
 use udp_obs::Stage;
 use udp_sql::ast::Query;
+
+/// Worker supervision: run one goal with the unwind contained, so a
+/// poisoned goal (chaos goal-probe injection or a real defect outside the
+/// backend containment boundary) yields an aborted [`GoalReport`] instead
+/// of killing the worker thread — the batch stays complete and
+/// order-preserving, and the other goals are untouched.
+///
+/// `AssertUnwindSafe` is sound for the same reason as the backend boundary:
+/// the panicking goal's partial state unwinds with the stack, the worker's
+/// frontend clone is rebuilt fresh (lowering may have half-grown its
+/// catalog), and cross-goal state (cache, stats, recorder) is only ever
+/// updated under poison-tolerant locks or atomics.
+fn supervise(
+    session: &Session,
+    fe: &mut udp_sql::Frontend,
+    index: usize,
+    goal: &(Query, Query),
+) -> GoalReport {
+    let started = Instant::now();
+    match catch_unwind(AssertUnwindSafe(|| session.process_goal(fe, index, goal))) {
+        Ok(report) => report,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            // The half-used frontend may hold partially lowered state;
+            // replace it so later goals on this worker start clean.
+            *fe = session.base_clone();
+            session.panic_report(index, started.elapsed(), msg)
+        }
+    }
+}
 
 /// Run `goals` through the session's worker pool, preserving input order.
 ///
@@ -33,7 +68,7 @@ pub(crate) fn run_batch(session: &Session, goals: &[(Query, Query)]) -> Vec<Goal
                 if recorder.is_enabled() {
                     recorder.record(Stage::QueueWait, batch_start.elapsed(), 0);
                 }
-                session.process_goal(&mut fe, i, g)
+                supervise(session, &mut fe, i, g)
             })
             .collect();
     }
@@ -56,7 +91,7 @@ pub(crate) fn run_batch(session: &Session, goals: &[(Query, Query)]) -> Vec<Goal
                     if recorder.is_enabled() {
                         recorder.record(Stage::QueueWait, batch_start.elapsed(), 0);
                     }
-                    let report = session.process_goal(&mut fe, i, &goals[i]);
+                    let report = supervise(session, &mut fe, i, &goals[i]);
                     if tx.send((i, report)).is_err() {
                         break; // collector gone; nothing useful left to do
                     }
@@ -70,7 +105,8 @@ pub(crate) fn run_batch(session: &Session, goals: &[(Query, Query)]) -> Vec<Goal
     });
     slots
         .into_iter()
-        .map(|s| s.expect("every goal reports exactly once"))
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| session.missing_report(i)))
         .collect()
 }
 

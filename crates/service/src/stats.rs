@@ -32,6 +32,12 @@ pub struct BackendStats {
     /// Wall time of attempts that fell through as Unknown — in cascade
     /// mode, the price paid before the next backend even starts.
     pub unknown_wall: Duration,
+    /// Attempts that panicked and were contained (a subset of `unknown`:
+    /// faulted attempts are never definite and never settle a goal).
+    pub faults: u64,
+    /// Did the session's circuit breaker disable this backend? Overlaid
+    /// from the live breaker state by [`crate::Session::stats`].
+    pub breaker_open: bool,
     /// Log₂ histogram of per-attempt latency in microseconds.
     pub latency_us: Histogram,
 }
@@ -104,7 +110,10 @@ impl ServiceStats {
         self.latency_us.record(wall);
     }
 
-    /// Record one backend attempt from a portfolio run.
+    /// Record one backend attempt from a portfolio run. A `faulted` attempt
+    /// (contained panic) also counts as `unknown` — it produced no verdict —
+    /// so `calls == definite + unknown` stays an invariant and clean runs
+    /// are byte-identical to the pre-fault-tracking accounting.
     pub fn record_backend(
         &mut self,
         backend: &'static str,
@@ -112,6 +121,7 @@ impl ServiceStats {
         proved: bool,
         wall: Duration,
         settled: bool,
+        faulted: bool,
     ) {
         let b = self.backends.entry(backend).or_default();
         b.calls += 1;
@@ -121,6 +131,9 @@ impl ServiceStats {
         } else {
             b.unknown += 1;
             b.unknown_wall += wall;
+        }
+        if faulted {
+            b.faults += 1;
         }
         if proved {
             b.proved += 1;
@@ -175,6 +188,8 @@ impl ServiceStats {
                 unknown_wall_us: b.unknown_wall.as_nanos() as f64 / 1_000.0,
                 p50_us: b.latency_percentile_us(0.5),
                 p99_us: b.latency_percentile_us(0.99),
+                faults: b.faults,
+                breaker_open: b.breaker_open,
             })
             .collect()
     }
@@ -219,6 +234,13 @@ impl ServiceStats {
                 b.latency_percentile_us(0.5),
                 b.latency_percentile_us(0.99),
             ));
+            if b.faults > 0 || b.breaker_open {
+                out.push_str(&format!(
+                    " | {} faults{}",
+                    b.faults,
+                    if b.breaker_open { ", breaker OPEN" } else { "" }
+                ));
+            }
         }
         out
     }
@@ -266,9 +288,9 @@ mod tests {
     #[test]
     fn backend_breakdown_tracks_calls_and_percentiles() {
         let mut s = ServiceStats::default();
-        s.record_backend("sym", true, true, Duration::from_micros(4), true);
-        s.record_backend("sym", false, false, Duration::from_micros(8), false);
-        s.record_backend("udp", true, false, Duration::from_micros(900), true);
+        s.record_backend("sym", true, true, Duration::from_micros(4), true, false);
+        s.record_backend("sym", false, false, Duration::from_micros(8), false, false);
+        s.record_backend("udp", true, false, Duration::from_micros(900), true, false);
         let sym = &s.backends["sym"];
         assert_eq!(sym.calls, 2);
         assert_eq!(sym.definite, 1);
@@ -287,8 +309,8 @@ mod tests {
     #[test]
     fn backend_wall_splits_by_exit_kind() {
         let mut s = ServiceStats::default();
-        s.record_backend("sym", true, true, Duration::from_micros(100), true);
-        s.record_backend("sym", false, false, Duration::from_micros(40), false);
+        s.record_backend("sym", true, true, Duration::from_micros(100), true, false);
+        s.record_backend("sym", false, false, Duration::from_micros(40), false, false);
         let sym = &s.backends["sym"];
         assert_eq!(sym.definite_wall, Duration::from_micros(100));
         assert_eq!(sym.unknown_wall, Duration::from_micros(40));
@@ -302,10 +324,31 @@ mod tests {
     }
 
     #[test]
+    fn faulted_attempts_count_as_unknown_and_render() {
+        let mut s = ServiceStats::default();
+        s.record_backend("sym", false, false, Duration::from_micros(7), false, true);
+        s.record_backend("sym", true, true, Duration::from_micros(3), true, false);
+        let sym = &s.backends["sym"];
+        assert_eq!(sym.calls, 2);
+        assert_eq!(sym.unknown, 1, "a fault is an unknown exit");
+        assert_eq!(sym.faults, 1);
+        assert_eq!(sym.calls, sym.definite + sym.unknown);
+        let rows = s.backend_summaries();
+        let row = rows.iter().find(|r| r.name == "sym").unwrap();
+        assert_eq!(row.faults, 1);
+        assert!(!row.breaker_open);
+        let r = s.render();
+        assert!(r.contains("1 faults"), "{r}");
+        assert!(!r.contains("breaker OPEN"), "{r}");
+        s.backends.get_mut("sym").unwrap().breaker_open = true;
+        assert!(s.render().contains("breaker OPEN"));
+    }
+
+    #[test]
     fn backend_summaries_mirror_the_breakdown() {
         let mut s = ServiceStats::default();
-        s.record_backend("sym", true, true, Duration::from_micros(4), true);
-        s.record_backend("udp", false, false, Duration::from_micros(40), false);
+        s.record_backend("sym", true, true, Duration::from_micros(4), true, false);
+        s.record_backend("udp", false, false, Duration::from_micros(40), false, false);
         let rows = s.backend_summaries();
         assert_eq!(rows.len(), 2);
         let sym = rows.iter().find(|r| r.name == "sym").unwrap();

@@ -1,0 +1,131 @@
+//! Per-backend circuit breakers.
+//!
+//! A backend that keeps panicking is worse than a missing backend: every
+//! attempt burns a full budget, floods the fault counters, and (in cascade
+//! mode) adds pure latency before the fallback runs. [`Breakers`] tracks
+//! *consecutive* faults per backend; at the configured threshold the
+//! breaker opens and the portfolio skips that backend for the rest of the
+//! session. A single successful (non-faulted) attempt before the threshold
+//! resets the streak — transient faults don't accumulate forever.
+//!
+//! The state is all relaxed atomics shared via `Arc` from the session:
+//! breakers only gate *which* backends run, never what a verdict says, so
+//! racy streak accounting at worst delays or hastens a trip by an attempt.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+/// One backend's breaker state.
+#[derive(Debug, Default)]
+struct Cell {
+    /// Total contained faults over the session (monotonic; feeds stats).
+    faults: AtomicU64,
+    /// Current consecutive-fault streak (reset by any clean attempt).
+    streak: AtomicU32,
+    /// Latched open: once tripped, stays tripped for the session.
+    open: AtomicBool,
+}
+
+/// Circuit breakers for the fixed backend pair, shared across a session's
+/// workers.
+#[derive(Debug)]
+pub struct Breakers {
+    threshold: u32,
+    sym: Cell,
+    udp: Cell,
+}
+
+impl Breakers {
+    /// Breakers tripping after `threshold` consecutive faults; `0` means
+    /// never trip (fault counting still works).
+    pub fn new(threshold: u32) -> Self {
+        Breakers {
+            threshold,
+            sym: Cell::default(),
+            udp: Cell::default(),
+        }
+    }
+
+    fn cell(&self, backend: &str) -> &Cell {
+        if backend == "sym" {
+            &self.sym
+        } else {
+            &self.udp
+        }
+    }
+
+    /// Record a contained fault; trips the breaker when the consecutive
+    /// streak reaches the threshold.
+    pub fn note_fault(&self, backend: &str) {
+        let cell = self.cell(backend);
+        cell.faults.fetch_add(1, Ordering::Relaxed);
+        let streak = cell.streak.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.threshold > 0 && streak >= self.threshold {
+            cell.open.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a clean (non-faulted) attempt: resets the streak. An already
+    /// open breaker stays open — faulty backends don't re-arm themselves.
+    pub fn note_ok(&self, backend: &str) {
+        self.cell(backend).streak.store(0, Ordering::Relaxed);
+    }
+
+    /// Is the backend disabled for this session?
+    pub fn is_open(&self, backend: &str) -> bool {
+        self.cell(backend).open.load(Ordering::Relaxed)
+    }
+
+    /// Total contained faults this backend produced.
+    pub fn faults(&self, backend: &str) -> u64 {
+        self.cell(backend).faults.load(Ordering::Relaxed)
+    }
+
+    /// The configured trip threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_at_threshold_and_stays_open() {
+        let b = Breakers::new(3);
+        b.note_fault("sym");
+        b.note_fault("sym");
+        assert!(!b.is_open("sym"));
+        b.note_fault("sym");
+        assert!(b.is_open("sym"));
+        assert!(!b.is_open("udp"), "breakers are per-backend");
+        // Open is latched for the session.
+        b.note_ok("sym");
+        assert!(b.is_open("sym"));
+        assert_eq!(b.faults("sym"), 3);
+    }
+
+    #[test]
+    fn clean_attempts_reset_the_streak() {
+        let b = Breakers::new(3);
+        b.note_fault("udp");
+        b.note_fault("udp");
+        b.note_ok("udp");
+        b.note_fault("udp");
+        b.note_fault("udp");
+        assert!(!b.is_open("udp"), "streak was reset mid-way");
+        b.note_fault("udp");
+        assert!(b.is_open("udp"));
+        assert_eq!(b.faults("udp"), 5, "fault total is monotonic");
+    }
+
+    #[test]
+    fn zero_threshold_never_trips() {
+        let b = Breakers::new(0);
+        for _ in 0..100 {
+            b.note_fault("sym");
+        }
+        assert!(!b.is_open("sym"));
+        assert_eq!(b.faults("sym"), 100);
+    }
+}

@@ -38,10 +38,12 @@
 
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod portfolio;
 pub mod sym;
 pub mod udp;
 
+pub use breaker::Breakers;
 pub use portfolio::{solve_normalized, solve_queries, BackendAttempt, SolveReport};
 pub use sym::SymBackend;
 pub use udp::UdpBackend;
@@ -50,7 +52,7 @@ use std::fmt;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
-use udp_core::budget::Budget;
+use udp_core::budget::{Budget, Exhausted};
 use udp_core::constraints::ConstraintSet;
 use udp_core::ctx::Options;
 use udp_core::decide::NotProvedReason;
@@ -83,6 +85,17 @@ pub struct SolveConfig {
     /// Stage-metrics sink passed down to backends (nested canonize-core /
     /// congruence spans). The default disabled handle is free.
     pub recorder: udp_obs::Recorder,
+    /// Session-shared circuit breakers: a backend tripped by K consecutive
+    /// faults is skipped (never attempted) until the session ends. `None`
+    /// disables breaker tracking entirely (the sequential CLI paths).
+    pub breakers: Option<Arc<Breakers>>,
+    /// Deterministic chaos injection at the backend probe points; the
+    /// default disabled injector is one `Option` check per attempt.
+    pub faults: udp_obs::FaultInjector,
+    /// Goal key fed to the fault injector — the goal's batch index, so an
+    /// injection schedule is a pure function of the input batch and stays
+    /// byte-identical across worker counts.
+    pub fault_key: u64,
 }
 
 impl Default for SolveConfig {
@@ -94,6 +107,9 @@ impl Default for SolveConfig {
             record_trace: false,
             cancel: Vec::new(),
             recorder: udp_obs::Recorder::disabled(),
+            breakers: None,
+            faults: udp_obs::FaultInjector::default(),
+            fault_key: 0,
         }
     }
 }
@@ -147,12 +163,22 @@ pub enum BackendOutcome {
     Disproved(NotProvedReason),
     /// The backend cannot settle this goal; another backend should try.
     Unknown(UnknownReason),
+    /// The backend *panicked* and the portfolio contained the unwind (the
+    /// payload message is carried for diagnostics). Never definite: cascade
+    /// degrades past it, race ignores it, crosscheck treats it as
+    /// non-disagreement, and the verdict cache never stores it.
+    Faulted(String),
 }
 
 impl BackendOutcome {
     /// Is this a definite (portfolio-terminating) answer?
     pub fn is_definite(&self) -> bool {
-        !matches!(self, BackendOutcome::Unknown(_))
+        matches!(self, BackendOutcome::Proved | BackendOutcome::Disproved(_))
+    }
+
+    /// Did the backend panic (and get contained)?
+    pub fn is_faulted(&self) -> bool {
+        matches!(self, BackendOutcome::Faulted(_))
     }
 }
 
@@ -161,8 +187,9 @@ impl BackendOutcome {
 pub enum UnknownReason {
     /// The goal lies outside the backend's decidable fragment.
     OutsideFragment,
-    /// The step or wall-clock budget ran out first.
-    Budget,
+    /// The budget ran out first — carrying *which* limit tripped (step cap,
+    /// wall deadline, or cooperative cancellation by a race winner).
+    Budget(Exhausted),
 }
 
 /// One backend's answer: outcome, timing, and a human-readable reason.

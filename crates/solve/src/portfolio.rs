@@ -1,5 +1,16 @@
 //! The portfolio executor: compose the symbolic and UDP backends under a
 //! [`SolveMode`] and produce one pipeline-compatible [`udp_core::Verdict`].
+//!
+//! This module is also the workspace's *backend containment boundary*:
+//! every `Backend::prove` call runs under `catch_unwind`, so a panicking
+//! backend (a real defect or an injected chaos fault) degrades into a
+//! [`BackendOutcome::Faulted`] answer instead of unwinding through the
+//! worker pool. Cascade falls through a faulted attempt, race ignores it,
+//! crosscheck treats it as non-disagreement; only when *no* backend
+//! produces any verdict does the portfolio return a fault report
+//! ([`SolveReport::fault`]) — which callers surface as an error and never
+//! cache. Session-shared circuit breakers ([`crate::Breakers`]) skip a
+//! backend after K consecutive faults.
 
 use crate::{
     normalize_pair, Backend, BackendOutcome, BackendVerdict, Goal, SolveConfig, SolveMode,
@@ -8,7 +19,7 @@ use crate::{
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use udp_core::constraints::ConstraintSet;
 use udp_core::decide::{Decision, Stats};
 use udp_core::expr::VarId;
@@ -16,7 +27,8 @@ use udp_core::schema::{Catalog, SchemaId};
 use udp_core::spnf::Nf;
 use udp_core::trace::Trace;
 use udp_core::{QueryU, Verdict};
-use udp_obs::{Counter, Recorder, Stage};
+use udp_obs::fault::{FaultAction, PROBE_BACKEND_SYM, PROBE_BACKEND_UDP};
+use udp_obs::{Counter, Stage};
 
 /// One backend's attempt, kept for per-backend statistics (the heavy
 /// [`udp_core::Verdict`] with its trace is dropped; the final verdict keeps
@@ -52,7 +64,8 @@ impl From<&BackendVerdict> for BackendAttempt {
 pub struct SolveReport {
     /// The final verdict, decision-compatible with the plain UDP pipeline.
     pub verdict: Verdict,
-    /// The backend whose answer became the final verdict.
+    /// The backend whose answer became the final verdict (`"none"` when
+    /// every backend faulted or was breaker-skipped).
     pub settled_by: &'static str,
     /// Every backend attempt that completed before the portfolio settled
     /// (in race mode the losing backend may be absent).
@@ -61,15 +74,23 @@ pub struct SolveReport {
     /// *hard error* — it means one of the engines is wrong — and callers
     /// must surface it as a failure, never as a verdict.
     pub disagreement: Option<String>,
+    /// Set when no backend produced a verdict at all (every attempt
+    /// faulted, or the breakers disabled every eligible backend). The
+    /// attached verdict is a synthesized `Timeout` placeholder; callers
+    /// must report the goal as aborted and never cache it.
+    pub fault: Option<String>,
 }
 
 /// Synthesize a pipeline verdict from a backend answer that carries no core
-/// verdict of its own (the symbolic backend).
+/// verdict of its own (the symbolic backend, or a fault placeholder).
 fn synthesize(goal_sizes: (usize, usize), bv: &BackendVerdict) -> Verdict {
-    let decision = match &bv.outcome {
-        BackendOutcome::Proved => Decision::Proved,
-        BackendOutcome::Disproved(r) => Decision::NotProved(r.clone()),
-        BackendOutcome::Unknown(_) => Decision::Timeout,
+    let (decision, exhausted) = match &bv.outcome {
+        BackendOutcome::Proved => (Decision::Proved, None),
+        BackendOutcome::Disproved(r) => (Decision::NotProved(r.clone()), None),
+        BackendOutcome::Unknown(crate::UnknownReason::Budget(kind)) => {
+            (Decision::Timeout, Some(*kind))
+        }
+        BackendOutcome::Unknown(_) | BackendOutcome::Faulted(_) => (Decision::Timeout, None),
     };
     Verdict {
         decision,
@@ -79,17 +100,19 @@ fn synthesize(goal_sizes: (usize, usize), bv: &BackendVerdict) -> Verdict {
             size_after: goal_sizes,
             steps_used: bv.steps,
             wall: bv.wall,
+            exhausted,
         },
     }
 }
 
 /// Tally one completed backend attempt and convert it to its report entry.
 /// This is the *single write site* for the per-backend exit-kind counters
-/// (`sym-exit-definite` … `udp-unknown-wall-ns`): every attempt in every
-/// [`SolveMode`] flows through here exactly once, on the portfolio thread,
-/// so counter totals stay worker-count invariant. Also drops the trace
-/// instants marking each backend's verdict and budget exhaustion.
-fn record_attempt(recorder: &Recorder, bv: &BackendVerdict) -> BackendAttempt {
+/// (`sym-exit-definite` … `udp-unknown-wall-ns`) and for `backend-fault`:
+/// every attempt in every [`SolveMode`] flows through here exactly once, on
+/// the portfolio thread, so counter totals stay worker-count invariant.
+/// Also drops the trace instants marking each backend's verdict, budget
+/// exhaustion, and contained faults, and feeds the circuit breakers.
+fn record_attempt(config: &SolveConfig, bv: &BackendVerdict) -> BackendAttempt {
     let definite = bv.outcome.is_definite();
     let (exits, wall_ns, verdict_mark) = match (bv.backend, definite) {
         ("sym", true) => (
@@ -113,16 +136,35 @@ fn record_attempt(recorder: &Recorder, bv: &BackendVerdict) -> BackendAttempt {
             "udp-unknown",
         ),
     };
+    let recorder = &config.recorder;
     recorder.count(exits, 1);
     recorder.count(wall_ns, bv.wall.as_nanos() as u64);
     recorder.instant(verdict_mark);
     if matches!(
         bv.outcome,
-        BackendOutcome::Unknown(crate::UnknownReason::Budget)
+        BackendOutcome::Unknown(crate::UnknownReason::Budget(_))
     ) {
         recorder.instant("budget-exhausted");
     }
+    if bv.outcome.is_faulted() {
+        recorder.count(Counter::BackendFault, 1);
+        recorder.instant("backend-fault");
+        if let Some(breakers) = &config.breakers {
+            breakers.note_fault(bv.backend);
+        }
+    } else if let Some(breakers) = &config.breakers {
+        breakers.note_ok(bv.backend);
+    }
     BackendAttempt::from(bv)
+}
+
+/// Extract a printable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 /// Run one backend under a live trace span so per-attempt intervals show
@@ -132,15 +174,77 @@ fn record_attempt(recorder: &Recorder, bv: &BackendVerdict) -> BackendAttempt {
 /// so memory sessions attribute them to `sym-prove` / `udp-prove` rather
 /// than to whatever stage the caller happens to be in — crucial in race
 /// mode, where attempts run on threads that never saw a `GoalObs` span.
+///
+/// This is the panic containment boundary: the prove call (and any chaos
+/// injection aimed at it) runs under `catch_unwind`, so an unwinding
+/// backend becomes a [`BackendOutcome::Faulted`] verdict instead of killing
+/// the worker. `AssertUnwindSafe` is sound here because a panicking attempt
+/// contributes nothing afterwards — its context, budget, and partial state
+/// are all dropped with the unwound stack, and the shared recorder/breaker
+/// state is updated only through atomics.
 fn run_traced(goal: &Goal, backend: &dyn Backend, span: &'static str) -> BackendVerdict {
-    let stage = if span == "sym-prove" {
-        Stage::SymProve
+    let (stage, probe, name) = if span == "sym-prove" {
+        (Stage::SymProve, PROBE_BACKEND_SYM, "sym")
     } else {
-        Stage::UdpProve
+        (Stage::UdpProve, PROBE_BACKEND_UDP, "udp")
     };
     let _tag = goal.config.recorder.alloc_scope(stage);
     let _t = goal.config.recorder.trace_span(span);
-    backend.prove(goal)
+    let action = goal
+        .config
+        .faults
+        .fire(&goal.config.recorder, probe, goal.config.fault_key);
+    if let Some(FaultAction::Delay(d)) = action {
+        std::thread::sleep(d);
+    }
+    let started = Instant::now();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match action {
+        Some(FaultAction::Panic) => panic!(
+            "chaos: injected panic at {probe} (goal {})",
+            goal.config.fault_key
+        ),
+        Some(FaultAction::Exhaust) => {
+            // Forced budget exhaustion: rerun the attempt with a
+            // zero-step budget, so the backend reports a deterministic
+            // `Unknown(Budget(Steps))` through its ordinary exit path.
+            let mut config = goal.config.clone();
+            config.steps = Some(0);
+            let starved = Goal {
+                catalog: goal.catalog,
+                constraints: goal.constraints,
+                out: goal.out,
+                schema1: goal.schema1,
+                schema2: goal.schema2,
+                nf1: goal.nf1,
+                nf2: goal.nf2,
+                config,
+            };
+            backend.prove(&starved)
+        }
+        _ => backend.prove(goal),
+    }));
+    match result {
+        Ok(bv) => bv,
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            BackendVerdict {
+                backend: name,
+                outcome: BackendOutcome::Faulted(msg.clone()),
+                wall: started.elapsed(),
+                steps: 0,
+                reason: format!("panic contained: {msg}"),
+                verdict: None,
+            }
+        }
+    }
+}
+
+/// Is this backend disabled by its session circuit breaker?
+fn breaker_open(goal: &Goal, backend: &str) -> bool {
+    goal.config
+        .breakers
+        .as_ref()
+        .is_some_and(|b| b.is_open(backend))
 }
 
 /// Turn a backend verdict into the final report entry, preferring the
@@ -153,35 +257,93 @@ fn finalize(goal: &Goal, bv: BackendVerdict, attempts: Vec<BackendAttempt>) -> S
         settled_by: bv.backend,
         attempts,
         disagreement: None,
+        fault: None,
+    }
+}
+
+/// The degraded terminal report when no backend produced any verdict:
+/// a synthesized `Timeout` placeholder that callers must surface as an
+/// aborted goal and never cache.
+fn fault_report(goal: &Goal, attempts: Vec<BackendAttempt>, reason: String) -> SolveReport {
+    let sizes = (goal.nf1.size(), goal.nf2.size());
+    SolveReport {
+        verdict: Verdict {
+            decision: Decision::Timeout,
+            trace: Trace::disabled(),
+            stats: Stats {
+                size_before: sizes,
+                size_after: sizes,
+                ..Stats::default()
+            },
+        },
+        settled_by: "none",
+        attempts,
+        disagreement: None,
+        fault: Some(reason),
+    }
+}
+
+/// The fault-report reason for a faulted backend verdict.
+fn fault_reason(bv: &BackendVerdict) -> String {
+    match &bv.outcome {
+        BackendOutcome::Faulted(msg) => format!("{} backend faulted: {msg}", bv.backend),
+        _ => format!("{} backend produced no verdict", bv.backend),
     }
 }
 
 /// Solve a normalized goal under the given portfolio mode.
 pub fn solve_normalized(goal: &Goal, mode: SolveMode) -> SolveReport {
     match mode {
-        SolveMode::Udp => {
-            let bv = run_traced(goal, &UdpBackend, "udp-prove");
-            let attempts = vec![record_attempt(&goal.config.recorder, &bv)];
-            finalize(goal, bv, attempts)
-        }
-        SolveMode::Sym => {
-            let bv = run_traced(goal, &SymBackend, "sym-prove");
-            let attempts = vec![record_attempt(&goal.config.recorder, &bv)];
-            finalize(goal, bv, attempts)
-        }
+        SolveMode::Udp => solo(goal, &UdpBackend, "udp-prove"),
+        SolveMode::Sym => solo(goal, &SymBackend, "sym-prove"),
         SolveMode::Cascade => {
-            let sym = run_traced(goal, &SymBackend, "sym-prove");
-            let mut attempts = vec![record_attempt(&goal.config.recorder, &sym)];
-            if sym.outcome.is_definite() {
-                return finalize(goal, sym, attempts);
+            let mut attempts = Vec::new();
+            if !breaker_open(goal, "sym") {
+                let sym = run_traced(goal, &SymBackend, "sym-prove");
+                attempts.push(record_attempt(&goal.config, &sym));
+                if sym.outcome.is_definite() {
+                    return finalize(goal, sym, attempts);
+                }
+                // Unknown *or* faulted: degrade to the UDP fallback.
+            }
+            if breaker_open(goal, "udp") {
+                return fault_report(
+                    goal,
+                    attempts,
+                    "udp backend disabled by circuit breaker".to_string(),
+                );
             }
             let udp = run_traced(goal, &UdpBackend, "udp-prove");
-            attempts.push(record_attempt(&goal.config.recorder, &udp));
+            attempts.push(record_attempt(&goal.config, &udp));
+            if udp.outcome.is_faulted() {
+                let reason = fault_reason(&udp);
+                return fault_report(goal, attempts, reason);
+            }
             finalize(goal, udp, attempts)
         }
         SolveMode::Race => race(goal),
         SolveMode::Crosscheck => crosscheck(goal),
     }
+}
+
+/// A single-backend mode (also the degenerate race/crosscheck when the
+/// breaker disabled the other backend).
+fn solo(goal: &Goal, backend: &dyn Backend, span: &'static str) -> SolveReport {
+    let name = if span == "sym-prove" { "sym" } else { "udp" };
+    if breaker_open(goal, name) {
+        return fault_report(
+            goal,
+            Vec::new(),
+            format!("{name} backend disabled by circuit breaker"),
+        );
+    }
+    let bv = run_traced(goal, backend, span);
+    let attempts = vec![record_attempt(&goal.config, &bv)];
+    if bv.outcome.is_faulted() {
+        let reason = fault_reason(&bv);
+        return fault_report(goal, attempts, reason);
+    }
+    finalize(goal, bv, attempts)
 }
 
 /// Lower-free convenience: normalize a lowered goal pair and run the
@@ -248,6 +410,23 @@ impl OwnedGoal {
     }
 }
 
+/// Between two non-definite verdicts, pick the better fallback: a
+/// non-faulted one over a faulted one, then one carrying a core verdict
+/// (UDP's `Timeout` with its stats) over a bare symbolic answer.
+fn prefer_unknown(a: BackendVerdict, b: BackendVerdict) -> BackendVerdict {
+    match (a.outcome.is_faulted(), b.outcome.is_faulted()) {
+        (true, false) => b,
+        (false, true) => a,
+        _ => {
+            if b.verdict.is_some() && a.verdict.is_none() {
+                b
+            } else {
+                a
+            }
+        }
+    }
+}
+
 /// Race mode: both backends start in parallel; the first *definite* verdict
 /// wins, and the loser is cancelled cooperatively (its budget shares an
 /// `AtomicBool` that flips on settlement, so the abandoned search exits
@@ -255,14 +434,32 @@ impl OwnedGoal {
 /// reported decision is deterministic even though the winner varies —
 /// definite verdicts agree across backends (the crosscheck invariant); only
 /// the timing-flavored `attempts`/`settled_by` metadata depends on
-/// scheduling.
+/// scheduling. A faulted attempt is simply ignored while the other backend
+/// is still running; panics are contained inside [`run_traced`] on the race
+/// threads, so every spawned backend always reports back.
 fn race(goal: &Goal) -> SolveReport {
+    let backends: Vec<&'static str> = ["sym", "udp"]
+        .into_iter()
+        .filter(|b| !breaker_open(goal, b))
+        .collect();
+    match backends.as_slice() {
+        [] => {
+            return fault_report(
+                goal,
+                Vec::new(),
+                "all backends disabled by circuit breaker".to_string(),
+            )
+        }
+        ["sym"] => return solo(goal, &SymBackend, "sym-prove"),
+        ["udp"] => return solo(goal, &UdpBackend, "udp-prove"),
+        _ => {}
+    }
     let cancel = Arc::new(AtomicBool::new(false));
     let mut owned = OwnedGoal::from_goal(goal);
     owned.config.cancel.push(Arc::clone(&cancel));
     let owned = Arc::new(owned);
     let (tx, rx) = mpsc::channel::<BackendVerdict>();
-    for which in ["sym", "udp"] {
+    for which in backends {
         let owned = Arc::clone(&owned);
         let tx = tx.clone();
         std::thread::spawn(move || {
@@ -276,42 +473,56 @@ fn race(goal: &Goal) -> SolveReport {
         });
     }
     drop(tx);
-    let first = rx.recv().expect("at least one backend reports");
-    let mut attempts = vec![record_attempt(&goal.config.recorder, &first)];
-    if first.outcome.is_definite() {
-        cancel.store(true, Ordering::Relaxed);
-        return finalize(goal, first, attempts);
-    }
-    match rx.recv() {
-        Ok(second) => {
-            attempts.push(record_attempt(&goal.config.recorder, &second));
-            if second.outcome.is_definite() {
-                finalize(goal, second, attempts)
-            } else {
-                // Both unknown: budget exhaustion — report via whichever has
-                // a core verdict (UDP's Timeout), else synthesize one.
-                let pick = if second.verdict.is_some() {
-                    second
-                } else {
-                    first
-                };
-                finalize(goal, pick, attempts)
-            }
+    let mut attempts = Vec::new();
+    let mut fallback: Option<BackendVerdict> = None;
+    while let Ok(bv) = rx.recv() {
+        attempts.push(record_attempt(&goal.config, &bv));
+        if bv.outcome.is_definite() {
+            cancel.store(true, Ordering::Relaxed);
+            return finalize(goal, bv, attempts);
         }
-        Err(_) => finalize(goal, first, attempts),
+        fallback = Some(match fallback.take() {
+            None => bv,
+            Some(prev) => prefer_unknown(prev, bv),
+        });
+    }
+    match fallback {
+        Some(bv) if !bv.outcome.is_faulted() => finalize(goal, bv, attempts),
+        Some(bv) => {
+            let reason = fault_reason(&bv);
+            fault_report(goal, attempts, reason)
+        }
+        None => fault_report(goal, attempts, "no backend reported".to_string()),
     }
 }
 
 /// Crosscheck mode: run both backends to completion and compare. A definite
 /// disagreement is reported in [`SolveReport::disagreement`]; the UDP
-/// verdict is still attached so diagnostics can show both sides.
+/// verdict is still attached so diagnostics can show both sides. A faulted
+/// side is *not* a disagreement — it produced no answer to disagree with —
+/// so the surviving backend's verdict stands alone (degraded
+/// cross-validation, surfaced through the fault counters and stats, never
+/// through a spurious hard error).
 fn crosscheck(goal: &Goal) -> SolveReport {
+    match (breaker_open(goal, "sym"), breaker_open(goal, "udp")) {
+        (true, true) => {
+            return fault_report(
+                goal,
+                Vec::new(),
+                "all backends disabled by circuit breaker".to_string(),
+            )
+        }
+        (true, false) => return solo(goal, &UdpBackend, "udp-prove"),
+        (false, true) => return solo(goal, &SymBackend, "sym-prove"),
+        (false, false) => {}
+    }
     let sym = run_traced(goal, &SymBackend, "sym-prove");
     let udp = run_traced(goal, &UdpBackend, "udp-prove");
     let attempts = vec![
-        record_attempt(&goal.config.recorder, &sym),
-        record_attempt(&goal.config.recorder, &udp),
+        record_attempt(&goal.config, &sym),
+        record_attempt(&goal.config, &udp),
     ];
+    // Faulted outcomes can't reach these arms (they are never definite).
     let disagreement = match (&sym.outcome, &udp.outcome) {
         (BackendOutcome::Proved, BackendOutcome::Disproved(r)) => Some(format!(
             "sym proved ({}) but udp found no proof ({r:?})",
@@ -323,9 +534,18 @@ fn crosscheck(goal: &Goal) -> SolveReport {
         )),
         _ => None,
     };
-    // Prefer the UDP verdict (it carries the trace); fall back to a definite
-    // symbolic answer if UDP ran out of budget.
-    let mut report = if udp.outcome.is_definite() || !sym.outcome.is_definite() {
+    if sym.outcome.is_faulted() && udp.outcome.is_faulted() {
+        let reason = format!("{}; {}", fault_reason(&sym), fault_reason(&udp));
+        return fault_report(goal, attempts, reason);
+    }
+    // Prefer the UDP verdict (it carries the trace); fall back to the
+    // symbolic answer when UDP faulted or ran out of budget while sym
+    // reached a definite verdict.
+    let mut report = if udp.outcome.is_faulted() {
+        finalize(goal, sym, attempts)
+    } else if sym.outcome.is_faulted() {
+        finalize(goal, udp, attempts)
+    } else if udp.outcome.is_definite() || !sym.outcome.is_definite() {
         finalize(goal, udp, attempts)
     } else {
         finalize(goal, sym, attempts)

@@ -224,9 +224,9 @@ impl Backend for SymBackend {
                 started,
                 ctx.budget.steps_used(),
             ),
-            Err(Exhausted) => Self::unknown(
-                UnknownReason::Budget,
-                "symbolic budget exhausted".into(),
+            Err(kind) => Self::unknown(
+                UnknownReason::Budget(kind),
+                format!("symbolic budget exhausted ({})", kind.name()),
                 started,
                 ctx.budget.steps_used(),
             ),
@@ -579,6 +579,9 @@ mod tests {
             },
         };
         let out = SymBackend.prove(&goal);
-        assert_eq!(out.outcome, BackendOutcome::Unknown(UnknownReason::Budget));
+        assert_eq!(
+            out.outcome,
+            BackendOutcome::Unknown(UnknownReason::Budget(udp_core::budget::Exhausted::Steps))
+        );
     }
 }

@@ -37,10 +37,16 @@ impl Backend for UdpBackend {
                 BackendOutcome::Disproved(r.clone()),
                 format!("UDP search exhausted without a proof ({r:?})"),
             ),
-            Decision::Timeout => (
-                BackendOutcome::Unknown(UnknownReason::Budget),
-                "UDP budget exhausted".to_string(),
-            ),
+            Decision::Timeout => {
+                let kind = verdict
+                    .stats
+                    .exhausted
+                    .unwrap_or(udp_core::budget::Exhausted::Steps);
+                (
+                    BackendOutcome::Unknown(UnknownReason::Budget(kind)),
+                    format!("UDP budget exhausted ({})", kind.name()),
+                )
+            }
         };
         BackendVerdict {
             backend: self.name(),

@@ -5,6 +5,7 @@
 //!                      [--cache-size N] [--cache-bytes N] [--stats] [--stats-every N]
 //!                      [--fingerprints] [--backend udp|sym|cascade|race|crosscheck]
 //!                      [--metrics-json PATH] [--trace-goals N] [--trace-out PATH]
+//!                      [--chaos [SPEC]]
 //! ```
 //!
 //! `SCHEMA.sql` declares the shared catalog (schema/table/key/foreign
@@ -36,6 +37,12 @@
 //! `--cache-bytes N` additionally bounds the verdict cache by resident
 //! bytes (key lengths plus deep verdict size), evicting by bytes rather
 //! than entry count.
+//!
+//! Fault tolerance: a goal line that panics mid-verification (or is
+//! malformed) produces a per-line `error:` response and the serving loop
+//! continues — workers are supervised, backend panics are contained, and
+//! `--chaos [seed=N,rate=P,...]` injects a deterministic fault schedule
+//! (see `udp_obs::FaultPlan`) for drills.
 //!
 //! Observability: `--metrics-json PATH` enables the `udp-obs` stage
 //! recorder (including the per-stage memory session when the binary's
@@ -102,6 +109,20 @@ fn main() -> ExitCode {
                     it.next()
                         .cloned()
                         .unwrap_or_else(|| usage("missing value for --metrics-json")),
+                );
+            }
+            "--chaos" => {
+                // Optional spec: `--chaos` alone runs the default campaign;
+                // `--chaos seed=N,rate=P,...` overrides it.
+                let spec = match it.peek() {
+                    Some(s) if !s.starts_with('-') && s.contains('=') => {
+                        it.next().map(|s| s.as_str()).unwrap_or("")
+                    }
+                    _ => "",
+                };
+                config.chaos = Some(
+                    udp_obs::FaultPlan::parse(spec)
+                        .unwrap_or_else(|e| usage(&format!("bad --chaos spec: {e}"))),
                 );
             }
             "--trace-goals" => trace_goals = parse_num(it.next(), "--trace-goals"),
@@ -200,11 +221,20 @@ fn main() -> ExitCode {
         let mut reports = session.verify_batch(&goals).into_iter();
         for (line_seq, parsed) in pending.drain(..) {
             match parsed {
-                Ok(_) => {
-                    let r = reports.next().expect("one report per accepted goal");
-                    write_report(out, line_seq, &r, show_fingerprints);
-                    note_outcome(&r, all_proved, any_error);
-                }
+                Ok(_) => match reports.next() {
+                    Some(r) => {
+                        write_report(out, line_seq, &r, show_fingerprints);
+                        note_outcome(&r, all_proved, any_error);
+                    }
+                    // The scheduler backfills even panicked goals with
+                    // aborted reports, so this is unreachable in practice —
+                    // but a served protocol never dies on an invariant slip:
+                    // degrade to an error line and keep streaming.
+                    None => {
+                        *any_error = true;
+                        let _ = writeln!(out, "goal {line_seq}: error: report missing");
+                    }
+                },
                 Err(e) => {
                     *any_error = true;
                     let _ = writeln!(out, "goal {line_seq}: error: {e}");
@@ -308,7 +338,7 @@ fn usage(msg: &str) -> ! {
         "usage: udp-serve SCHEMA.sql [--jobs N] [--extended] [--full] [--timeout SECS] [--steps N] \
          [--cache-size N] [--cache-bytes N] [--stats] [--stats-every N] [--fingerprints] \
          [--backend udp|sym|cascade|race|crosscheck] [--metrics-json PATH] [--trace-goals N] \
-         [--trace-out PATH]"
+         [--trace-out PATH] [--chaos [seed=N,rate=P,exhaust=P,delay=P,goal-rate=P,probe=NAME]]"
     );
     std::process::exit(64);
 }

@@ -5,7 +5,7 @@
 //!                     [--spnf] [--extended] [--full] [--timeout SECS] [--jobs N]
 //!                     [--cache-bytes N] [--backend udp|sym|cascade|race|crosscheck]
 //!                     [--stats] [--metrics-json PATH] [--trace-goals N]
-//!                     [--trace-out PATH]
+//!                     [--trace-out PATH] [--chaos [SPEC]]
 //! ```
 //!
 //! Reads an input program (schema/table/key/foreign key/view/index
@@ -44,6 +44,13 @@
 //! of these flags turns recording on; with none of them, the
 //! instrumentation stays in its free disabled mode.
 //!
+//! Chaos testing: `--chaos [seed=N,rate=P,...]` arms the deterministic
+//! fault injector (seeded panics, forced budget exhaustion, artificial
+//! delays at named probes — see `udp_obs::FaultPlan`) and forces the
+//! supervised service path so contained faults degrade goals instead of
+//! killing the process; pair with `--stats` to see fault counts and
+//! circuit-breaker state.
+//!
 //! The frontend (parse + catalog) is built once and reused by every mode;
 //! each goal is lowered exactly once on the sequential path, feeding both
 //! the `--spnf` printer and the decision procedure.
@@ -78,6 +85,7 @@ fn main() -> ExitCode {
     let mut metrics_json: Option<String> = None;
     let mut trace_goals = 0usize;
     let mut trace_out: Option<String> = None;
+    let mut chaos: Option<udp_obs::FaultPlan> = None;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -137,6 +145,20 @@ fn main() -> ExitCode {
                         .unwrap_or_else(|| usage("missing value for --trace-out")),
                 );
             }
+            "--chaos" => {
+                // Optional spec: `--chaos` alone runs the default campaign;
+                // `--chaos seed=N,rate=P,...` overrides it.
+                let spec = match it.peek() {
+                    Some(s) if !s.starts_with('-') && s.contains('=') => {
+                        it.next().map(|s| s.as_str()).unwrap_or("")
+                    }
+                    _ => "",
+                };
+                chaos = Some(
+                    udp_obs::FaultPlan::parse(spec)
+                        .unwrap_or_else(|e| usage(&format!("bad --chaos spec: {e}"))),
+                );
+            }
             "--help" | "-h" => {
                 usage("");
             }
@@ -179,7 +201,9 @@ fn main() -> ExitCode {
         mode = SolveMode::Udp;
     }
     let sequential_only = spnf || check_trace || counterexample;
-    if jobs > 1 && !sequential_only {
+    // `--chaos` needs the supervised service path (worker containment,
+    // circuit breakers) even at one worker, so it forces the session route.
+    if (jobs > 1 || chaos.is_some()) && !sequential_only {
         return run_parallel(
             &text,
             dialect,
@@ -193,10 +217,14 @@ fn main() -> ExitCode {
             metrics_json.as_deref(),
             trace_goals,
             trace_out.as_deref(),
+            chaos,
         );
     }
     if jobs > 1 {
         eprintln!("note: --spnf/--check-trace/--counterexample run sequentially; ignoring --jobs");
+    }
+    if chaos.is_some() {
+        eprintln!("note: --spnf/--check-trace/--counterexample run unsupervised; ignoring --chaos");
     }
     if cache_bytes.is_some() {
         eprintln!("note: the sequential path has no verdict cache; ignoring --cache-bytes");
@@ -292,7 +320,14 @@ fn main() -> ExitCode {
                 udp_core::decide_with(&fe.catalog, &fe.constraints, &q1, &q2, config.clone())
             };
             let definite = !matches!(v.decision, udp_core::Decision::Timeout);
-            stats.record_backend("udp", definite, v.decision.is_proved(), v.stats.wall, true);
+            stats.record_backend(
+                "udp",
+                definite,
+                v.decision.is_proved(),
+                v.stats.wall,
+                true,
+                false,
+            );
             // Exit-kind counters: this direct `decide_with` path bypasses the
             // udp-solve portfolio (whose `record_attempt` is the primary
             // write site); the two paths are mutually exclusive within one
@@ -336,6 +371,9 @@ fn main() -> ExitCode {
                 eprintln!("goal {}: backend disagreement: {d}", i + 1);
                 return ExitCode::FAILURE;
             }
+            if let Some(reason) = &report.fault {
+                eprintln!("goal {} aborted: {reason}", i + 1);
+            }
             for a in &report.attempts {
                 stats.record_backend(
                     a.backend,
@@ -343,6 +381,7 @@ fn main() -> ExitCode {
                     matches!(a.outcome, udp_solve::BackendOutcome::Proved),
                     a.wall,
                     a.backend == report.settled_by,
+                    a.outcome.is_faulted(),
                 );
                 let stage = if a.backend == "sym" {
                     Stage::SymProve
@@ -471,6 +510,7 @@ fn run_parallel(
     metrics_json: Option<&str>,
     trace_goals: usize,
     trace_out: Option<&str>,
+    chaos: Option<udp_obs::FaultPlan>,
 ) -> ExitCode {
     let config = udp_service::SessionConfig {
         workers: jobs,
@@ -481,6 +521,7 @@ fn run_parallel(
         mode,
         cache_bytes,
         recorder: recorder.clone(),
+        chaos,
         ..Default::default()
     };
     let session = match udp_service::Session::new(text, config) {
@@ -496,6 +537,7 @@ fn run_parallel(
     };
     let reports = session.verify_program_goals();
     let mut all_proved = true;
+    let mut any_error = false;
     for r in &reports {
         match &r.outcome {
             Ok(v) => {
@@ -507,9 +549,13 @@ fn run_parallel(
                     all_proved = false;
                 }
             }
+            // A goal-level failure (front-end error, contained panic,
+            // crosscheck disagreement) degrades that goal only — the
+            // remaining goals still report.
             Err(e) => {
-                eprintln!("error lowering goal {}: {e}", r.index + 1);
-                return ExitCode::FAILURE;
+                eprintln!("error on goal {}: {e}", r.index + 1);
+                all_proved = false;
+                any_error = true;
             }
         }
     }
@@ -526,7 +572,9 @@ fn run_parallel(
         eprintln!("error writing metrics: {e}");
         return ExitCode::FAILURE;
     }
-    if all_proved {
+    if any_error {
+        ExitCode::FAILURE
+    } else if all_proved {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(2)
@@ -553,7 +601,8 @@ fn usage(msg: &str) -> ! {
         "usage: udp-verify FILE.sql [--trace] [--check-trace] [--counterexample] \
          [--spnf] [--extended] [--full] [--timeout SECS] [--jobs N] [--cache-bytes N] \
          [--backend udp|sym|cascade|race|crosscheck] [--stats] \
-         [--metrics-json PATH] [--trace-goals N] [--trace-out PATH]"
+         [--metrics-json PATH] [--trace-goals N] [--trace-out PATH] \
+         [--chaos [seed=N,rate=P,exhaust=P,delay=P,goal-rate=P,probe=NAME]]"
     );
     std::process::exit(64);
 }
